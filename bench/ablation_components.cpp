@@ -1,0 +1,58 @@
+// Ablation: which DES component buys what? (design choices of §IV)
+//
+//   C-RR vs plain RR           — cumulative cursor vs restart-at-core-0
+//   WF vs static power         — dynamic vs equal power split
+//   discard vs resume          — paper's passed-job semantics vs re-plan
+//   GS vs IS triggers          — grouped vs immediate scheduling
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qes;
+  using namespace qes::bench;
+  print_header("Ablation: DES component contributions",
+               "each row disables one DES design choice");
+
+  const auto rates = rate_grid(100.0, 220.0, 40.0);
+  const WorkloadConfig wl = paper_workload(sim_seconds());
+  const EngineConfig cfg = paper_engine();
+
+  struct Variant {
+    const char* name;
+    EngineConfig cfg;
+    PolicyFactory factory;
+  };
+  EngineConfig resume_cfg = cfg;
+  resume_cfg.resume_passed_jobs = true;
+  EngineConfig is_cfg = cfg;
+  is_cfg.counter_trigger = 1;  // replan on (almost) every arrival
+  const std::vector<Variant> variants = {
+      {"DES (full)", cfg, [] { return make_des_policy(); }},
+      {"plain RR", cfg,
+       [] { return make_des_policy({.plain_round_robin = true}); }},
+      {"static power", cfg,
+       [] { return make_des_policy({.static_power = true}); }},
+      {"resume passed jobs", resume_cfg, [] { return make_des_policy(); }},
+      {"eager execution", cfg,
+       [] { return make_des_policy({.eager_execution = true}); }},
+      {"rebalance unstarted", cfg,
+       [] { return make_des_policy({.rebalance_unstarted = true}); }},
+      {"immediate scheduling", is_cfg, [] { return make_des_policy(); }},
+  };
+
+  for (const Variant& v : variants) {
+    std::printf("--- %s ---\n", v.name);
+    Table t({"rate", "quality", "dyn_energy_J", "replans"});
+    for (double rate : rates) {
+      WorkloadConfig w = wl;
+      w.arrival_rate = rate;
+      const RunStats s = run_averaged(v.cfg, w, v.factory, seeds());
+      t.add_row({fmt(rate, 0), fmt(s.normalized_quality, 4),
+                 fmt_sci(s.dynamic_energy), std::to_string(s.replans)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

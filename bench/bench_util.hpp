@@ -1,0 +1,47 @@
+// Shared setup for the figure-reproduction benches: the paper's §V-B
+// simulation defaults plus environment overrides.
+//
+//   QES_SIM_SECONDS  simulated seconds per run   (default 600; paper 1800)
+//   QES_SEEDS        replicates averaged per point (default 3)
+//   QES_CSV=1        print CSV instead of aligned tables
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "multicore/baseline_scheduler.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "report/table.hpp"
+#include "sim/experiment.hpp"
+
+namespace qes::bench {
+
+inline EngineConfig paper_engine() {
+  return EngineConfig{};  // 16 cores, 320 W, a=5 beta=2, c=0.003, GS triggers
+}
+
+inline WorkloadConfig paper_workload(double sim_seconds) {
+  WorkloadConfig wl;
+  wl.horizon_ms = sim_seconds * 1000.0;
+  return wl;
+}
+
+inline double sim_seconds() { return env_sim_seconds(600.0); }
+inline int seeds() { return env_seeds(3); }
+
+/// The arrival-rate grid the paper's x-axes span (requests per second).
+inline std::vector<double> rate_grid(double lo = 80.0, double hi = 260.0,
+                                     double step = 20.0) {
+  std::vector<double> rates;
+  for (double r = lo; r <= hi + 1e-9; r += step) rates.push_back(r);
+  return rates;
+}
+
+inline void print_header(const char* figure, const char* claim) {
+  std::printf("=== %s ===\n", figure);
+  std::printf("paper: %s\n", claim);
+  std::printf("setup: %.0f simulated seconds, %d seed(s) averaged\n\n",
+              sim_seconds(), seeds());
+}
+
+}  // namespace qes::bench

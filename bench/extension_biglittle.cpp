@@ -1,0 +1,59 @@
+// Extension: heterogeneous (big.LITTLE) servers.
+//
+// The paper assumes identical cores. Real parts mix fast and slow cores;
+// per-core DVFS plus Water-Filling handles the asymmetry naturally —
+// slow cores cannot spend an equal power share (1 GHz needs 5 W of the
+// 20 W slice under P = 5 s^2), so WF reroutes the surplus to the fast
+// cores, while static sharing strands it.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qes;
+  using namespace qes::bench;
+  print_header("Extension: big.LITTLE (8x 3 GHz + 8x 1 GHz, 320 W)",
+               "WF reroutes the power that slow cores cannot use; static "
+               "sharing strands it");
+
+  EngineConfig hetero;
+  hetero.per_core_max_speed.assign(8, 3.0);
+  hetero.per_core_max_speed.insert(hetero.per_core_max_speed.end(), 8, 1.0);
+  const EngineConfig homo = paper_engine();  // 16 uncapped cores
+  const WorkloadConfig wl = paper_workload(std::min(sim_seconds(), 300.0));
+  const auto rates = rate_grid(100.0, 220.0, 40.0);
+
+  auto het_wf = sweep_rates(hetero, wl, rates,
+                            [] { return make_des_policy(); }, seeds());
+  auto het_static = sweep_rates(
+      hetero, wl, rates,
+      [] { return make_des_policy({.static_power = true}); }, seeds());
+  auto homo_wf = sweep_rates(homo, wl, rates,
+                             [] { return make_des_policy(); }, seeds());
+  auto het_aware = sweep_rates(
+      hetero, wl, rates,
+      [] { return make_des_policy({.capacity_aware_distribution = true}); },
+      seeds());
+
+  Table t({"rate", "q(hetero, WF)", "q(hetero, static)",
+           "q(hetero, cap-aware)", "q(homo)", "E(hetero, WF)",
+           "E(hetero, cap-aware)"});
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    t.add_row({fmt(rates[k], 0),
+               fmt(het_wf[k].stats.normalized_quality, 4),
+               fmt(het_static[k].stats.normalized_quality, 4),
+               fmt(het_aware[k].stats.normalized_quality, 4),
+               fmt(homo_wf[k].stats.normalized_quality, 4),
+               fmt_sci(het_wf[k].stats.dynamic_energy),
+               fmt_sci(het_aware[k].stats.dynamic_energy)});
+  }
+  t.print(std::cout);
+  std::printf("\nreading: plain C-RR deals jobs BLINDLY, so half the "
+              "traffic lands on 1 GHz cores that cannot finish a "
+              "mean-sized request in 150 ms; WF can only soften that. "
+              "Capacity-aware dealing (smooth weighted round robin, "
+              "proportional to core speed) recovers most of the gap to "
+              "the homogeneous server — the equal-sharing principle, "
+              "generalized to unequal cores.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 1: the example quality function mapping processing time to
+// quality value (150 ms deadline motivation, §I).
+#include <iostream>
+
+#include "core/quality.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace qes;
+  std::printf("=== Figure 1: example quality function ===\n");
+  std::printf("q(x) = (1 - e^{-cx}) / (1 - e^{-1000c}), c = 0.003\n\n");
+  const auto f = QualityFunction::exponential(0.003);
+  Table t({"processing_units", "quality"});
+  for (int x = 0; x <= 1000; x += 100) {
+    t.add_row({std::to_string(x), fmt(f(x), 4)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nshape check: monotone increasing, strictly concave -> %s\n",
+      f.check_shape(1000.0) ? "PASS" : "FAIL");
+  return 0;
+}

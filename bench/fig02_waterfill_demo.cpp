@@ -1,0 +1,32 @@
+// Figure 2: the Water-Filling power-distribution worked example — a
+// 4-core system where core 4 requests less than the equal share and the
+// other three split the remainder (§IV-C).
+#include <iostream>
+
+#include "multicore/power_waterfill.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace qes;
+  std::printf("=== Figure 2: \"WF\" power distribution across 4 cores ===\n");
+  std::printf("total budget H = 100 W\n\n");
+
+  const std::vector<Watts> requested = {60.0, 45.0, 40.0, 10.0};
+  const auto assigned = waterfill_power(requested, 100.0);
+
+  Table t({"core", "requested_W", "assigned_W", "note"});
+  Watts total = 0.0;
+  for (std::size_t i = 0; i < requested.size(); ++i) {
+    total += assigned[i];
+    const bool satisfied = assigned[i] + 1e-9 >= requested[i];
+    t.add_row({std::to_string(i + 1), fmt(requested[i], 2),
+               fmt(assigned[i], 2),
+               satisfied ? "demand met" : "levelled (shares remainder)"});
+  }
+  t.print(std::cout);
+  std::printf("\nassigned total = %.2f W (== budget; conservation holds)\n",
+              total);
+  std::printf("cores 1-3 sit at the common water level; core 4 got "
+              "exactly its demand.\n");
+  return 0;
+}

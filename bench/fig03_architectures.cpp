@@ -1,0 +1,67 @@
+// Figure 3: quality and energy of DES on No-DVFS / S-DVFS / C-DVFS
+// architectures as the arrival rate grows (§V-C).
+//
+// Expected shape: C-DVFS has the best quality at every rate (~2% ahead
+// at light load) and the lowest energy; S-DVFS saves substantially over
+// No-DVFS (paper: >= 35.6% of dynamic energy at light load, C-DVFS a
+// further ~7%); all converge under heavy load.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qes;
+  using namespace qes::bench;
+  print_header("Figure 3: DES on No-DVFS / S-DVFS / C-DVFS",
+               "C-DVFS best quality & lowest energy; S-DVFS saves >=35.6% "
+               "dynamic energy vs No-DVFS at light load; convergence under "
+               "overload");
+
+  const auto rates = rate_grid();
+  const EngineConfig cfg = paper_engine();
+  const WorkloadConfig wl = paper_workload(sim_seconds());
+
+  struct Series {
+    Architecture arch;
+    std::vector<SweepPoint> points;
+  };
+  std::vector<Series> series;
+  for (Architecture arch :
+       {Architecture::CDVFS, Architecture::SDVFS, Architecture::NoDVFS}) {
+    series.push_back({arch, sweep_rates(cfg, wl, rates,
+                                        [arch] {
+                                          return make_des_policy(
+                                              {.arch = arch});
+                                        },
+                                        seeds())});
+  }
+
+  Table t({"rate", "q(C-DVFS)", "q(S-DVFS)", "q(No-DVFS)", "E(C-DVFS)",
+           "E(S-DVFS)", "E(No-DVFS)"});
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    t.add_row({fmt(rates[k], 0),
+               fmt(series[0].points[k].stats.normalized_quality, 4),
+               fmt(series[1].points[k].stats.normalized_quality, 4),
+               fmt(series[2].points[k].stats.normalized_quality, 4),
+               fmt_sci(series[0].points[k].stats.dynamic_energy),
+               fmt_sci(series[1].points[k].stats.dynamic_energy),
+               fmt_sci(series[2].points[k].stats.dynamic_energy)});
+  }
+  t.print(std::cout);
+
+  // Headline numbers at light load (rate 100).
+  std::size_t light = 1;  // rate 100 in the default grid
+  const double e_c = series[0].points[light].stats.dynamic_energy;
+  const double e_s = series[1].points[light].stats.dynamic_energy;
+  const double e_n = series[2].points[light].stats.dynamic_energy;
+  std::printf("\nlight load (rate %.0f):\n", rates[light]);
+  std::printf("  S-DVFS saves %.1f%% of dynamic energy vs No-DVFS "
+              "(paper: >=35.6%%)\n",
+              100.0 * (1.0 - e_s / e_n));
+  std::printf("  C-DVFS saves a further %.1f%% vs S-DVFS (paper: ~6.8%%)\n",
+              100.0 * (1.0 - e_c / e_s));
+  std::printf("  quality gap C-DVFS vs No-DVFS: %+.2f%% (paper: ~+2%%)\n",
+              100.0 * (series[0].points[light].stats.normalized_quality -
+                       series[2].points[light].stats.normalized_quality));
+  return 0;
+}

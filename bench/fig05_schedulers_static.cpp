@@ -1,0 +1,51 @@
+// Figure 5: DES vs FCFS / LJF / SJF with static equal power sharing
+// (§V-E, first experiment).
+//
+// Expected shape: DES leads quality at every rate (~2% even under light
+// load); FCFS beats LJF and SJF; SJF's energy falls under overload
+// because it starves long jobs.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qes;
+  using namespace qes::bench;
+  print_header("Figure 5: DES vs FCFS/LJF/SJF (static power sharing)",
+               "quality: DES > FCFS > LJF > SJF; SJF energy drops under "
+               "overload (it starves long jobs)");
+
+  const auto rates = rate_grid();
+  const EngineConfig des_cfg = paper_engine();
+  const EngineConfig base_cfg = baseline_engine_config(paper_engine());
+  const WorkloadConfig wl = paper_workload(sim_seconds());
+
+  auto des = sweep_rates(des_cfg, wl, rates,
+                         [] { return make_des_policy(); }, seeds());
+  std::vector<std::vector<SweepPoint>> base;
+  for (BaselineOrder order :
+       {BaselineOrder::FCFS, BaselineOrder::LJF, BaselineOrder::SJF}) {
+    base.push_back(sweep_rates(
+        base_cfg, wl, rates,
+        [order] {
+          return make_baseline_policy(
+              {.order = order, .power = PowerDistribution::StaticEqual});
+        },
+        seeds()));
+  }
+
+  Table t({"rate", "q(DES)", "q(FCFS)", "q(LJF)", "q(SJF)", "E(DES)",
+           "E(FCFS)", "E(LJF)", "E(SJF)"});
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    t.add_row({fmt(rates[k], 0), fmt(des[k].stats.normalized_quality, 4),
+               fmt(base[0][k].stats.normalized_quality, 4),
+               fmt(base[1][k].stats.normalized_quality, 4),
+               fmt(base[2][k].stats.normalized_quality, 4),
+               fmt_sci(des[k].stats.dynamic_energy),
+               fmt_sci(base[0][k].stats.dynamic_energy),
+               fmt_sci(base[1][k].stats.dynamic_energy),
+               fmt_sci(base[2][k].stats.dynamic_energy)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7: effect of the quality function's concavity (§V-F).
+// (a) the function family for c in {0.0005 .. 0.009};
+// (b) DES quality vs arrival rate for each c — more concave (larger c)
+//     functions harvest more quality from the same schedule; energy is
+//     unaffected by the quality function.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qes;
+  using namespace qes::bench;
+  print_header("Figure 7: quality-function concavity sweep",
+               "larger c (more concave) => higher normalized quality; "
+               "energy unaffected");
+
+  const std::vector<double> cs = {0.0005, 0.001, 0.002, 0.003, 0.005, 0.009};
+
+  std::printf("--- (a) the function family q(x) ---\n");
+  {
+    std::vector<std::string> hdr = {"x"};
+    for (double c : cs) hdr.push_back("c=" + fmt(c, 4));
+    Table t(hdr);
+    for (int x = 0; x <= 1000; x += 125) {
+      std::vector<std::string> row = {std::to_string(x)};
+      for (double c : cs) {
+        row.push_back(fmt(QualityFunction::exponential(c)(x), 3));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::printf("\n--- (b) DES quality vs arrival rate ---\n");
+  const auto rates = rate_grid(100.0, 260.0, 40.0);
+  const WorkloadConfig wl = paper_workload(sim_seconds());
+  std::vector<std::string> hdr = {"rate"};
+  for (double c : cs) hdr.push_back("q(c=" + fmt(c, 4) + ")");
+  hdr.push_back("E (any c)");
+  Table t(hdr);
+  std::vector<std::vector<SweepPoint>> sweeps;
+  for (double c : cs) {
+    EngineConfig cfg = paper_engine();
+    cfg.quality = QualityFunction::exponential(c);
+    sweeps.push_back(sweep_rates(cfg, wl, rates,
+                                 [] { return make_des_policy(); }, seeds()));
+  }
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    std::vector<std::string> row = {fmt(rates[k], 0)};
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      row.push_back(fmt(sweeps[i][k].stats.normalized_quality, 4));
+    }
+    row.push_back(fmt_sci(sweeps.back()[k].stats.dynamic_energy));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::printf("\nnote: the scheduler's decisions (hence energy) do not "
+              "depend on c — only the harvested quality does.\n");
+  return 0;
+}

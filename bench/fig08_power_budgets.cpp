@@ -1,0 +1,51 @@
+// Figure 8: effect of the total power budget H (§V-F).
+//
+// Expected shape: under heavy load a larger budget buys quality (or
+// sustains higher load at the same quality); energy grows with load
+// until the budget saturates, then flattens while quality degrades.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qes;
+  using namespace qes::bench;
+  print_header("Figure 8: power budgets H = 80..640 W",
+               "more budget => more quality under heavy load; energy "
+               "plateaus at H*T once saturated");
+
+  const std::vector<double> budgets = {80.0, 160.0, 320.0, 480.0, 640.0};
+  const auto rates = rate_grid(80.0, 260.0, 30.0);
+  const WorkloadConfig wl = paper_workload(sim_seconds());
+
+  std::vector<std::vector<SweepPoint>> sweeps;
+  for (double H : budgets) {
+    EngineConfig cfg = paper_engine();
+    cfg.power_budget = H;
+    sweeps.push_back(sweep_rates(cfg, wl, rates,
+                                 [] { return make_des_policy(); }, seeds()));
+  }
+
+  std::vector<std::string> hdr = {"rate"};
+  for (double H : budgets) hdr.push_back("q(H=" + fmt(H, 0) + ")");
+  for (double H : budgets) hdr.push_back("E(H=" + fmt(H, 0) + ")");
+  Table t(hdr);
+  for (std::size_t k = 0; k < rates.size(); ++k) {
+    std::vector<std::string> row = {fmt(rates[k], 0)};
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+      row.push_back(fmt(sweeps[i][k].stats.normalized_quality, 4));
+    }
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+      row.push_back(fmt_sci(sweeps[i][k].stats.dynamic_energy));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::printf("\nmax rate sustaining quality 0.9 per budget:\n");
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    std::printf("  H = %3.0f W: %.0f req/s\n", budgets[i],
+                throughput_at_quality(sweeps[i], 0.9));
+  }
+  return 0;
+}

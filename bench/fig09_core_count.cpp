@@ -1,0 +1,38 @@
+// Figure 9: effect of the number of cores at a fixed budget and load
+// (§V-F; arrival rate 90, H = 320 W, m = 2^x).
+//
+// Expected shape: few cores => poor quality and high energy (convex
+// power punishes fast cores); both improve as cores are added, and
+// saturate around 16 cores for this workload.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qes;
+  using namespace qes::bench;
+  print_header("Figure 9: core count m = 2,4,...,64 at arrival rate 90",
+               "quality rises / energy falls with more cores, saturating "
+               "around m = 16");
+
+  WorkloadConfig wl = paper_workload(sim_seconds());
+  wl.arrival_rate = 90.0;
+
+  Table t({"cores", "quality", "dyn_energy_J", "satisfied", "partial",
+           "zero"});
+  for (int x = 1; x <= 6; ++x) {
+    const int m = 1 << x;
+    EngineConfig cfg = paper_engine();
+    cfg.cores = m;
+    const RunStats s =
+        run_averaged(cfg, wl, [] { return make_des_policy(); }, seeds());
+    t.add_row({std::to_string(m), fmt(s.normalized_quality, 4),
+               fmt_sci(s.dynamic_energy), std::to_string(s.jobs_satisfied),
+               std::to_string(s.jobs_partial), std::to_string(s.jobs_zero)});
+  }
+  t.print(std::cout);
+  std::printf("\nnote: with few cores each core must run fast; the convex "
+              "power P = a*s^2 makes that both quality- and "
+              "energy-inefficient.\n");
+  return 0;
+}

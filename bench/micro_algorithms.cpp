@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) of the core scheduling algorithms:
+// the per-invocation costs that bound DES's scheduling overhead.
+#include <benchmark/benchmark.h>
+
+#include "alloc/waterfill.hpp"
+#include "core/prng.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "multicore/power_waterfill.hpp"
+#include "sched/online_qe.hpp"
+#include "sched/qe_opt.hpp"
+#include "sched/quality_opt.hpp"
+#include "sched/yds.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace qes;
+
+std::vector<Job> make_jobs(std::size_t n, bool same_release,
+                           std::uint64_t seed = 7) {
+  Xoshiro256 rng(seed);
+  std::vector<Job> jobs;
+  for (std::size_t k = 0; k < n; ++k) {
+    Job j;
+    j.id = k + 1;
+    j.release = same_release ? 0.0 : rng.uniform(0.0, 1000.0);
+    j.deadline = j.release + 150.0;
+    j.demand = rng.uniform(130.0, 1000.0);
+    jobs.push_back(j);
+  }
+  sort_by_release(jobs);
+  return jobs;
+}
+
+void BM_Yds_Offline(benchmark::State& state) {
+  const AgreeableJobSet set(
+      make_jobs(static_cast<std::size_t>(state.range(0)), false));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yds_schedule(set));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Yds_Offline)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_Yds_Online(benchmark::State& state) {
+  // All releases equal: the DES step-2 case.
+  const AgreeableJobSet set(
+      make_jobs(static_cast<std::size_t>(state.range(0)), true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(yds_schedule(set));
+  }
+}
+BENCHMARK(BM_Yds_Online)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_QualityOpt(benchmark::State& state) {
+  const AgreeableJobSet set(
+      make_jobs(static_cast<std::size_t>(state.range(0)), true));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quality_opt_schedule(set, 2.0));
+  }
+}
+BENCHMARK(BM_QualityOpt)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_QeOpt(benchmark::State& state) {
+  const AgreeableJobSet set(
+      make_jobs(static_cast<std::size_t>(state.range(0)), false));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qe_opt_schedule(set, 2.0));
+  }
+}
+BENCHMARK(BM_QeOpt)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_OnlineQe(benchmark::State& state) {
+  // The per-core, per-trigger call inside DES.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(5);
+  std::vector<ReadyJob> ready;
+  for (std::size_t k = 0; k < n; ++k) {
+    ready.push_back({.id = k + 1,
+                     .deadline = 10.0 + rng.uniform(0.0, 140.0),
+                     .demand = rng.uniform(130.0, 1000.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(online_qe(0.0, ready, 2.0));
+  }
+}
+BENCHMARK(BM_OnlineQe)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_VolumeWaterfill(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(3);
+  std::vector<Work> caps;
+  Work total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    caps.push_back(rng.uniform(10.0, 1000.0));
+    total += caps.back();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(waterfill_volumes(caps, total * 0.6));
+  }
+}
+BENCHMARK(BM_VolumeWaterfill)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_PowerWaterfill(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(3);
+  std::vector<Watts> req;
+  for (std::size_t k = 0; k < m; ++k) req.push_back(rng.uniform(0.0, 60.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(waterfill_power(req, 320.0));
+  }
+}
+BENCHMARK(BM_PowerWaterfill)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_FullSimulationSecond(benchmark::State& state) {
+  // Wall time to simulate one second of server operation under DES at
+  // the given arrival rate.
+  const double rate = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    WorkloadConfig wl;
+    wl.arrival_rate = rate;
+    wl.horizon_ms = 1000.0;
+    EngineConfig cfg;
+    benchmark::DoNotOptimize(
+        run_once(cfg, wl, [] { return make_des_policy(); }));
+  }
+}
+BENCHMARK(BM_FullSimulationSecond)->Arg(100)->Arg(200)->Arg(260);
+
+}  // namespace
+
+BENCHMARK_MAIN();

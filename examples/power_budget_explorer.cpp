@@ -1,0 +1,58 @@
+// Power-budget explorer: the quality/energy frontier of a provisioning
+// decision.
+//
+//   $ ./examples/power_budget_explorer [arrival_rate] [sim_seconds]
+//
+// For a fixed traffic level, sweeps the rack power budget and reports
+// quality, energy, and energy per unit of quality — the curve an
+// operator reads to pick the cheapest budget meeting their SLO (§V-F,
+// Fig. 8, as a decision tool).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "multicore/des_scheduler.hpp"
+#include "report/table.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qes;
+
+  const double rate = argc > 1 ? std::atof(argv[1]) : 200.0;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 120.0;
+
+  WorkloadConfig wl;
+  wl.arrival_rate = rate;
+  wl.horizon_ms = seconds * 1000.0;
+
+  std::printf("arrival rate %.0f req/s on 16 cores; sweeping the power "
+              "budget\n\n", rate);
+
+  Table t({"budget_W", "quality", "dyn_energy_J", "avg_power_W",
+           "J per quality-point"});
+  double prev_q = 0.0;
+  double knee = 0.0;
+  for (double H : {80.0, 120.0, 160.0, 240.0, 320.0, 480.0, 640.0}) {
+    EngineConfig cfg;
+    cfg.power_budget = H;
+    const RunStats s =
+        run_averaged(cfg, wl, [] { return make_des_policy(); }, 2);
+    const double avg_power = s.dynamic_energy / (s.end_time / 1000.0);
+    t.add_row({fmt(H, 0), fmt(s.normalized_quality, 4),
+               fmt_sci(s.dynamic_energy), fmt(avg_power, 1),
+               fmt(s.dynamic_energy / std::max(s.total_quality, 1e-9), 3)});
+    if (knee == 0.0 && s.normalized_quality - prev_q < 0.005 && prev_q > 0.0) {
+      knee = H;
+    }
+    prev_q = s.normalized_quality;
+  }
+  t.print(std::cout);
+  if (knee > 0.0) {
+    std::printf("\ndiminishing returns set in around H = %.0f W: beyond it, "
+                "extra budget buys <0.5%% quality.\n", knee);
+  } else {
+    std::printf("\nquality still climbing at 640 W: this load is "
+                "power-starved across the whole sweep.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+# gnuplot script for Figure 3 (quality & energy vs arrival rate per
+# architecture). Run scripts/run_figures.sh first.
+#   gnuplot -p scripts/plots/fig03_architectures.gp
+set datafile separator ','
+file = 'results/fig03_architectures.csv'
+set key autotitle columnhead left bottom
+set xlabel 'Arrival rate (req/s)'
+
+set terminal pngcairo size 1100,450
+set output 'results/fig03.png'
+set multiplot layout 1,2
+set ylabel 'Normalized quality'
+plot file using 1:2 with linespoints, \
+     file using 1:3 with linespoints, \
+     file using 1:4 with linespoints
+set ylabel 'Dynamic energy (J)'
+plot file using 1:5 with linespoints, \
+     file using 1:6 with linespoints, \
+     file using 1:7 with linespoints
+unset multiplot

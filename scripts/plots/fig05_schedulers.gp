@@ -1,0 +1,15 @@
+# gnuplot script for Figure 5 (DES vs FCFS/LJF/SJF).
+#   gnuplot -p scripts/plots/fig05_schedulers.gp
+set datafile separator ','
+file = 'results/fig05_schedulers_static.csv'
+set key autotitle columnhead left bottom
+set xlabel 'Arrival rate (req/s)'
+
+set terminal pngcairo size 1100,450
+set output 'results/fig05.png'
+set multiplot layout 1,2
+set ylabel 'Normalized quality'
+plot for [c=2:5] file using 1:c with linespoints
+set ylabel 'Dynamic energy (J)'
+plot for [c=6:9] file using 1:c with linespoints
+unset multiplot

@@ -1,0 +1,17 @@
+# gnuplot script for Figure 10 (continuous vs discrete speed scaling).
+#   gnuplot -p scripts/plots/fig10_discrete.gp
+set datafile separator ','
+file = 'results/fig10_discrete_speed.csv'
+set key autotitle columnhead left bottom
+set xlabel 'Arrival rate (req/s)'
+
+set terminal pngcairo size 1100,450
+set output 'results/fig10.png'
+set multiplot layout 1,2
+set ylabel 'Normalized quality'
+plot file using 1:2 with linespoints, \
+     file using 1:3 with linespoints
+set ylabel 'Dynamic energy (J)'
+plot file using 1:5 with linespoints, \
+     file using 1:6 with linespoints
+unset multiplot

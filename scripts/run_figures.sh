@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table as CSV under results/.
+#
+#   scripts/run_figures.sh [SIM_SECONDS] [SEEDS]
+#
+# Defaults: 600 simulated seconds, 3 seeds (the paper used 1800 s).
+# Plot with gnuplot: scripts/plots/*.gp read the CSVs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECS="${1:-600}"
+SEEDS="${2:-3}"
+BUILD="${BUILD_DIR:-build}"
+OUT=results
+mkdir -p "$OUT"
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "build first: cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+for b in "$BUILD"/bench/*; do
+  name="$(basename "$b")"
+  case "$name" in
+    micro_algorithms) continue ;;  # google-benchmark output, not a figure
+  esac
+  echo "== $name (QES_SIM_SECONDS=$SECS QES_SEEDS=$SEEDS)"
+  QES_CSV=1 QES_SIM_SECONDS="$SECS" QES_SEEDS="$SEEDS" "$b" \
+    > "$OUT/$name.raw"
+  # Keep only the CSV block: lines whose comma-count equals the dominant
+  # count (prose and notes have fewer fields).
+  awk -F',' 'NF>2 {c[NF]++} END {m=0; for (k in c) if (c[k]>m) {m=c[k]; best=k}; print best}' \
+    "$OUT/$name.raw" > "$OUT/.nf"
+  NF_BEST=$(cat "$OUT/.nf")
+  if [ -n "$NF_BEST" ] && [ "$NF_BEST" != "" ]; then
+    awk -F',' -v want="$NF_BEST" 'NF==want' "$OUT/$name.raw" > "$OUT/$name.csv"
+  else
+    cp "$OUT/$name.raw" "$OUT/$name.csv"
+  fi
+  rm -f "$OUT/.nf"
+done
+echo "CSVs in $OUT/; see scripts/plots/*.gp"

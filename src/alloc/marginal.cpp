@@ -1,0 +1,128 @@
+#include "alloc/marginal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace qes {
+
+namespace {
+
+// Central-difference derivative, shrinking the step near the domain
+// boundaries [0, cap].
+double derivative(const std::function<double(Work)>& f, Work x, Work cap) {
+  const double h = std::max(1e-4, cap * 1e-6);
+  const double lo = std::max(0.0, x - h);
+  const double hi = std::min(cap, x + h);
+  QES_ASSERT(hi > lo);
+  return (f(hi) - f(lo)) / (hi - lo);
+}
+
+// Largest p in [0, cap] with f'(p) >= lambda; 0 if even f'(0) < lambda.
+// f concave => f' non-increasing => bisection applies.
+Work inverse_marginal(const std::function<double(Work)>& f, Work cap,
+                      double lambda) {
+  if (derivative(f, 0.0, cap) < lambda) return 0.0;
+  if (derivative(f, cap, cap) >= lambda) return cap;
+  Work lo = 0.0, hi = cap;
+  for (int it = 0; it < 60; ++it) {
+    const Work mid = (lo + hi) / 2.0;
+    if (derivative(f, mid, cap) >= lambda) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+MarginalAllocResult marginal_allocate(
+    std::span<const Work> caps,
+    std::span<const std::function<double(Work)>> fs, Work capacity,
+    std::span<const Work> baselines) {
+  QES_ASSERT(caps.size() == fs.size());
+  QES_ASSERT(baselines.empty() || baselines.size() == caps.size());
+  const std::size_t n = caps.size();
+  MarginalAllocResult out;
+  out.alloc.assign(n, 0.0);
+  if (n == 0 || capacity <= 0.0) return out;
+
+  auto base = [&](std::size_t i) {
+    return baselines.empty() ? 0.0 : baselines[i];
+  };
+  Work total_remaining = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    QES_ASSERT(caps[i] >= 0.0 && base(i) >= 0.0 &&
+               base(i) <= caps[i] + kTimeEps);
+    total_remaining += std::max(0.0, caps[i] - base(i));
+  }
+  if (capacity + kTimeEps >= total_remaining) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out.alloc[i] = std::max(0.0, caps[i] - base(i));
+    }
+    out.used = total_remaining;
+    out.lambda = 0.0;
+    return out;
+  }
+
+  // Incremental allocation at level lambda: target total volume is
+  // (f_i')^{-1}(lambda), minus what the item already holds.
+  auto alloc_at = [&](std::size_t i, double lambda) {
+    const Work target = inverse_marginal(fs[i], caps[i], lambda);
+    return std::clamp(target - base(i), 0.0, caps[i] - base(i));
+  };
+  // Bisection on lambda: allocation volume is non-increasing in lambda.
+  auto volume_at = [&](double lambda) {
+    Work v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) v += alloc_at(i, lambda);
+    return v;
+  };
+  double lambda_lo = 0.0;  // full caps => too much volume
+  double lambda_hi = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    lambda_hi = std::max(lambda_hi, derivative(fs[i], 0.0, caps[i]));
+  }
+  lambda_hi *= 1.0 + 1e-9;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = (lambda_lo + lambda_hi) / 2.0;
+    if (volume_at(mid) > capacity) {
+      lambda_lo = mid;
+    } else {
+      lambda_hi = mid;
+    }
+  }
+  out.lambda = (lambda_lo + lambda_hi) / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.alloc[i] = alloc_at(i, out.lambda);
+    out.used += out.alloc[i];
+  }
+  // Flat marginals can leave slack at the bisected lambda; spend it
+  // greedily on unsaturated items (harmless for correctness: quality is
+  // non-decreasing in volume).
+  Work slack = capacity - out.used;
+  for (std::size_t i = 0; i < n && slack > kTimeEps; ++i) {
+    const Work add =
+        std::min(slack, caps[i] - base(i) - out.alloc[i]);
+    if (add <= 0.0) continue;
+    out.alloc[i] += add;
+    out.used += add;
+    slack -= add;
+  }
+  return out;
+}
+
+MarginalAllocResult marginal_allocate(std::span<const Work> caps,
+                                      std::span<const QualityFunction> fs,
+                                      Work capacity) {
+  std::vector<std::function<double(Work)>> wrapped;
+  wrapped.reserve(fs.size());
+  for (const QualityFunction& f : fs) {
+    wrapped.emplace_back([&f](Work x) { return f(x); });
+  }
+  return marginal_allocate(caps, wrapped, capacity);
+}
+
+}  // namespace qes

@@ -1,0 +1,45 @@
+// Marginal-equalizing allocation for HETEROGENEOUS concave quality
+// functions (extension; the paper assumes one shared f, §II-A).
+//
+// Maximize sum_j f_j(p_j) s.t. sum_j p_j <= C, 0 <= p_j <= w_j, with each
+// f_j concave and increasing. KKT: there is a level lambda >= 0 with
+//   p_j = clamp( (f_j')^{-1}(lambda), 0, w_j ),
+// found here by bisection on lambda (marginals are evaluated by central
+// finite differences, so any smooth f works, including the measured
+// curves from the search substrate). With identical f_j this reduces to
+// the volume water-filling of alloc/waterfill.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/quality.hpp"
+#include "core/time.hpp"
+
+namespace qes {
+
+struct MarginalAllocResult {
+  std::vector<Work> alloc;
+  /// The common marginal value lambda at the optimum (0 when capacity
+  /// satisfies everyone).
+  double lambda = 0.0;
+  Work used = 0.0;
+};
+
+/// Allocates `capacity` across items with caps `caps` and per-item
+/// quality functions `fs` (fs.size() == caps.size()). `fs` entries are
+/// plain value->quality callables. Optional `baselines` hold volume each
+/// item already received: the optimum then maximizes
+/// sum f_j(b_j + x_j) over the NEW volume x_j (returned in alloc).
+[[nodiscard]] MarginalAllocResult marginal_allocate(
+    std::span<const Work> caps,
+    std::span<const std::function<double(Work)>> fs, Work capacity,
+    std::span<const Work> baselines = {});
+
+/// Convenience overload for QualityFunction objects.
+[[nodiscard]] MarginalAllocResult marginal_allocate(
+    std::span<const Work> caps, std::span<const QualityFunction> fs,
+    Work capacity);
+
+}  // namespace qes

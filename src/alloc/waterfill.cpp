@@ -1,0 +1,113 @@
+#include "alloc/waterfill.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/assert.hpp"
+
+namespace qes {
+
+namespace {
+
+Work clamp_alloc(double level, Work baseline, Work cap) {
+  return std::clamp(level - baseline, 0.0, cap - baseline);
+}
+
+}  // namespace
+
+WaterfillResult waterfill_volumes(std::span<const Work> caps,
+                                  std::span<const Work> baselines,
+                                  Work capacity) {
+  QES_ASSERT(caps.size() == baselines.size());
+  const std::size_t n = caps.size();
+  WaterfillResult r;
+  r.alloc.assign(n, 0.0);
+
+  Work remaining_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    QES_ASSERT_MSG(baselines[i] >= -kTimeEps &&
+                       baselines[i] <= caps[i] + kTimeEps,
+                   "baseline must lie in [0, cap]");
+    remaining_total += std::max(0.0, caps[i] - baselines[i]);
+  }
+
+  if (capacity + kTimeEps >= remaining_total) {
+    for (std::size_t i = 0; i < n; ++i) {
+      r.alloc[i] = std::max(0.0, caps[i] - baselines[i]);
+    }
+    r.level = std::numeric_limits<double>::infinity();
+    r.all_satisfied = true;
+    r.used = remaining_total;
+    return r;
+  }
+  if (capacity <= 0.0 || n == 0) {
+    double min_base = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (caps[i] > baselines[i] + kTimeEps) {
+        min_base = std::min(min_base, static_cast<double>(baselines[i]));
+      }
+    }
+    r.level = std::isfinite(min_base) ? min_base : 0.0;
+    return r;
+  }
+
+  // Sweep the water level across the breakpoints {b_i} (item becomes
+  // active) and {w_i} (item saturates); between breakpoints the fill rate
+  // is the number of active items.
+  struct Event {
+    double value;
+    int delta;  // +1 item starts filling, -1 item saturates
+  };
+  std::vector<Event> events;
+  events.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (caps[i] > baselines[i] + kTimeEps) {
+      events.push_back({static_cast<double>(baselines[i]), +1});
+      events.push_back({static_cast<double>(caps[i]), -1});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.delta > b.delta;  // starts before ends at the same level
+  });
+
+  double level = events.front().value;
+  Work poured = 0.0;
+  int active = 0;
+  std::size_t k = 0;
+  while (k < events.size()) {
+    // Apply all events at the current level.
+    while (k < events.size() && events[k].value <= level + kTimeEps) {
+      active += events[k].delta;
+      ++k;
+    }
+    if (k == events.size()) break;
+    const double next = events[k].value;
+    if (active > 0) {
+      const Work span_volume = active * (next - level);
+      if (poured + span_volume >= capacity - kTimeEps) {
+        level += (capacity - poured) / active;
+        poured = capacity;
+        break;
+      }
+      poured += span_volume;
+    }
+    level = next;
+  }
+  QES_ASSERT_MSG(poured <= capacity + kTimeEps,
+                 "water-fill must not exceed capacity");
+
+  r.level = level;
+  for (std::size_t i = 0; i < n; ++i) {
+    r.alloc[i] = clamp_alloc(level, baselines[i], caps[i]);
+    r.used += r.alloc[i];
+  }
+  return r;
+}
+
+WaterfillResult waterfill_volumes(std::span<const Work> caps, Work capacity) {
+  const std::vector<Work> zeros(caps.size(), 0.0);
+  return waterfill_volumes(caps, zeros, capacity);
+}
+
+}  // namespace qes

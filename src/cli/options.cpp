@@ -1,0 +1,271 @@
+#include "cli/options.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "multicore/baseline_scheduler.hpp"
+
+namespace qes::cli {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument(msg);
+}
+
+double to_double(const std::string& flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double x = std::stod(v, &pos);
+    if (pos != v.size()) fail(flag + ": trailing junk in '" + v + "'");
+    return x;
+  } catch (const std::invalid_argument&) {
+    fail(flag + ": expected a number, got '" + v + "'");
+  } catch (const std::out_of_range&) {
+    fail(flag + ": out of range: '" + v + "'");
+  }
+}
+
+int to_int(const std::string& flag, const std::string& v) {
+  const double x = to_double(flag, v);
+  const int i = static_cast<int>(x);
+  if (static_cast<double>(i) != x) fail(flag + ": expected an integer");
+  return i;
+}
+
+}  // namespace
+
+Options parse_options(const std::vector<std::string>& args) {
+  Options opt;
+  auto need_value = [&](std::size_t& i, const std::string& flag) {
+    if (i + 1 >= args.size()) fail(flag + ": missing value");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      opt.help = true;
+    } else if (a == "--policy") {
+      const std::string v = need_value(i, a);
+      if (v == "des") opt.policy = PolicyKind::DES;
+      else if (v == "fcfs") opt.policy = PolicyKind::FCFS;
+      else if (v == "ljf") opt.policy = PolicyKind::LJF;
+      else if (v == "sjf") opt.policy = PolicyKind::SJF;
+      else fail("--policy: unknown policy '" + v + "'");
+    } else if (a == "--arch") {
+      const std::string v = need_value(i, a);
+      if (v == "cdvfs") opt.arch = Architecture::CDVFS;
+      else if (v == "sdvfs") opt.arch = Architecture::SDVFS;
+      else if (v == "nodvfs") opt.arch = Architecture::NoDVFS;
+      else fail("--arch: unknown architecture '" + v + "'");
+    } else if (a == "--wf") {
+      opt.baseline_power = PowerDistribution::WaterFilling;
+    } else if (a == "--static") {
+      opt.baseline_power = PowerDistribution::StaticEqual;
+      opt.static_power = true;
+    } else if (a == "--cores") {
+      opt.engine.cores = to_int(a, need_value(i, a));
+      if (opt.engine.cores <= 0) fail("--cores: must be positive");
+    } else if (a == "--budget") {
+      opt.engine.power_budget = to_double(a, need_value(i, a));
+      if (opt.engine.power_budget <= 0.0) fail("--budget: must be positive");
+    } else if (a == "--quantum") {
+      opt.engine.quantum_ms = to_double(a, need_value(i, a));
+    } else if (a == "--counter") {
+      opt.engine.counter_trigger = to_int(a, need_value(i, a));
+    } else if (a == "--rate") {
+      opt.workload.arrival_rate = to_double(a, need_value(i, a));
+      if (opt.workload.arrival_rate <= 0.0) fail("--rate: must be positive");
+    } else if (a == "--seconds") {
+      const double s = to_double(a, need_value(i, a));
+      if (s <= 0.0) fail("--seconds: must be positive");
+      opt.workload.horizon_ms = s * 1000.0;
+    } else if (a == "--deadline") {
+      opt.workload.deadline_ms = to_double(a, need_value(i, a));
+      if (opt.workload.deadline_ms <= 0.0) fail("--deadline: must be positive");
+    } else if (a == "--partial") {
+      opt.workload.partial_fraction = to_double(a, need_value(i, a));
+      if (opt.workload.partial_fraction < 0.0 ||
+          opt.workload.partial_fraction > 1.0) {
+        fail("--partial: must be in [0, 1]");
+      }
+    } else if (a == "--seed") {
+      opt.workload.seed = static_cast<std::uint64_t>(
+          to_int(a, need_value(i, a)));
+    } else if (a == "--seeds") {
+      opt.seeds = to_int(a, need_value(i, a));
+      if (opt.seeds <= 0) fail("--seeds: must be positive");
+    } else if (a == "--c") {
+      opt.quality_c = to_double(a, need_value(i, a));
+      if (opt.quality_c <= 0.0) fail("--c: must be positive");
+    } else if (a == "--discrete") {
+      opt.discrete = true;
+    } else if (a == "--eager") {
+      opt.eager = true;
+    } else if (a == "--resume") {
+      opt.resume = true;
+    } else if (a == "--rebalance") {
+      opt.rebalance = true;
+    } else if (a == "--rr") {
+      opt.plain_rr = true;
+    } else if (a == "--weighted") {
+      opt.weighted = true;
+    } else if (a == "--premium") {
+      opt.workload.premium_fraction = to_double(a, need_value(i, a));
+      if (opt.workload.premium_fraction < 0.0 ||
+          opt.workload.premium_fraction > 1.0) {
+        fail("--premium: must be in [0, 1]");
+      }
+    } else if (a == "--little") {
+      opt.little_cores = to_int(a, need_value(i, a));
+      if (opt.little_cores < 0) fail("--little: must be >= 0");
+    } else if (a == "--little-cap") {
+      opt.little_cap = to_double(a, need_value(i, a));
+      if (opt.little_cap <= 0.0) fail("--little-cap: must be positive");
+    } else if (a == "--premium-weight") {
+      opt.workload.premium_weight = to_double(a, need_value(i, a));
+      if (opt.workload.premium_weight <= 0.0) {
+        fail("--premium-weight: must be positive");
+      }
+    } else if (a == "--sweep") {
+      const std::string v = need_value(i, a);
+      double lo = 0.0, hi = 0.0, step = 0.0;
+      char c1 = 0, c2 = 0;
+      std::istringstream ss(v);
+      if (!(ss >> lo >> c1 >> hi >> c2 >> step) || c1 != ':' || c2 != ':' ||
+          step <= 0.0 || hi < lo) {
+        fail("--sweep: expected LO:HI:STEP with STEP>0, got '" + v + "'");
+      }
+      for (double r = lo; r <= hi + 1e-9; r += step) {
+        opt.sweep_rates.push_back(r);
+      }
+    } else if (a == "--trace-in") {
+      opt.trace_in = need_value(i, a);
+    } else if (a == "--trace-out") {
+      opt.trace_out = need_value(i, a);
+    } else if (a == "--json") {
+      opt.json = true;
+    } else {
+      fail("unknown flag '" + a + "' (see --help)");
+    }
+  }
+  if (opt.policy != PolicyKind::DES &&
+      (opt.discrete || opt.eager || opt.resume || opt.rebalance ||
+       opt.plain_rr || opt.weighted || opt.arch != Architecture::CDVFS)) {
+    fail("DES-only flags used with a baseline policy");
+  }
+  if (opt.weighted && (opt.discrete || opt.arch != Architecture::CDVFS)) {
+    fail("--weighted requires continuous C-DVFS");
+  }
+  if (opt.little_cores > opt.engine.cores) {
+    fail("--little: more little cores than cores");
+  }
+  return opt;
+}
+
+std::string usage() {
+  return R"(qes_sim - web-search scheduling simulator (IPDPS'13 reproduction)
+
+usage: qes_sim [options]
+
+scheduling:
+  --policy des|fcfs|ljf|sjf   scheduler (default des)
+  --arch cdvfs|sdvfs|nodvfs   DVFS architecture for DES (default cdvfs)
+  --wf                        water-filling power for baselines
+  --static                    static equal power (DES ablation / baselines)
+  --discrete                  Opteron {0.8,1.3,1.8,2.5} GHz speed levels
+  --eager --resume --rebalance --rr    DES extensions/ablations
+  --weighted                  weighted quality planning (uses job weights)
+
+server (defaults = paper Sec V-B):
+  --cores N       (16)        --budget W    (320)
+  --quantum MS    (500)       --counter N   (8)
+  --c VALUE       (0.003)     quality-function concavity
+
+workload:
+  --rate R        (150)       requests/second
+  --seconds S     (60)        simulated duration
+  --deadline MS   (150)       relative deadline
+  --partial F     (1.0)       fraction supporting partial evaluation
+  --premium F     (0.0)       fraction of premium (weighted) jobs
+  --premium-weight W (4.0)    weight carried by premium jobs
+  --little N      (0)         big.LITTLE: N cores capped at --little-cap
+  --little-cap G  (1.0)       speed cap of the little cores (GHz)
+  --seed N        (1)         workload seed
+  --trace-in FILE             replay a CSV job trace instead
+  --trace-out FILE            save the generated trace
+
+experiment:
+  --sweep LO:HI:STEP          sweep arrival rates instead of one run
+  --seeds N       (1)         replicates averaged per point
+  --json                      machine-readable output
+)";
+}
+
+EngineConfig make_engine_config(const Options& opt) {
+  EngineConfig cfg = opt.engine;
+  cfg.quality = QualityFunction::exponential(opt.quality_c);
+  if (opt.little_cores > 0) {
+    const Speed big_cap = opt.discrete
+                              ? DiscreteSpeedSet::opteron2380().max_speed()
+                              : cfg.max_core_speed;
+    cfg.per_core_max_speed.assign(
+        static_cast<std::size_t>(cfg.cores - opt.little_cores), big_cap);
+    cfg.per_core_max_speed.insert(
+        cfg.per_core_max_speed.end(),
+        static_cast<std::size_t>(opt.little_cores), opt.little_cap);
+  }
+  cfg.resume_passed_jobs = opt.resume;
+  cfg.record_execution = false;
+  if (opt.discrete) {
+    cfg.max_core_speed = DiscreteSpeedSet::opteron2380().max_speed();
+  }
+  if (opt.policy != PolicyKind::DES) {
+    cfg = baseline_engine_config(cfg);
+  }
+  return cfg;
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(const Options& opt) {
+  if (opt.policy == PolicyKind::DES) {
+    DesOptions d;
+    d.arch = opt.arch;
+    if (opt.discrete) d.speed_levels = DiscreteSpeedSet::opteron2380();
+    d.plain_round_robin = opt.plain_rr;
+    d.static_power = opt.static_power;
+    d.eager_execution = opt.eager;
+    d.rebalance_unstarted = opt.rebalance;
+    d.weighted = opt.weighted;
+    return make_des_policy(d);
+  }
+  BaselineOptions b;
+  b.order = opt.policy == PolicyKind::FCFS  ? BaselineOrder::FCFS
+            : opt.policy == PolicyKind::LJF ? BaselineOrder::LJF
+                                            : BaselineOrder::SJF;
+  b.power = opt.baseline_power;
+  return make_baseline_policy(b);
+}
+
+std::string policy_label(const Options& opt) {
+  if (opt.policy == PolicyKind::DES) {
+    std::string s = "DES[";
+    s += to_string(opt.arch);
+    if (opt.discrete) s += ",discrete";
+    if (opt.static_power) s += ",static";
+    if (opt.eager) s += ",eager";
+    if (opt.resume) s += ",resume";
+    if (opt.rebalance) s += ",rebalance";
+    if (opt.weighted) s += ",weighted";
+    if (opt.plain_rr) s += ",RR";
+    s += "]";
+    return s;
+  }
+  std::string s = opt.policy == PolicyKind::FCFS  ? "FCFS"
+                  : opt.policy == PolicyKind::LJF ? "LJF"
+                                                  : "SJF";
+  if (opt.baseline_power == PowerDistribution::WaterFilling) s += "+WF";
+  return s;
+}
+
+}  // namespace qes::cli

@@ -1,0 +1,69 @@
+// Command-line front end for the simulator (used by tools/qes_sim).
+//
+// Parsing lives in the library so it is unit-testable; the binary is a
+// thin main(). Unknown flags raise std::invalid_argument with a message
+// naming the flag.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "multicore/architecture.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace qes::cli {
+
+enum class PolicyKind { DES, FCFS, LJF, SJF };
+
+struct Options {
+  PolicyKind policy = PolicyKind::DES;
+  Architecture arch = Architecture::CDVFS;
+  PowerDistribution baseline_power = PowerDistribution::StaticEqual;
+  bool discrete = false;
+  bool eager = false;
+  bool resume = false;
+  bool rebalance = false;
+  bool plain_rr = false;
+  bool static_power = false;
+  bool weighted = false;
+  /// big.LITTLE: this many of the cores are capped at little_cap GHz.
+  int little_cores = 0;
+  double little_cap = 1.0;
+
+  EngineConfig engine;
+  WorkloadConfig workload{.arrival_rate = 150.0, .horizon_ms = 60'000.0};
+  double quality_c = 0.003;
+
+  /// Rate sweep lo:hi:step; empty = single run at workload.arrival_rate.
+  std::vector<double> sweep_rates;
+  int seeds = 1;
+
+  /// Load jobs from a CSV trace instead of generating them.
+  std::optional<std::string> trace_in;
+  /// Save the generated workload to a CSV trace.
+  std::optional<std::string> trace_out;
+
+  bool json = false;
+  bool help = false;
+};
+
+/// Parses argv (argv[0] ignored). Throws std::invalid_argument on
+/// malformed input.
+[[nodiscard]] Options parse_options(const std::vector<std::string>& args);
+
+/// The --help text.
+[[nodiscard]] std::string usage();
+
+/// Builds the engine config (applying quality_c, discrete cap, etc.) and
+/// a policy factory from parsed options.
+[[nodiscard]] EngineConfig make_engine_config(const Options& opt);
+[[nodiscard]] std::unique_ptr<SchedulingPolicy> make_policy(
+    const Options& opt);
+
+/// Human-readable policy label ("DES[C-DVFS]", "FCFS+WF", ...).
+[[nodiscard]] std::string policy_label(const Options& opt);
+
+}  // namespace qes::cli

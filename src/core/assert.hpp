@@ -1,0 +1,28 @@
+// Lightweight always-on invariant checking.
+//
+// Simulation correctness bugs (overlapping segments, budget violations)
+// silently corrupt results, so invariants stay enabled in release builds.
+// The cost is negligible next to the scheduling math.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qes::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "qesched invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace qes::detail
+
+#define QES_ASSERT(expr)                                              \
+  ((expr) ? (void)0                                                   \
+          : ::qes::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define QES_ASSERT_MSG(expr, msg)                                     \
+  ((expr) ? (void)0                                                   \
+          : ::qes::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

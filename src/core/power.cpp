@@ -1,0 +1,46 @@
+#include "core/power.hpp"
+
+namespace qes {
+
+DiscreteSpeedSet::DiscreteSpeedSet(std::vector<Speed> levels)
+    : levels_(std::move(levels)) {
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+  for (Speed s : levels_) {
+    QES_ASSERT_MSG(s > 0.0, "discrete speed levels must be positive");
+  }
+}
+
+DiscreteSpeedSet DiscreteSpeedSet::opteron2380() {
+  return DiscreteSpeedSet({0.8, 1.3, 1.8, 2.5});
+}
+
+std::optional<Speed> DiscreteSpeedSet::snap_up(Speed s) const {
+  QES_ASSERT(!levels_.empty());
+  auto it = std::lower_bound(levels_.begin(), levels_.end(), s - kTimeEps);
+  if (it == levels_.end()) return std::nullopt;
+  return *it;
+}
+
+std::optional<Speed> DiscreteSpeedSet::snap_down(Speed s) const {
+  QES_ASSERT(!levels_.empty());
+  auto it = std::upper_bound(levels_.begin(), levels_.end(), s + kTimeEps);
+  if (it == levels_.begin()) return std::nullopt;
+  return *(it - 1);
+}
+
+std::optional<Speed> DiscreteSpeedSet::rectify(Speed s, Watts p_cap,
+                                               const PowerModel& pm) const {
+  if (s <= 0.0) return std::nullopt;  // idle stays idle
+  std::optional<Speed> up = snap_up(s);
+  if (up && pm.dynamic_power(*up) <= p_cap + kTimeEps) return up;
+  // Walk down from the level below `s` until one fits the budget.
+  auto it = std::upper_bound(levels_.begin(), levels_.end(), s + kTimeEps);
+  while (it != levels_.begin()) {
+    --it;
+    if (pm.dynamic_power(*it) <= p_cap + kTimeEps) return *it;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qes

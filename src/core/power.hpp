@@ -1,0 +1,89 @@
+// Power models and discrete speed scaling (paper §II-B, §V-F, §V-G).
+//
+// Dynamic power of a core at speed s is P_dyn(s) = a * s^beta with a > 0,
+// beta > 1 (convex); static power is a constant b (zero in the simulation
+// setup, non-zero for the Opteron validation model). The inverse map
+// speed_for_power is used everywhere a power budget caps a core's speed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "core/time.hpp"
+
+namespace qes {
+
+struct PowerModel {
+  double a = 5.0;     ///< dynamic scaling factor (paper default)
+  double beta = 2.0;  ///< power exponent (paper default)
+  Watts b = 0.0;      ///< static power per core (0 in §V-B..F)
+
+  /// Dynamic power at speed `s` (GHz).
+  [[nodiscard]] Watts dynamic_power(Speed s) const {
+    QES_ASSERT(s >= 0.0);
+    return a * std::pow(s, beta);
+  }
+
+  /// Total power (dynamic + static) at speed `s`.
+  [[nodiscard]] Watts total_power(Speed s) const {
+    return dynamic_power(s) + b;
+  }
+
+  /// Largest speed whose *dynamic* power fits within `p_dyn` watts.
+  [[nodiscard]] Speed speed_for_power(Watts p_dyn) const {
+    if (p_dyn <= 0.0) return 0.0;
+    return std::pow(p_dyn / a, 1.0 / beta);
+  }
+
+  /// Dynamic energy of running at speed `s` for `duration_ms`.
+  [[nodiscard]] Joules dynamic_energy(Speed s, Time duration_ms) const {
+    return joules(dynamic_power(s), duration_ms);
+  }
+};
+
+/// The default simulated server of §V-B: a=5, beta=2, no static power.
+[[nodiscard]] inline PowerModel default_power_model() { return {}; }
+
+/// An ordered set of supported discrete speeds (paper §V-F / §V-G).
+class DiscreteSpeedSet {
+ public:
+  DiscreteSpeedSet() = default;
+  explicit DiscreteSpeedSet(std::vector<Speed> levels);
+
+  /// The AMD Opteron 2380 levels used in the paper's validation (§V-G).
+  [[nodiscard]] static DiscreteSpeedSet opteron2380();
+
+  [[nodiscard]] bool empty() const { return levels_.empty(); }
+  [[nodiscard]] std::size_t size() const { return levels_.size(); }
+  [[nodiscard]] const std::vector<Speed>& levels() const { return levels_; }
+  [[nodiscard]] Speed max_speed() const {
+    QES_ASSERT(!levels_.empty());
+    return levels_.back();
+  }
+  [[nodiscard]] Speed min_speed() const {
+    QES_ASSERT(!levels_.empty());
+    return levels_.front();
+  }
+
+  /// Smallest level >= s, or nullopt if s exceeds the top level.
+  [[nodiscard]] std::optional<Speed> snap_up(Speed s) const;
+
+  /// Largest level <= s, or nullopt if s is below the bottom level.
+  /// (A core may always run at speed 0, i.e. stay idle; callers handle
+  /// the nullopt case as "idle".)
+  [[nodiscard]] std::optional<Speed> snap_down(Speed s) const;
+
+  /// The paper's §V-F rectification: the discrete value closest to but
+  /// not less than `s`, unless the power budget `p_cap` cannot support it,
+  /// in which case the next lower level (possibly 0 => nullopt).
+  [[nodiscard]] std::optional<Speed> rectify(Speed s, Watts p_cap,
+                                             const PowerModel& pm) const;
+
+ private:
+  std::vector<Speed> levels_;  // ascending, unique, positive
+};
+
+}  // namespace qes

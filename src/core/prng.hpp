@@ -1,0 +1,99 @@
+// Deterministic, seedable PRNG and explicit distributions.
+//
+// std::mt19937 + standard-library distributions are not bit-reproducible
+// across standard libraries; experiments must replay identically anywhere,
+// so we ship xoshiro256** (seeded via SplitMix64) and hand-rolled
+// inverse-transform samplers.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/assert.hpp"
+
+namespace qes {
+
+/// SplitMix64 — used only to expand a seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain reference algorithm.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; safe as input to log().
+  double next_open_double() { return 1.0 - next_double(); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    QES_ASSERT(hi >= lo);
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) {
+    QES_ASSERT(n > 0);
+    return next_u64() % n;  // modulo bias negligible for n << 2^64
+  }
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Exponential with rate `lambda` (mean 1/lambda) via inverse transform.
+  double exponential(double lambda) {
+    QES_ASSERT(lambda > 0.0);
+    return -std::log(next_open_double()) / lambda;
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple > fast
+  /// here — only the validation noise model uses it).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    const double u1 = next_open_double();
+    const double u2 = next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * 3.14159265358979323846 * u2);
+    return mean + stddev * z;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace qes

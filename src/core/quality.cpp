@@ -1,0 +1,68 @@
+#include "core/quality.hpp"
+
+#include <cmath>
+
+namespace qes {
+
+QualityFunction QualityFunction::exponential(double c) {
+  QES_ASSERT(c > 0.0);
+  const double norm = 1.0 - std::exp(-1000.0 * c);
+  return QualityFunction(
+      "exp(c=" + std::to_string(c) + ")",
+      [c, norm](Work x) { return (1.0 - std::exp(-c * x)) / norm; },
+      /*strictly_concave=*/true);
+}
+
+QualityFunction QualityFunction::linear(double x_norm) {
+  QES_ASSERT(x_norm > 0.0);
+  return QualityFunction(
+      "linear", [x_norm](Work x) { return x / x_norm; },
+      /*strictly_concave=*/false);
+}
+
+QualityFunction QualityFunction::sqrt(double x_norm) {
+  QES_ASSERT(x_norm > 0.0);
+  return QualityFunction(
+      "sqrt", [x_norm](Work x) { return std::sqrt(x / x_norm); },
+      /*strictly_concave=*/true);
+}
+
+QualityFunction QualityFunction::log1p(double k, double x_norm) {
+  QES_ASSERT(k > 0.0 && x_norm > 0.0);
+  const double norm = std::log1p(k * x_norm);
+  return QualityFunction(
+      "log1p", [k, norm](Work x) { return std::log1p(k * x) / norm; },
+      /*strictly_concave=*/true);
+}
+
+QualityFunction QualityFunction::step(double threshold) {
+  QES_ASSERT(threshold > 0.0);
+  return QualityFunction(
+      "step",
+      [threshold](Work x) { return x + kTimeEps >= threshold ? 1.0 : 0.0; },
+      /*strictly_concave=*/false);
+}
+
+QualityFunction QualityFunction::custom(std::string name,
+                                        std::function<double(Work)> f,
+                                        bool strictly_concave) {
+  return QualityFunction(std::move(name), std::move(f), strictly_concave);
+}
+
+bool QualityFunction::check_shape(Work max_volume, int samples) const {
+  QES_ASSERT(max_volume > 0.0 && samples >= 3);
+  const double h = max_volume / samples;
+  double prev = f_(0.0);
+  double prev_slope = std::numeric_limits<double>::infinity();
+  for (int i = 1; i <= samples; ++i) {
+    const double y = f_(i * h);
+    const double slope = (y - prev) / h;
+    if (y < prev - 1e-12) return false;                    // monotone
+    if (slope > prev_slope + 1e-9) return false;           // concave
+    prev = y;
+    prev_slope = slope;
+  }
+  return true;
+}
+
+}  // namespace qes

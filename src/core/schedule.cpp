@@ -1,0 +1,96 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+namespace qes {
+
+Schedule::Schedule(std::vector<Segment> segments) {
+  std::sort(segments.begin(), segments.end(),
+            [](const Segment& a, const Segment& b) { return a.t0 < b.t0; });
+  for (const Segment& s : segments) push(s);
+}
+
+void Schedule::push(Segment seg) {
+  if (seg.duration() <= kTimeEps || seg.speed <= 0.0) return;
+  QES_ASSERT_MSG(segments_.empty() ||
+                     seg.t0 + kTimeEps >= segments_.back().t1,
+                 "segments must be appended in time order");
+  if (!segments_.empty()) {
+    Segment& last = segments_.back();
+    if (last.job == seg.job && approx_eq(last.speed, seg.speed) &&
+        approx_eq(last.t1, seg.t0)) {
+      last.t1 = seg.t1;
+      return;
+    }
+    // Snap tiny gaps caused by floating point so downstream overlap
+    // checks stay exact.
+    if (seg.t0 < last.t1) seg.t0 = last.t1;
+  }
+  segments_.push_back(seg);
+}
+
+std::map<JobId, Work> Schedule::volumes() const {
+  std::map<JobId, Work> v;
+  for (const Segment& s : segments_) v[s.job] += s.volume();
+  return v;
+}
+
+Work Schedule::volume_of(JobId id) const {
+  Work v = 0.0;
+  for (const Segment& s : segments_) {
+    if (s.job == id) v += s.volume();
+  }
+  return v;
+}
+
+Joules Schedule::dynamic_energy(const PowerModel& pm) const {
+  Joules e = 0.0;
+  for (const Segment& s : segments_) {
+    e += pm.dynamic_energy(s.speed, s.duration());
+  }
+  return e;
+}
+
+Speed Schedule::speed_at(Time t) const {
+  for (const Segment& s : segments_) {
+    if (t >= s.t0 && t < s.t1) return s.speed;
+  }
+  return 0.0;
+}
+
+Speed Schedule::max_speed() const {
+  Speed m = 0.0;
+  for (const Segment& s : segments_) m = std::max(m, s.speed);
+  return m;
+}
+
+Time Schedule::makespan() const {
+  return segments_.empty() ? 0.0 : segments_.back().t1;
+}
+
+void Schedule::check_well_formed() const {
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    QES_ASSERT_MSG(s.t1 > s.t0, "segment must have positive duration");
+    QES_ASSERT_MSG(s.speed > 0.0, "segment must have positive speed");
+    if (i > 0) {
+      QES_ASSERT_MSG(approx_ge(s.t0, segments_[i - 1].t1),
+                     "segments must not overlap");
+    }
+  }
+}
+
+void Schedule::check_respects_windows(std::span<const Job> jobs) const {
+  std::map<JobId, const Job*> by_id;
+  for (const Job& j : jobs) by_id[j.id] = &j;
+  for (const Segment& s : segments_) {
+    auto it = by_id.find(s.job);
+    QES_ASSERT_MSG(it != by_id.end(), "segment references unknown job");
+    QES_ASSERT_MSG(approx_ge(s.t0, it->second->release, 1e-5),
+                   "segment starts before job release");
+    QES_ASSERT_MSG(approx_le(s.t1, it->second->deadline, 1e-5),
+                   "segment ends after job deadline");
+  }
+}
+
+}  // namespace qes

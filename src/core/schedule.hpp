@@ -1,0 +1,77 @@
+// Single-core schedules as piecewise-constant (job, speed) segments.
+//
+// Every single-core algorithm (YDS, Quality-OPT, QE-OPT, Online-QE, and
+// the per-job baseline policies) emits a Schedule; the simulation engine
+// executes its segments. Segments are half-open [t0, t1), sorted, and
+// non-overlapping on one core.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/power.hpp"
+#include "core/time.hpp"
+
+namespace qes {
+
+struct Segment {
+  Time t0 = 0.0;
+  Time t1 = 0.0;
+  JobId job = 0;
+  Speed speed = 0.0;
+
+  [[nodiscard]] Time duration() const { return t1 - t0; }
+  [[nodiscard]] Work volume() const { return speed * duration(); }
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(std::vector<Segment> segments);
+
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+  [[nodiscard]] std::size_t size() const { return segments_.size(); }
+  [[nodiscard]] std::span<const Segment> segments() const { return segments_; }
+  [[nodiscard]] const Segment& operator[](std::size_t i) const {
+    return segments_[i];
+  }
+
+  /// Append a segment; zero-duration or zero-volume segments are dropped.
+  /// Adjacent segments with the same job and speed are merged.
+  void push(Segment seg);
+
+  /// Total processed volume per job.
+  [[nodiscard]] std::map<JobId, Work> volumes() const;
+
+  /// Processed volume of one job.
+  [[nodiscard]] Work volume_of(JobId id) const;
+
+  /// Dynamic energy of executing the schedule under `pm`.
+  [[nodiscard]] Joules dynamic_energy(const PowerModel& pm) const;
+
+  /// Speed in effect at time t (0 if idle). Boundaries resolve to the
+  /// segment starting at t.
+  [[nodiscard]] Speed speed_at(Time t) const;
+
+  /// Maximum instantaneous speed over all segments.
+  [[nodiscard]] Speed max_speed() const;
+
+  /// End of the last segment (0 when empty).
+  [[nodiscard]] Time makespan() const;
+
+  /// Validates structural invariants: sorted, non-overlapping,
+  /// positive-duration segments with non-negative speeds. Aborts via
+  /// QES_ASSERT on violation (used in tests and debug paths).
+  void check_well_formed() const;
+
+  /// Checks the schedule against the job windows: every segment of job j
+  /// lies within [r_j, d_j]. Aborts on violation.
+  void check_respects_windows(std::span<const Job> jobs) const;
+
+ private:
+  std::vector<Segment> segments_;  // sorted by t0
+};
+
+}  // namespace qes

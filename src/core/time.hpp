@@ -1,0 +1,59 @@
+// Time conventions for the qesched library.
+//
+// All timestamps and durations are double-precision milliseconds. A core
+// running at `s` GHz processes `s` work units per millisecond (the paper
+// defines 1 GHz == 1000 processing units per second), so speeds expressed
+// in GHz double as units-per-millisecond rates.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qes {
+
+/// Timestamp or duration in milliseconds.
+using Time = double;
+
+/// Work volume in processing units (1 unit == 1 GHz-millisecond).
+using Work = double;
+
+/// Core speed in GHz (equivalently, work units per millisecond).
+using Speed = double;
+
+/// Power in watts.
+using Watts = double;
+
+/// Energy in joules.
+using Joules = double;
+
+inline constexpr Time kNoDeadline = std::numeric_limits<Time>::infinity();
+
+/// Absolute tolerance used when comparing schedule timestamps/volumes.
+/// Schedules are built from divisions of demands by speeds, so exact
+/// equality is never expected; 1e-6 ms (one nanosecond) is far below any
+/// quantity the model distinguishes.
+inline constexpr double kTimeEps = 1e-6;
+
+/// `a <= b` up to tolerance.
+[[nodiscard]] inline bool approx_le(double a, double b, double eps = 1e-6) {
+  return a <= b + eps;
+}
+
+/// `a >= b` up to tolerance.
+[[nodiscard]] inline bool approx_ge(double a, double b, double eps = 1e-6) {
+  return a + eps >= b;
+}
+
+/// `a == b` up to a tolerance that scales with the magnitudes involved.
+[[nodiscard]] inline bool approx_eq(double a, double b, double eps = 1e-6) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= eps * scale;
+}
+
+/// Convert a (watts, milliseconds) product into joules.
+[[nodiscard]] inline Joules joules(Watts p, Time duration_ms) {
+  return p * duration_ms / 1000.0;
+}
+
+}  // namespace qes

@@ -1,0 +1,57 @@
+// Architecture and policy option enums (paper §V-A).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/power.hpp"
+
+namespace qes {
+
+/// DVFS capability of the simulated processor (§V-A).
+enum class Architecture {
+  NoDVFS,  ///< every core pinned at the equal-share speed, busy or idle
+  SDVFS,   ///< one chip-wide speed, set to the hungriest core's request
+  CDVFS,   ///< independent per-core speeds (DES's target architecture)
+};
+
+/// How the power budget is shared among cores.
+enum class PowerDistribution {
+  StaticEqual,   ///< every core owns H/m
+  WaterFilling,  ///< dynamic WF over per-core requests (§IV-C)
+};
+
+/// Job pick order for the baseline schedulers (§V-A).
+enum class BaselineOrder {
+  FCFS,  ///< earliest release first (== EDF under agreeable deadlines)
+  LJF,   ///< largest service demand first
+  SJF,   ///< smallest service demand first
+};
+
+[[nodiscard]] constexpr const char* to_string(Architecture a) {
+  switch (a) {
+    case Architecture::NoDVFS: return "No-DVFS";
+    case Architecture::SDVFS: return "S-DVFS";
+    case Architecture::CDVFS: return "C-DVFS";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(PowerDistribution p) {
+  switch (p) {
+    case PowerDistribution::StaticEqual: return "static";
+    case PowerDistribution::WaterFilling: return "WF";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(BaselineOrder o) {
+  switch (o) {
+    case BaselineOrder::FCFS: return "FCFS";
+    case BaselineOrder::LJF: return "LJF";
+    case BaselineOrder::SJF: return "SJF";
+  }
+  return "?";
+}
+
+}  // namespace qes

@@ -1,0 +1,138 @@
+#include "multicore/baseline_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "multicore/power_waterfill.hpp"
+
+namespace qes {
+
+namespace {
+
+class BaselinePolicy final : public SchedulingPolicy {
+ public:
+  explicit BaselinePolicy(BaselineOptions opt) : opt_(opt) {}
+
+  [[nodiscard]] std::string name() const override {
+    std::string n = to_string(opt_.order);
+    if (opt_.power == PowerDistribution::WaterFilling) n += "+WF";
+    return n;
+  }
+
+  void replan(Engine& eng) override {
+    const EngineConfig& cfg = eng.config();
+    const int m = eng.cores();
+    const Time now = eng.now();
+
+    // Hand one job to every idle core, discarding rigid jobs that cannot
+    // complete even at the core's best-case speed.
+    const Speed power_speed = cfg.power_model.speed_for_power(
+        opt_.power == PowerDistribution::StaticEqual ? cfg.power_budget / m
+                                                     : cfg.power_budget);
+    for (int i = 0; i < m; ++i) {
+      const Speed best_case_speed =
+          std::min(cfg.core_speed_cap(i), power_speed);
+      while (eng.assigned(i).empty() && !eng.waiting().empty()) {
+        const JobId id = pick(eng);
+        const JobState& st = eng.job(id);
+        const Speed needed =
+            (st.job.demand - st.processed) / (st.job.deadline - now);
+        if (!st.job.partial_ok && needed > best_case_speed + kTimeEps) {
+          eng.discard_job(id);
+          continue;
+        }
+        eng.assign_to_core(id, i);
+      }
+    }
+
+    // Per-core speed requirement for the (single) job on each core.
+    std::vector<Speed> needed(static_cast<std::size_t>(m), 0.0);
+    std::vector<Watts> requests(static_cast<std::size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      if (eng.assigned(i).empty()) continue;
+      const JobState& st = eng.job(eng.assigned(i).front());
+      QES_ASSERT(st.job.deadline > now + kTimeEps);
+      const Work remaining = st.job.demand - st.processed;
+      needed[static_cast<std::size_t>(i)] =
+          remaining / (st.job.deadline - now);
+      requests[static_cast<std::size_t>(i)] = cfg.power_model.dynamic_power(
+          std::min(needed[static_cast<std::size_t>(i)],
+                   cfg.core_speed_cap(i)));
+    }
+
+    std::vector<Watts> caps;
+    if (opt_.power == PowerDistribution::StaticEqual) {
+      caps.assign(static_cast<std::size_t>(m), cfg.power_budget / m);
+    } else {
+      caps = waterfill_power(requests, cfg.power_budget);
+    }
+
+    for (int i = 0; i < m; ++i) {
+      Schedule plan;
+      if (!eng.assigned(i).empty()) {
+        const JobState& st = eng.job(eng.assigned(i).front());
+        const Work remaining = st.job.demand - st.processed;
+        const Speed cap_speed = std::min(
+            cfg.power_model.speed_for_power(caps[static_cast<std::size_t>(i)]),
+            cfg.core_speed_cap(i));
+        const Speed want = needed[static_cast<std::size_t>(i)];
+        if (cap_speed + kTimeEps >= want) {
+          // Slowest speed that meets the deadline.
+          plan.push({now, now + remaining / want, st.job.id, want});
+        } else if (cap_speed > kTimeEps) {
+          // Not enough power: flat out until the deadline (partial).
+          plan.push({now, st.job.deadline, st.job.id, cap_speed});
+        }
+      }
+      eng.set_core_plan(i, std::move(plan));
+      eng.set_core_idle_power(i, 0.0);
+    }
+  }
+
+ private:
+  // Chooses (but does not remove) the next waiting job per the policy.
+  [[nodiscard]] JobId pick(const Engine& eng) const {
+    const auto waiting = eng.waiting();
+    QES_ASSERT(!waiting.empty());
+    switch (opt_.order) {
+      case BaselineOrder::FCFS:
+        return waiting.front();  // arrival order is maintained
+      case BaselineOrder::LJF: {
+        JobId best = waiting.front();
+        for (JobId id : waiting) {
+          if (eng.job(id).job.demand > eng.job(best).job.demand) best = id;
+        }
+        return best;
+      }
+      case BaselineOrder::SJF: {
+        JobId best = waiting.front();
+        for (JobId id : waiting) {
+          if (eng.job(id).job.demand < eng.job(best).job.demand) best = id;
+        }
+        return best;
+      }
+    }
+    QES_ASSERT(false);
+    return 0;
+  }
+
+  BaselineOptions opt_;
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulingPolicy> make_baseline_policy(
+    BaselineOptions options) {
+  return std::make_unique<BaselinePolicy>(options);
+}
+
+EngineConfig baseline_engine_config(EngineConfig base) {
+  base.quantum_ms = 0.0;    // no grouped scheduling
+  base.counter_trigger = 0;
+  base.idle_trigger = true;  // "triggered whenever a core becomes idle"
+  return base;
+}
+
+}  // namespace qes

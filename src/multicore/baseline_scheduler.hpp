@@ -1,0 +1,34 @@
+// Baseline schedulers FCFS / LJF / SJF (paper §V-A, §V-E).
+//
+// Triggered whenever a core becomes idle, each policy hands the idle core
+// one job from the ready queue (earliest release / largest demand /
+// smallest demand) and runs it at the SLOWEST speed that finishes it by
+// its deadline under the core's power cap; if the cap cannot finish it,
+// the job runs at the highest available speed until the deadline (partial
+// result). Power is shared statically (H/m each) by default, or via WF
+// over the per-core requests when wf_power is set (§V-E second
+// experiment). Rigid (non-partial) jobs that cannot finish are discarded
+// at pick time.
+#pragma once
+
+#include <memory>
+
+#include "multicore/architecture.hpp"
+#include "sim/engine.hpp"
+
+namespace qes {
+
+struct BaselineOptions {
+  BaselineOrder order = BaselineOrder::FCFS;
+  PowerDistribution power = PowerDistribution::StaticEqual;
+};
+
+[[nodiscard]] std::unique_ptr<SchedulingPolicy> make_baseline_policy(
+    BaselineOptions options = {});
+
+/// Engine trigger configuration matching the paper's baseline setup:
+/// idle-core trigger only (plus a coarse quantum as a safety net for
+/// expiry sweeps), no counter batching.
+[[nodiscard]] EngineConfig baseline_engine_config(EngineConfig base);
+
+}  // namespace qes

@@ -1,0 +1,104 @@
+// C-RR: Cumulative Round-Robin job distribution (paper §IV-B).
+//
+// Ready jobs are dealt to cores round-robin, but the dealing CURSOR
+// persists across invocations: each distribution cycle starts from the
+// core after the one where the previous cycle stopped. Compared with
+// restarting at core 0 every time, this keeps long-run per-core job
+// counts balanced.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace qes {
+
+class CumulativeRoundRobin {
+ public:
+  explicit CumulativeRoundRobin(std::size_t cores) : cores_(cores) {
+    QES_ASSERT(cores > 0);
+  }
+
+  /// Returns the target core for each of `count` jobs, advancing the
+  /// persistent cursor.
+  [[nodiscard]] std::vector<std::size_t> distribute(std::size_t count) {
+    std::vector<std::size_t> targets;
+    targets.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      targets.push_back(cursor_);
+      cursor_ = (cursor_ + 1) % cores_;
+    }
+    return targets;
+  }
+
+  /// Core the next job would be assigned to.
+  [[nodiscard]] std::size_t cursor() const { return cursor_; }
+  [[nodiscard]] std::size_t cores() const { return cores_; }
+
+  void reset() { cursor_ = 0; }
+
+ private:
+  std::size_t cores_;
+  std::size_t cursor_ = 0;
+};
+
+/// Non-cumulative round-robin (restarts at core 0 each invocation);
+/// exists for the C-RR-vs-RR ablation bench.
+class PlainRoundRobin {
+ public:
+  explicit PlainRoundRobin(std::size_t cores) : cores_(cores) {
+    QES_ASSERT(cores > 0);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> distribute(std::size_t count) const {
+    std::vector<std::size_t> targets;
+    targets.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) targets.push_back(k % cores_);
+    return targets;
+  }
+
+ private:
+  std::size_t cores_;
+};
+
+/// Smooth weighted round robin (the nginx algorithm): deals items to
+/// targets in proportion to their weights, interleaved as evenly as
+/// possible. Used for capacity-aware job distribution on heterogeneous
+/// (big.LITTLE) servers, where equal dealing overloads the slow cores.
+class SmoothWeightedRoundRobin {
+ public:
+  explicit SmoothWeightedRoundRobin(std::vector<double> weights)
+      : weights_(std::move(weights)), current_(weights_.size(), 0.0) {
+    QES_ASSERT(!weights_.empty());
+    for (double w : weights_) {
+      QES_ASSERT(w > 0.0);
+      total_ += w;
+    }
+  }
+
+  /// Target for the next item.
+  [[nodiscard]] std::size_t next() {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      current_[i] += weights_[i];
+      if (current_[i] > current_[best]) best = i;
+    }
+    current_[best] -= total_;
+    return best;
+  }
+
+  [[nodiscard]] std::vector<std::size_t> distribute(std::size_t count) {
+    std::vector<std::size_t> targets;
+    targets.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) targets.push_back(next());
+    return targets;
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> current_;
+  double total_ = 0.0;
+};
+
+}  // namespace qes

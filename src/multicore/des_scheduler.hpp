@@ -1,0 +1,60 @@
+// DES (Dynamic Equal Sharing): the paper's multicore online scheduler
+// (§IV-D), DES = C-RR + WF + Online-QE.
+//
+// At every trigger firing:
+//   1. Ready-job distribution: C-RR deals waiting jobs to cores.
+//   2. Budget-free scheduling: per-core YDS assuming unlimited power
+//      yields each core's requested power P_i(t).
+//   3. Dynamic power distribution: if sum P_i(t) > H, WF splits H.
+//   4. Budget-bounded scheduling: per-core Online-QE under the assigned
+//      budget produces the executable plan.
+//
+// The same class implements the paper's No-DVFS and S-DVFS variants
+// (§V-A): No-DVFS pins all cores at the equal-share speed and plans with
+// Quality-OPT; S-DVFS gives every core the hungriest core's requested
+// power (clamped to H/m) and also plans with Quality-OPT at that common
+// speed, skipping the Online-QE energy step.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/power.hpp"
+#include "multicore/architecture.hpp"
+#include "sim/engine.hpp"
+
+namespace qes {
+
+struct DesOptions {
+  Architecture arch = Architecture::CDVFS;
+  /// Discrete speed levels (§V-F); nullopt = continuous scaling.
+  std::optional<DiscreteSpeedSet> speed_levels;
+  /// Distribute jobs with plain (non-cumulative) round robin — ablation
+  /// of the C in C-RR.
+  bool plain_round_robin = false;
+  /// Replace WF with static equal power sharing — ablation of the WF
+  /// component (only meaningful on C-DVFS).
+  bool static_power = false;
+  /// Deal jobs in proportion to each core's speed cap instead of equally
+  /// (smooth weighted round robin; extension for heterogeneous servers).
+  /// Falls back to C-RR when every core has the same cap.
+  bool capacity_aware_distribution = false;
+  /// Pull every assigned-but-unstarted job back into the global queue
+  /// before each C-RR distribution (relaxes the non-migratory rule for
+  /// jobs that have not begun executing; extension/ablation).
+  bool rebalance_unstarted = false;
+  /// Allocate per-core volumes by WEIGHTED quality (uses Job::weight;
+  /// extension for service classes). Implies the baseline-aware planning
+  /// path; C-DVFS only.
+  bool weighted = false;
+  /// Skip Online-QE's energy step: execute each core's granted volumes
+  /// flat-out at the core's max speed instead of the YDS stretch.
+  /// Trades energy for robustness against future arrivals (an
+  /// extension; quantifies deviation #2 in EXPERIMENTS.md).
+  bool eager_execution = false;
+};
+
+[[nodiscard]] std::unique_ptr<SchedulingPolicy> make_des_policy(
+    DesOptions options = {});
+
+}  // namespace qes

@@ -1,0 +1,103 @@
+#include "multicore/power_waterfill.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/assert.hpp"
+
+namespace qes {
+
+std::vector<Watts> waterfill_power(std::span<const Watts> requested,
+                                   Watts budget) {
+  QES_ASSERT(budget >= 0.0);
+  const std::size_t m = requested.size();
+  std::vector<Watts> assigned(m, 0.0);
+  Watts remaining = budget;
+
+  // The paper's iterative formulation: repeatedly raise every unsatisfied
+  // core by the smallest outstanding request, or split the remainder
+  // evenly when it no longer covers that raise.
+  std::vector<Watts> outstanding(requested.begin(), requested.end());
+  for (Watts& h : outstanding) QES_ASSERT(h >= 0.0);
+  while (true) {
+    std::size_t unsatisfied = 0;
+    Watts h_min = 0.0;
+    bool first = true;
+    for (Watts h : outstanding) {
+      if (h > kTimeEps) {
+        ++unsatisfied;
+        if (first || h < h_min) {
+          h_min = h;
+          first = false;
+        }
+      }
+    }
+    if (unsatisfied == 0 || remaining <= kTimeEps) break;
+    if (h_min * static_cast<double>(unsatisfied) >= remaining) {
+      const Watts share = remaining / static_cast<double>(unsatisfied);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (outstanding[i] > kTimeEps) assigned[i] += share;
+      }
+      remaining = 0.0;
+      break;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (outstanding[i] > kTimeEps) {
+        assigned[i] += h_min;
+        outstanding[i] -= h_min;
+        remaining -= h_min;
+      }
+    }
+  }
+
+  return assigned;
+}
+
+std::vector<std::optional<Speed>> rectify_speeds_discrete(
+    std::span<const Speed> continuous, Watts budget,
+    const DiscreteSpeedSet& levels, const PowerModel& pm) {
+  QES_ASSERT(!levels.empty());
+  const std::size_t m = continuous.size();
+
+  // Pool of slack: budget minus the power of the continuous assignment.
+  Watts used = 0.0;
+  for (Speed s : continuous) used += pm.dynamic_power(s);
+  QES_ASSERT_MSG(used <= budget + 1e-6,
+                 "continuous speeds must already fit the budget");
+  Watts slack = budget - used;
+
+  // Process cores from the lowest continuous power upward (§V-F).
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return continuous[a] < continuous[b];
+                   });
+
+  std::vector<std::optional<Speed>> out(m, std::nullopt);
+  for (std::size_t i : order) {
+    const Speed s = continuous[i];
+    if (s <= kTimeEps) continue;  // idle core stays idle
+    const Watts own = pm.dynamic_power(s);
+    const std::optional<Speed> up = levels.snap_up(s);
+    if (up && pm.dynamic_power(*up) - own <= slack + kTimeEps) {
+      out[i] = *up;
+      slack -= pm.dynamic_power(*up) - own;
+      continue;
+    }
+    // Walk down to the largest affordable level (frees slack).
+    const auto& lv = levels.levels();
+    for (auto it = lv.rbegin(); it != lv.rend(); ++it) {
+      if (*it <= s + kTimeEps &&
+          pm.dynamic_power(*it) - own <= slack + kTimeEps) {
+        out[i] = *it;
+        slack -= pm.dynamic_power(*it) - own;
+        break;
+      }
+    }
+    if (!out[i]) slack += own;  // nothing affordable: the core idles
+  }
+  return out;
+}
+
+}  // namespace qes

@@ -1,0 +1,78 @@
+#include "report/table.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "core/assert.hpp"
+
+namespace qes {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  QES_ASSERT_MSG(cells.size() == headers_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  if (csv_mode()) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ',';
+        os << cells[i];
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return;
+  }
+
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? "  " : "");
+      os << cells[i];
+      for (std::size_t p = cells[i].size(); p < width[i]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    rule += std::string(width[i], '-');
+    if (i + 1 < headers_.size()) rule += "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_sci(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+  return buf;
+}
+
+bool csv_mode() {
+  const char* v = std::getenv("QES_CSV");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace qes

@@ -1,0 +1,32 @@
+// Minimal fixed-width table / series printer for the figure benches.
+// Set QES_CSV=1 to emit CSV instead (for plotting scripts).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qes {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.*f").
+[[nodiscard]] std::string fmt(double value, int precision = 4);
+
+/// Scientific formatting for energies ("%.*e").
+[[nodiscard]] std::string fmt_sci(double value, int precision = 3);
+
+/// True when QES_CSV=1 is set (Table prints CSV).
+[[nodiscard]] bool csv_mode();
+
+}  // namespace qes

@@ -1,0 +1,47 @@
+// Online-QE: myopic optimal online single-core scheduling (paper §III-B).
+//
+// At each invocation (time t) the scheduler re-plans QE-OPT over the set
+// of ready jobs, treating the currently running job specially: its release
+// is rewound by processed/max_speed before Quality-OPT so that already
+// completed work counts toward its fair share, and its demand is reduced
+// by the processed volume before Energy-OPT so only the remainder is
+// re-scheduled. The result is feasible and myopically optimal for the
+// ready set, and remains valid when the core's power budget changes
+// between invocations (which DES exploits on multicore systems).
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "core/job.hpp"
+#include "core/schedule.hpp"
+
+namespace qes {
+
+/// A job visible to the online scheduler at invocation time.
+struct ReadyJob {
+  JobId id = 0;
+  Time deadline = 0.0;
+  Work demand = 0.0;     ///< full service demand w_j
+  Work processed = 0.0;  ///< volume already executed (p-bar)
+  bool running = false;  ///< true for the job currently on the core
+};
+
+struct OnlineQeResult {
+  /// Timetable from the invocation time onward (releases clamped to now).
+  Schedule schedule;
+  /// Planned *additional* volume per job (beyond `processed`).
+  std::map<JobId, Work> planned;
+};
+
+/// Re-plans the core at time `now` for the given ready jobs under maximum
+/// core speed `max_speed` (from the core's power budget). Jobs whose
+/// deadline has passed or whose demand is already met are ignored.
+/// At most one job may be flagged running, and it must carry the earliest
+/// deadline among live ready jobs (always true under FIFO execution of
+/// agreeable jobs; the release rewind depends on it).
+[[nodiscard]] OnlineQeResult online_qe(Time now,
+                                       std::span<const ReadyJob> jobs,
+                                       Speed max_speed);
+
+}  // namespace qes

@@ -1,0 +1,32 @@
+#include "sched/qe_opt.hpp"
+
+#include "core/assert.hpp"
+#include "sched/quality_opt.hpp"
+#include "sched/yds.hpp"
+
+namespace qes {
+
+QeOptResult qe_opt_schedule(const AgreeableJobSet& set, Speed max_speed) {
+  QeOptResult out;
+
+  // Step 1: maximum quality at full speed.
+  QualityOptResult q = quality_opt_schedule(set, max_speed);
+  out.volumes = std::move(q.volumes);
+
+  // Step 2: rewrite demands to granted volumes, minimize energy via YDS.
+  std::vector<Job> rewritten;
+  rewritten.reserve(set.size());
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    Job j = set[k];
+    j.demand = out.volumes[k];
+    rewritten.push_back(j);
+  }
+  const AgreeableJobSet adjusted(std::move(rewritten));
+  // Theorem 1 guarantees the critical speed fits the budget; the capped
+  // wrapper absorbs the hair's-breadth float drift tiny windows amplify.
+  YdsResult y = yds_schedule_capped(adjusted, max_speed);
+  out.schedule = std::move(y.schedule);
+  return out;
+}
+
+}  // namespace qes

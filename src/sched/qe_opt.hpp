@@ -1,0 +1,32 @@
+// QE-OPT: offline optimal single-core scheduling for the lexicographic
+// <quality, energy> metric under a power budget (paper §III-A, Thms 1-2).
+//
+// Step 1 runs Quality-OPT at the maximum core speed (the speed the power
+// budget supports) to fix per-job volumes — this maximizes total quality.
+// Step 2 rewrites each job's demand to its granted volume and runs
+// Energy-OPT (YDS) to pick the slowest feasible speeds — this minimizes
+// energy among quality-maximal schedules. Theorem 1 guarantees the YDS
+// critical speed never exceeds the maximum core speed.
+#pragma once
+
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/schedule.hpp"
+
+namespace qes {
+
+struct QeOptResult {
+  /// Granted volume per job, aligned with the sorted set (== Quality-OPT's).
+  std::vector<Work> volumes;
+  /// Variable-speed timetable executing the volumes (== YDS over the
+  /// rewritten demands).
+  Schedule schedule;
+};
+
+/// Runs QE-OPT on `set` with maximum core speed `max_speed` (GHz), i.e.
+/// the speed supported by the core's dynamic power budget.
+[[nodiscard]] QeOptResult qe_opt_schedule(const AgreeableJobSet& set,
+                                          Speed max_speed);
+
+}  // namespace qes

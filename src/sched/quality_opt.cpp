@@ -1,0 +1,156 @@
+#include "sched/quality_opt.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "alloc/waterfill.hpp"
+#include "core/assert.hpp"
+
+namespace qes {
+
+namespace {
+
+struct Window {
+  Time r;
+  Time d;
+  Work w;     // full demand
+  Work base;  // volume already received before the window
+  bool active;
+};
+
+Time compress(Time x, Time z, Time z2) {
+  if (x <= z) return x;
+  if (x >= z2) return x - (z2 - z);
+  return z;
+}
+
+}  // namespace
+
+QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
+                                      Speed speed,
+                                      std::span<const Work> baselines) {
+  QES_ASSERT_MSG(speed > 0.0, "Quality-OPT needs a positive core speed");
+  QES_ASSERT(baselines.empty() || baselines.size() == set.size());
+  const std::size_t n = set.size();
+  QualityOptResult out;
+  out.volumes.assign(n, 0.0);
+
+  std::vector<Window> win(n);
+  std::size_t remaining = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Job& j = set[k];
+    const Work base = baselines.empty() ? 0.0 : baselines[k];
+    const bool active = j.demand - base > kTimeEps;
+    win[k] = {j.release, j.deadline, j.demand, base, active};
+    if (active) ++remaining;
+  }
+
+  while (remaining > 0) {
+    std::vector<std::size_t> act;
+    act.reserve(remaining);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (win[k].active) act.push_back(k);
+    }
+
+    // Search the busiest deprived interval: the candidate [r_i, d_j]
+    // minimizing the water-fill level of the contained demands. A pair
+    // that misses same-release/same-deadline twins only over-estimates
+    // the level, so the scan still finds the true minimum; the winning
+    // interval is re-evaluated below with its full contained set.
+    double best_level = std::numeric_limits<double>::infinity();
+    Time best_z = 0.0, best_z2 = 0.0;
+    bool found = false;
+    std::vector<Work> caps, bases;
+    for (std::size_t a = 0; a < act.size(); ++a) {
+      // Non-first indices of a tied release start dominated intervals
+      // (their level only over-estimates the canonical pair's); skip.
+      // In the online case all releases coincide, so only a == 0 runs.
+      if (a > 0 && win[act[a]].r <= win[act[a - 1]].r + kTimeEps) continue;
+      const Time z = win[act[a]].r;
+      caps.clear();
+      bases.clear();
+      for (std::size_t b = a; b < act.size(); ++b) {
+        caps.push_back(win[act[b]].w);
+        bases.push_back(win[act[b]].base);
+        const Time z2 = win[act[b]].d;
+        QES_ASSERT(z2 > z);
+        const Work capacity = speed * (z2 - z);
+        const WaterfillResult wf = waterfill_volumes(caps, bases, capacity);
+        if (wf.level < best_level - 1e-9 || !found) {
+          best_level = wf.level;
+          best_z = z;
+          best_z2 = z2;
+          found = true;
+        }
+      }
+    }
+    QES_ASSERT(found);
+
+    if (!std::isfinite(best_level)) {
+      // Every interval has spare capacity: all remaining jobs can be
+      // fully satisfied.
+      for (std::size_t k : act) {
+        out.volumes[k] = win[k].w - win[k].base;
+        win[k].active = false;
+      }
+      remaining = 0;
+      break;
+    }
+
+    // Re-evaluate the winning interval over its full contained set and
+    // grant the volumes: satisfied jobs get their remaining demand,
+    // deprived jobs are levelled at the d-mean.
+    std::vector<std::size_t> contained;
+    caps.clear();
+    bases.clear();
+    for (std::size_t k : act) {
+      if (win[k].r >= best_z - kTimeEps && win[k].d <= best_z2 + kTimeEps) {
+        contained.push_back(k);
+        caps.push_back(win[k].w);
+        bases.push_back(win[k].base);
+      }
+    }
+    QES_ASSERT(!contained.empty());
+    const WaterfillResult wf =
+        waterfill_volumes(caps, bases, speed * (best_z2 - best_z));
+    for (std::size_t c = 0; c < contained.size(); ++c) {
+      const std::size_t k = contained[c];
+      out.volumes[k] = wf.alloc[c];
+      win[k].active = false;
+      --remaining;
+    }
+    for (std::size_t k : act) {
+      if (!win[k].active) continue;
+      win[k].r = compress(win[k].r, best_z, best_z2);
+      win[k].d = compress(win[k].d, best_z, best_z2);
+    }
+  }
+
+  // FIFO (== EDF) timetable at the fixed speed.
+  Time t = n > 0 ? set[0].release : 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Job& j = set[k];
+    const Work p = out.volumes[k];
+    if (p <= kTimeEps) continue;
+    const Time start = std::max(t, j.release);
+    const Time finish = start + p / speed;
+    QES_ASSERT_MSG(approx_le(finish, j.deadline, 1e-5),
+                   "Quality-OPT timetable must meet every deadline");
+    out.schedule.push({start, finish, j.id, speed});
+    t = finish;
+  }
+  return out;
+}
+
+QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
+                                      Speed speed) {
+  return quality_opt_schedule(set, speed, {});
+}
+
+double total_quality(std::span<const Work> volumes, const QualityFunction& f) {
+  double q = 0.0;
+  for (Work v : volumes) q += f(v);
+  return q;
+}
+
+}  // namespace qes

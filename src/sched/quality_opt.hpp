@@ -1,0 +1,46 @@
+// Quality-OPT (a.k.a. Tians-OPT, He et al. ICDCS'11; paper §III-A):
+// maximum-total-quality scheduling of best-effort jobs on a single core
+// running at a FIXED speed.
+//
+// The algorithm repeatedly finds the *busiest deprived interval* — the
+// interval I minimizing the d-mean p~(I), i.e. the water-fill level of the
+// demands of the jobs contained in I given capacity s * |I| — satisfies
+// the small jobs in it, grants every deprived job the d-mean volume,
+// compresses the interval out of the timeline and recurses. Because all
+// jobs share one concave quality function, equalizing deprived volumes is
+// optimal.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/quality.hpp"
+#include "core/schedule.hpp"
+
+namespace qes {
+
+struct QualityOptResult {
+  /// Granted processing volume per job, aligned with the sorted set.
+  std::vector<Work> volumes;
+  /// FIFO/EDF timetable executing the volumes at the fixed speed.
+  Schedule schedule;
+};
+
+/// Runs Quality-OPT on `set` with fixed core speed `speed` (GHz).
+[[nodiscard]] QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
+                                                    Speed speed);
+
+/// Baseline-aware generalization (used by the "resume" execution-model
+/// ablation): `baselines[k]` is the volume job k already received before
+/// its current window. Interval capacities cover only the window, but the
+/// water level equalizes baseline + new volume, so previously served jobs
+/// yield to starved ones. `volumes` returns the NEW volume only.
+[[nodiscard]] QualityOptResult quality_opt_schedule(
+    const AgreeableJobSet& set, Speed speed, std::span<const Work> baselines);
+
+/// Sum of f(volume) over jobs; `volumes` aligned with the sorted set.
+[[nodiscard]] double total_quality(std::span<const Work> volumes,
+                                   const QualityFunction& f);
+
+}  // namespace qes

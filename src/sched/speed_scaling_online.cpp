@@ -1,0 +1,136 @@
+#include "sched/speed_scaling_online.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/assert.hpp"
+#include "sched/yds.hpp"
+
+namespace qes {
+
+std::vector<SpeedSegment> avr_speed_profile(const AgreeableJobSet& set) {
+  std::vector<SpeedSegment> profile;
+  if (set.empty()) return profile;
+
+  std::set<Time> events;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    events.insert(set[k].release);
+    events.insert(set[k].deadline);
+  }
+  std::vector<Time> ts(events.begin(), events.end());
+  for (std::size_t e = 0; e + 1 < ts.size(); ++e) {
+    const Time t0 = ts[e], t1 = ts[e + 1];
+    Speed speed = 0.0;
+    for (std::size_t k = 0; k < set.size(); ++k) {
+      const Job& j = set[k];
+      if (j.release <= t0 + kTimeEps && j.deadline >= t1 - kTimeEps) {
+        speed += j.demand / j.window();
+      }
+    }
+    if (speed > 0.0) profile.push_back({t0, t1, speed});
+  }
+  return profile;
+}
+
+Joules profile_energy(std::span<const SpeedSegment> profile,
+                      const PowerModel& pm) {
+  Joules e = 0.0;
+  for (const SpeedSegment& s : profile) {
+    e += pm.dynamic_energy(s.speed, s.t1 - s.t0);
+  }
+  return e;
+}
+
+Schedule avr_schedule(const AgreeableJobSet& set) {
+  Schedule out;
+  const auto profile = avr_speed_profile(set);
+  std::vector<Work> remaining(set.size());
+  for (std::size_t k = 0; k < set.size(); ++k) remaining[k] = set[k].demand;
+
+  std::size_t next_job = 0;  // FIFO == EDF under agreeable deadlines
+  for (const SpeedSegment& seg : profile) {
+    Time t = seg.t0;
+    while (t < seg.t1 - kTimeEps && next_job < set.size()) {
+      // Skip completed jobs.
+      while (next_job < set.size() && remaining[next_job] <= kTimeEps) {
+        ++next_job;
+      }
+      if (next_job == set.size()) break;
+      if (set[next_job].release > t + kTimeEps) {
+        // Released sets only change at profile boundaries; if the FIFO
+        // head is not yet released, the rest of this segment is idle.
+        break;
+      }
+      const Time dt =
+          std::min(seg.t1 - t, remaining[next_job] / seg.speed);
+      out.push({t, t + dt, set[next_job].id, seg.speed});
+      remaining[next_job] -= dt * seg.speed;
+      t += dt;
+      if (remaining[next_job] <= kTimeEps) {
+        QES_ASSERT_MSG(approx_le(t, set[next_job].deadline, 1e-5),
+                       "AVR+EDF must meet every deadline");
+        ++next_job;
+      }
+    }
+  }
+  for (Work r : remaining) {
+    QES_ASSERT_MSG(r <= 1e-5, "AVR must complete every job");
+  }
+  return out;
+}
+
+Schedule oa_schedule(const AgreeableJobSet& set) {
+  Schedule out;
+  if (set.empty()) return out;
+
+  // Distinct release times are the replanning events.
+  std::vector<Time> events;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    if (events.empty() || set[k].release > events.back() + kTimeEps) {
+      events.push_back(set[k].release);
+    }
+  }
+
+  std::vector<Work> remaining(set.size());
+  std::map<JobId, std::size_t> index_of;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    remaining[k] = set[k].demand;
+    index_of[set[k].id] = k;
+  }
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const Time now = events[e];
+    const Time until = e + 1 < events.size()
+                           ? events[e + 1]
+                           : std::numeric_limits<double>::infinity();
+    // Alive jobs: released, unfinished.
+    std::vector<Job> alive;
+    for (std::size_t k = 0; k < set.size(); ++k) {
+      if (set[k].release <= now + kTimeEps && remaining[k] > kTimeEps) {
+        alive.push_back(Job{.id = set[k].id,
+                            .release = now,
+                            .deadline = set[k].deadline,
+                            .demand = remaining[k]});
+      }
+    }
+    if (alive.empty()) continue;
+    const YdsResult plan = yds_schedule(AgreeableJobSet(std::move(alive)));
+    // Execute the plan until the next arrival.
+    for (const Segment& s : plan.schedule.segments()) {
+      if (s.t0 >= until - kTimeEps) break;
+      const Time t1 = std::min(s.t1, until);
+      out.push({s.t0, t1, s.job, s.speed});
+      // Charge the executed volume back to the master remaining array.
+      const auto it = index_of.find(s.job);
+      QES_ASSERT(it != index_of.end());
+      remaining[it->second] -= (t1 - s.t0) * s.speed;
+    }
+  }
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    QES_ASSERT_MSG(remaining[k] <= 1e-5, "OA must complete every job");
+  }
+  return out;
+}
+
+}  // namespace qes

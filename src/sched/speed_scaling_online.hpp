@@ -1,0 +1,50 @@
+// Classic online speed-scaling algorithms from Yao, Demers & Shenker
+// (FOCS'95) — the lineage of the paper's Energy-OPT step (§VI, [25]).
+//
+// Both algorithms complete EVERY job by its deadline with no power
+// budget, reacting to arrivals online:
+//
+//   AVR (Average Rate): each alive job contributes its density
+//   w_j / (d_j - r_j); the processor runs at the sum of densities.
+//   Competitive ratio 2^{beta-1} * beta^beta against YDS.
+//
+//   OA (Optimal Available): at every arrival, recompute the YDS-optimal
+//   schedule for the remaining work of alive jobs, assuming no future
+//   arrivals. Competitive ratio beta^beta.
+//
+// They serve as energy baselines for Online-QE's YDS step and as
+// reference implementations for the related-work comparisons.
+#pragma once
+
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/schedule.hpp"
+
+namespace qes {
+
+/// A piecewise-constant processor speed profile.
+struct SpeedSegment {
+  Time t0 = 0.0;
+  Time t1 = 0.0;
+  Speed speed = 0.0;
+};
+
+/// AVR's speed profile for the job set (changes only at releases and
+/// deadlines). Running EDF at this profile completes every job.
+[[nodiscard]] std::vector<SpeedSegment> avr_speed_profile(
+    const AgreeableJobSet& set);
+
+/// Dynamic energy of a speed profile under `pm`.
+[[nodiscard]] Joules profile_energy(std::span<const SpeedSegment> profile,
+                                    const PowerModel& pm);
+
+/// The executable AVR schedule: EDF (== FIFO under agreeable deadlines)
+/// at the AVR speed profile.
+[[nodiscard]] Schedule avr_schedule(const AgreeableJobSet& set);
+
+/// The executable OA schedule: YDS replanned at every release over the
+/// remaining work of alive jobs.
+[[nodiscard]] Schedule oa_schedule(const AgreeableJobSet& set);
+
+}  // namespace qes

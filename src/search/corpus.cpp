@@ -1,0 +1,53 @@
+#include "search/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/assert.hpp"
+
+namespace qes::search {
+
+Corpus::Corpus(const CorpusConfig& config) : cfg_(config) {
+  QES_ASSERT(cfg_.num_documents > 0 && cfg_.vocabulary > 0);
+  QES_ASSERT(cfg_.min_terms > 0 && cfg_.min_terms <= cfg_.max_terms);
+
+  // Zipfian popularity: p(t) ~ 1 / (t+1)^s, as a CDF for sampling.
+  zipf_cdf_.resize(cfg_.vocabulary);
+  double acc = 0.0;
+  for (std::uint32_t t = 0; t < cfg_.vocabulary; ++t) {
+    acc += 1.0 / std::pow(static_cast<double>(t + 1), cfg_.zipf_s);
+    zipf_cdf_[t] = acc;
+  }
+  for (double& v : zipf_cdf_) v /= acc;
+
+  Xoshiro256 rng(cfg_.seed);
+  docs_.reserve(cfg_.num_documents);
+  for (DocId d = 0; d < cfg_.num_documents; ++d) {
+    const auto len = static_cast<std::uint32_t>(
+        rng.uniform(static_cast<double>(cfg_.min_terms),
+                    static_cast<double>(cfg_.max_terms) + 1.0));
+    std::map<TermId, std::uint32_t> bag;
+    for (std::uint32_t k = 0; k < len; ++k) {
+      ++bag[sample_term(rng)];
+    }
+    Document doc;
+    doc.id = d;
+    doc.length = len;
+    doc.terms.assign(bag.begin(), bag.end());
+    docs_.push_back(std::move(doc));
+  }
+}
+
+const Document& Corpus::doc(DocId id) const {
+  QES_ASSERT(id < docs_.size());
+  return docs_[id];
+}
+
+TermId Corpus::sample_term(Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<TermId>(it - zipf_cdf_.begin());
+}
+
+}  // namespace qes::search

@@ -1,0 +1,63 @@
+// Synthetic document corpus for the web-search substrate.
+//
+// The paper's driving workload is "requests from web search engine"; to
+// ground the best-effort model in an actual application, this module
+// generates a deterministic corpus with the two statistical properties
+// that make search best-effort-friendly:
+//   - Zipfian term popularity (a few terms occur in many documents), and
+//   - skewed within-document term frequencies,
+// so that impact-ordered query evaluation (search/executor) has steeply
+// diminishing returns — the origin of the concave quality function.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prng.hpp"
+
+namespace qes::search {
+
+using TermId = std::uint32_t;
+using DocId = std::uint32_t;
+
+struct CorpusConfig {
+  std::uint32_t num_documents = 20'000;
+  std::uint32_t vocabulary = 5'000;
+  /// Zipf exponent of term popularity (~1 for natural text).
+  double zipf_s = 1.1;
+  /// Document length range (number of term occurrences).
+  std::uint32_t min_terms = 40;
+  std::uint32_t max_terms = 400;
+  std::uint64_t seed = 2013;
+};
+
+/// One document as a bag of (term, frequency) pairs.
+struct Document {
+  DocId id = 0;
+  std::vector<std::pair<TermId, std::uint32_t>> terms;  // sorted by term
+  std::uint32_t length = 0;  ///< total term occurrences
+};
+
+class Corpus {
+ public:
+  explicit Corpus(const CorpusConfig& config);
+
+  [[nodiscard]] const CorpusConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t size() const { return docs_.size(); }
+  [[nodiscard]] const Document& doc(DocId id) const;
+  [[nodiscard]] const std::vector<Document>& documents() const {
+    return docs_;
+  }
+
+  /// Samples a term according to the Zipfian popularity (used both for
+  /// document generation and query generation, so queries hit real
+  /// content).
+  [[nodiscard]] TermId sample_term(Xoshiro256& rng) const;
+
+ private:
+  CorpusConfig cfg_;
+  std::vector<Document> docs_;
+  std::vector<double> zipf_cdf_;  // cumulative popularity per term
+};
+
+}  // namespace qes::search

@@ -1,0 +1,197 @@
+#include "search/executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "core/assert.hpp"
+
+namespace qes::search {
+
+Query sample_query(const Corpus& corpus, Xoshiro256& rng,
+                   std::size_t min_terms, std::size_t max_terms) {
+  QES_ASSERT(1 <= min_terms && min_terms <= max_terms);
+  const std::size_t want =
+      min_terms + rng.uniform_index(max_terms - min_terms + 1);
+  std::set<TermId> terms;
+  // Bounded retry: popular terms collide often.
+  for (int attempt = 0; attempt < 64 && terms.size() < want; ++attempt) {
+    terms.insert(corpus.sample_term(rng));
+  }
+  Query q;
+  q.terms.assign(terms.begin(), terms.end());
+  return q;
+}
+
+SearchResult QueryExecutor::execute(const Query& query, std::size_t k,
+                                    std::size_t budget_postings) const {
+  SearchResult out;
+  // Cursor-per-list merge in descending impact order.
+  struct Cursor {
+    const std::vector<Posting>* list;
+    std::size_t pos;
+  };
+  auto cmp = [](const Cursor& a, const Cursor& b) {
+    return (*a.list)[a.pos].impact < (*b.list)[b.pos].impact;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  std::size_t remaining_total = 0;
+  for (TermId t : query.terms) {
+    const auto& list = index_->postings(t);
+    remaining_total += list.size();
+    if (!list.empty()) heap.push({&list, 0});
+  }
+
+  std::map<DocId, double> acc;
+  while (!heap.empty() && out.postings_processed < budget_postings) {
+    Cursor c = heap.top();
+    heap.pop();
+    const Posting& p = (*c.list)[c.pos];
+    acc[p.doc] += static_cast<double>(p.impact);
+    ++out.postings_processed;
+    if (++c.pos < c.list->size()) heap.push(c);
+  }
+  out.complete = out.postings_processed == remaining_total;
+
+  out.hits.assign(acc.begin(), acc.end());
+  std::sort(out.hits.begin(), out.hits.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (out.hits.size() > k) out.hits.resize(k);
+  return out;
+}
+
+std::vector<SearchResult> QueryExecutor::execute_prefixes(
+    const Query& query, std::size_t k,
+    std::span<const std::size_t> budgets) const {
+  for (std::size_t i = 1; i < budgets.size(); ++i) {
+    QES_ASSERT_MSG(budgets[i] >= budgets[i - 1],
+                   "prefix budgets must be ascending");
+  }
+  struct Cursor {
+    const std::vector<Posting>* list;
+    std::size_t pos;
+  };
+  auto cmp = [](const Cursor& a, const Cursor& b) {
+    return (*a.list)[a.pos].impact < (*b.list)[b.pos].impact;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  std::size_t remaining_total = 0;
+  for (TermId t : query.terms) {
+    const auto& list = index_->postings(t);
+    remaining_total += list.size();
+    if (!list.empty()) heap.push({&list, 0});
+  }
+
+  auto snapshot = [&](const std::map<DocId, double>& acc,
+                      std::size_t processed) {
+    SearchResult r;
+    r.postings_processed = processed;
+    r.complete = processed == remaining_total;
+    r.hits.assign(acc.begin(), acc.end());
+    std::sort(r.hits.begin(), r.hits.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (r.hits.size() > k) r.hits.resize(k);
+    return r;
+  };
+
+  std::vector<SearchResult> out;
+  out.reserve(budgets.size());
+  std::map<DocId, double> acc;
+  std::size_t processed = 0;
+  for (std::size_t budget : budgets) {
+    while (!heap.empty() && processed < budget) {
+      Cursor c = heap.top();
+      heap.pop();
+      const Posting& p = (*c.list)[c.pos];
+      acc[p.doc] += static_cast<double>(p.impact);
+      ++processed;
+      if (++c.pos < c.list->size()) heap.push(c);
+    }
+    out.push_back(snapshot(acc, processed));
+  }
+  return out;
+}
+
+std::size_t QueryExecutor::full_cost(const Query& query) const {
+  std::size_t total = 0;
+  for (TermId t : query.terms) total += index_->postings(t).size();
+  return total;
+}
+
+double QueryExecutor::quality(const Query& query, const SearchResult& partial,
+                              std::size_t k) const {
+  return score_recall(partial, execute(query, k));
+}
+
+double QueryExecutor::score_recall(const SearchResult& partial,
+                                   const SearchResult& full) {
+  if (full.hits.empty()) return 1.0;  // nothing to find
+  std::map<DocId, double> true_scores;
+  double denom = 0.0;
+  for (const auto& [doc, score] : full.hits) {
+    true_scores[doc] = score;
+    denom += score;
+  }
+  QES_ASSERT(denom > 0.0);
+  double num = 0.0;
+  for (const auto& [doc, score] : partial.hits) {
+    const auto it = true_scores.find(doc);
+    if (it != true_scores.end()) num += it->second;
+  }
+  return num / denom;
+}
+
+std::vector<double> QueryExecutor::topk_mass_curve(
+    const Query& query, std::size_t k,
+    std::span<const std::size_t> budgets) const {
+  // Pass 1: the true top-k and its total score mass.
+  const SearchResult full = execute(query, k);
+  std::set<DocId> topk;
+  double denom = 0.0;
+  for (const auto& [doc, score] : full.hits) {
+    topk.insert(doc);
+    denom += score;
+  }
+  if (topk.empty() || denom <= 0.0) {
+    return std::vector<double>(budgets.size(), 1.0);
+  }
+
+  // Pass 2: re-merge, accumulating only top-k docs' impacts.
+  struct Cursor {
+    const std::vector<Posting>* list;
+    std::size_t pos;
+  };
+  auto cmp = [](const Cursor& a, const Cursor& b) {
+    return (*a.list)[a.pos].impact < (*b.list)[b.pos].impact;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  for (TermId t : query.terms) {
+    const auto& list = index_->postings(t);
+    if (!list.empty()) heap.push({&list, 0});
+  }
+  std::vector<double> out;
+  out.reserve(budgets.size());
+  double mass = 0.0;
+  std::size_t processed = 0;
+  for (std::size_t budget : budgets) {
+    while (!heap.empty() && processed < budget) {
+      Cursor c = heap.top();
+      heap.pop();
+      const Posting& p = (*c.list)[c.pos];
+      if (topk.count(p.doc)) mass += static_cast<double>(p.impact);
+      ++processed;
+      if (++c.pos < c.list->size()) heap.push(c);
+    }
+    out.push_back(mass / denom);
+  }
+  return out;
+}
+
+}  // namespace qes::search

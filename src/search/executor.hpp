@@ -1,0 +1,85 @@
+// Budgeted (early-terminating) query execution over the impact-ordered
+// index — the best-effort request the paper schedules.
+//
+// A query evaluates postings from its terms' lists in globally
+// descending impact order; stopping after any prefix yields a valid
+// partial result. Result quality is measured against the full
+// evaluation, so quality(work) curves can be profiled per query.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "search/index.hpp"
+
+namespace qes::search {
+
+struct Query {
+  std::vector<TermId> terms;
+};
+
+/// Samples a realistic multi-term query: terms drawn from the corpus's
+/// Zipf popularity, deduplicated.
+[[nodiscard]] Query sample_query(const Corpus& corpus, Xoshiro256& rng,
+                                 std::size_t min_terms = 2,
+                                 std::size_t max_terms = 4);
+
+struct SearchResult {
+  /// Top documents by accumulated score, descending.
+  std::vector<std::pair<DocId, double>> hits;
+  std::size_t postings_processed = 0;
+  bool complete = false;  ///< every posting of every term was evaluated
+};
+
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const InvertedIndex& index) : index_(&index) {}
+
+  /// Evaluates at most `budget_postings` postings (impact order across
+  /// the query's lists) and returns the top-k accumulated documents.
+  [[nodiscard]] SearchResult execute(
+      const Query& query, std::size_t k,
+      std::size_t budget_postings = SIZE_MAX) const;
+
+  /// Evaluates the query once, snapshotting the top-k at each of the
+  /// given posting budgets (ascending). Returns one SearchResult per
+  /// budget; budgets beyond the full cost yield the complete result.
+  /// Far cheaper than calling execute() per budget when profiling
+  /// quality(work) curves.
+  [[nodiscard]] std::vector<SearchResult> execute_prefixes(
+      const Query& query, std::size_t k,
+      std::span<const std::size_t> budgets) const;
+
+  /// Total postings a full evaluation of this query touches — the
+  /// query's service demand in substrate units.
+  [[nodiscard]] std::size_t full_cost(const Query& query) const;
+
+  /// Score-weighted recall of `partial` against the full evaluation:
+  /// (sum of true scores of returned docs that belong to the true top-k)
+  /// / (sum of true top-k scores). In [0, 1], 1 iff the true top-k was
+  /// found.
+  [[nodiscard]] double quality(const Query& query, const SearchResult& partial,
+                               std::size_t k) const;
+
+  /// Same metric with a precomputed full result (profiling fast path).
+  [[nodiscard]] static double score_recall(const SearchResult& partial,
+                                           const SearchResult& full);
+
+  /// Fraction of the TRUE top-k score mass accumulated after each
+  /// posting budget (ascending). Monotone in work by construction, and
+  /// concave in expectation because impacts are processed in descending
+  /// order (individual queries can have locally convex stretches when
+  /// their top-k postings cluster late) — the substrate-level origin of
+  /// the paper's Fig. 1 curve. Ends at 1 when the last budget covers the
+  /// full cost.
+  [[nodiscard]] std::vector<double> topk_mass_curve(
+      const Query& query, std::size_t k,
+      std::span<const std::size_t> budgets) const;
+
+ private:
+  const InvertedIndex* index_;
+};
+
+}  // namespace qes::search

@@ -1,0 +1,51 @@
+#include "search/index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace qes::search {
+
+InvertedIndex::InvertedIndex(const Corpus& corpus)
+    : num_docs_(corpus.size()) {
+  const std::uint32_t vocab = corpus.config().vocabulary;
+  postings_.resize(vocab);
+  doc_freq_.assign(vocab, 0);
+
+  for (const Document& doc : corpus.documents()) {
+    for (const auto& [term, tf] : doc.terms) {
+      ++doc_freq_[term];
+      (void)tf;
+    }
+  }
+  for (const Document& doc : corpus.documents()) {
+    for (const auto& [term, tf] : doc.terms) {
+      // Standard tf-idf with length normalization.
+      const double w = (1.0 + std::log(static_cast<double>(tf))) *
+                       idf(term) /
+                       std::sqrt(static_cast<double>(doc.length));
+      postings_[term].push_back({doc.id, static_cast<float>(w)});
+    }
+  }
+  for (auto& list : postings_) {
+    std::sort(list.begin(), list.end(), [](const Posting& a, const Posting& b) {
+      if (a.impact != b.impact) return a.impact > b.impact;
+      return a.doc < b.doc;
+    });
+    total_ += list.size();
+  }
+}
+
+const std::vector<Posting>& InvertedIndex::postings(TermId term) const {
+  QES_ASSERT(term < postings_.size());
+  return postings_[term];
+}
+
+double InvertedIndex::idf(TermId term) const {
+  QES_ASSERT(term < doc_freq_.size());
+  const double df = std::max<std::uint32_t>(doc_freq_[term], 1);
+  return std::log(1.0 + static_cast<double>(num_docs_) / df);
+}
+
+}  // namespace qes::search

@@ -1,0 +1,44 @@
+// Impact-ordered inverted index.
+//
+// Each term's posting list stores (doc, score-impact) pairs sorted by
+// DESCENDING impact, the layout early-termination engines use: scanning
+// a prefix of each list already surfaces the highest-scoring documents,
+// so result quality is a concave function of postings processed — the
+// application-level origin of the paper's quality curves.
+#pragma once
+
+#include <vector>
+
+#include "search/corpus.hpp"
+
+namespace qes::search {
+
+struct Posting {
+  DocId doc = 0;
+  float impact = 0.0f;  ///< tf-idf score contribution of this term in doc
+};
+
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const Corpus& corpus);
+
+  [[nodiscard]] std::size_t vocabulary() const { return postings_.size(); }
+  [[nodiscard]] std::size_t num_documents() const { return num_docs_; }
+
+  /// Posting list for a term, impact-descending. Empty for unseen terms.
+  [[nodiscard]] const std::vector<Posting>& postings(TermId term) const;
+
+  /// Total postings across all lists (index size).
+  [[nodiscard]] std::size_t total_postings() const { return total_; }
+
+  /// idf weight used for impacts (available for tests/diagnostics).
+  [[nodiscard]] double idf(TermId term) const;
+
+ private:
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<std::uint32_t> doc_freq_;
+  std::size_t num_docs_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace qes::search

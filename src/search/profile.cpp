@@ -1,0 +1,202 @@
+#include "search/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace qes::search {
+
+namespace {
+
+// Least-squares fit of q(x) = (1 - e^{-cx}) / (1 - e^{-c x_norm}) to the
+// sample points, by golden-section search over c.
+double fit_c(const std::vector<Work>& xs, const std::vector<double>& qs,
+             Work x_norm, double& rmse_out) {
+  QES_ASSERT(xs.size() == qs.size() && !xs.empty() && x_norm > 0.0);
+  auto rmse = [&](double c) {
+    const double norm = 1.0 - std::exp(-c * x_norm);
+    double sse = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double q = (1.0 - std::exp(-c * xs[i])) / norm;
+      sse += (q - qs[i]) * (q - qs[i]);
+    }
+    return std::sqrt(sse / static_cast<double>(xs.size()));
+  };
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 1e-5, hi = 0.2;
+  double x1 = hi - phi * (hi - lo), x2 = lo + phi * (hi - lo);
+  double f1 = rmse(x1), f2 = rmse(x2);
+  for (int it = 0; it < 200 && hi - lo > 1e-9; ++it) {
+    if (f1 < f2) {
+      hi = x2; x2 = x1; f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = rmse(x1);
+    } else {
+      lo = x1; x1 = x2; f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = rmse(x2);
+    }
+  }
+  const double c = (lo + hi) / 2.0;
+  rmse_out = rmse(c);
+  return c;
+}
+
+}  // namespace
+
+QualityFunction QualityProfile::fitted_function() const {
+  QES_ASSERT(fitted_c > 0.0);
+  return QualityFunction::exponential(fitted_c);
+}
+
+QualityFunction QualityProfile::measured_function() const {
+  QES_ASSERT(work_units.size() == mean_quality.size() && !work_units.empty());
+  auto xs = work_units;
+  auto qs = mean_quality;
+  return QualityFunction::custom(
+      "search-measured",
+      [xs, qs](Work x) {
+        if (x <= xs.front()) {
+          return xs.front() > 0.0 ? qs.front() * (x / xs.front())
+                                  : qs.front();
+        }
+        if (x >= xs.back()) return qs.back();
+        const auto it = std::lower_bound(xs.begin(), xs.end(), x);
+        const std::size_t i = static_cast<std::size_t>(it - xs.begin());
+        const double f = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+        return qs[i - 1] + f * (qs[i] - qs[i - 1]);
+      },
+      /*strictly_concave=*/measured_curve_concave());
+}
+
+bool QualityProfile::measured_curve_concave(double slack) const {
+  // The curve is a Monte-Carlo estimate, so successive slopes jitter;
+  // tolerate a bounded relative increase but require every slope to stay
+  // below the initial one (global concave trend).
+  double prev_slope = std::numeric_limits<double>::infinity();
+  double first_slope = 0.0;
+  for (std::size_t i = 0; i < work_units.size(); ++i) {
+    const double q_prev = i == 0 ? 0.0 : mean_quality[i - 1];
+    const double x_prev = i == 0 ? 0.0 : work_units[i - 1];
+    const double dq = mean_quality[i] - q_prev;
+    const double dx = work_units[i] - x_prev;
+    if (dq < -1e-6) return false;  // not monotone
+    const double slope = dq / dx;
+    if (i == 0) {
+      first_slope = slope;
+    } else {
+      if (slope > prev_slope * (1.0 + slack) + 1e-9) return false;
+      if (slope > first_slope + 1e-9) return false;
+    }
+    prev_slope = slope;
+  }
+  return true;
+}
+
+QualityProfile profile_quality(const InvertedIndex& index,
+                               const Corpus& corpus,
+                               const ProfileConfig& config) {
+  QES_ASSERT(config.num_queries > 0 && config.grid_points >= 2);
+  Xoshiro256 rng(config.seed);
+  const QueryExecutor exec(index);
+
+  // Sample queries and their full costs (in postings).
+  std::vector<Query> queries;
+  std::vector<std::size_t> costs;
+  double mean_cost = 0.0;
+  for (std::size_t i = 0; i < config.num_queries; ++i) {
+    Query q = sample_query(corpus, rng);
+    const std::size_t cost = exec.full_cost(q);
+    if (cost == 0) continue;  // all terms unseen; skip
+    mean_cost += static_cast<double>(cost);
+    costs.push_back(cost);
+    queries.push_back(std::move(q));
+  }
+  QES_ASSERT_MSG(!queries.empty(), "corpus produced no evaluable queries");
+  mean_cost /= static_cast<double>(queries.size());
+
+  QualityProfile out;
+  out.units_per_posting = config.target_mean_units / mean_cost;
+
+  // Measure mean quality at each work fraction; also collect absolute
+  // (units, quality) samples for the Eq. (1) fit.
+  std::vector<Work> fit_x;
+  std::vector<double> fit_q;
+  out.work_units.resize(config.grid_points);
+  out.mean_quality.assign(config.grid_points, 0.0);
+  Work max_units = 0.0, min_units = std::numeric_limits<double>::infinity();
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const Work full_units =
+        static_cast<double>(costs[qi]) * out.units_per_posting;
+    max_units = std::max(max_units, full_units);
+    min_units = std::min(min_units, full_units);
+    std::vector<std::size_t> budgets;
+    for (std::size_t g = 0; g < config.grid_points; ++g) {
+      const double frac =
+          static_cast<double>(g + 1) / static_cast<double>(config.grid_points);
+      budgets.push_back(static_cast<std::size_t>(
+          std::ceil(frac * static_cast<double>(costs[qi]))));
+    }
+    const auto curve =
+        exec.topk_mass_curve(queries[qi], config.top_k, budgets);
+    QES_ASSERT(std::fabs(curve.back() - 1.0) < 1e-9);
+    for (std::size_t g = 0; g < config.grid_points; ++g) {
+      const double frac =
+          static_cast<double>(g + 1) / static_cast<double>(config.grid_points);
+      out.mean_quality[g] += curve[g] / static_cast<double>(queries.size());
+      fit_x.push_back(frac * full_units);
+      fit_q.push_back(curve[g]);
+    }
+  }
+  // The grid is expressed at the mean demand scale.
+  for (std::size_t g = 0; g < config.grid_points; ++g) {
+    out.work_units[g] = config.target_mean_units *
+                        static_cast<double>(g + 1) /
+                        static_cast<double>(config.grid_points);
+  }
+  // Fit Eq. (1) to the MEAN curve: per-query samples scatter widely
+  // because quality is really a function of each query's work FRACTION
+  // (see the substrate bench), while the scheduler's model wants one
+  // absolute-volume function.
+  (void)fit_x;
+  (void)fit_q;
+  out.x_norm = config.target_mean_units;
+  out.fitted_c =
+      fit_c(out.work_units, out.mean_quality, out.x_norm, out.fit_rmse);
+  out.demand_mean = config.target_mean_units;
+  out.demand_min = min_units;
+  out.demand_max = max_units;
+  return out;
+}
+
+std::vector<Job> search_workload(const InvertedIndex& index,
+                                 const Corpus& corpus,
+                                 const QualityProfile& profile,
+                                 double rate_per_second, Time horizon_ms,
+                                 Time deadline_ms, std::uint64_t seed) {
+  QES_ASSERT(rate_per_second > 0.0 && horizon_ms > 0.0 && deadline_ms > 0.0);
+  QES_ASSERT(profile.units_per_posting > 0.0);
+  Xoshiro256 rng(seed);
+  const QueryExecutor exec(index);
+  std::vector<Job> jobs;
+  Time t = rng.exponential(rate_per_second / 1000.0);
+  JobId next_id = 1;
+  while (t < horizon_ms) {
+    std::size_t cost = 0;
+    for (int attempt = 0; attempt < 16 && cost == 0; ++attempt) {
+      cost = exec.full_cost(sample_query(corpus, rng));
+    }
+    QES_ASSERT(cost > 0);
+    Job j;
+    j.id = next_id++;
+    j.release = t;
+    j.deadline = t + deadline_ms;
+    j.demand = static_cast<double>(cost) * profile.units_per_posting;
+    jobs.push_back(j);
+    t += rng.exponential(rate_per_second / 1000.0);
+  }
+  return jobs;
+}
+
+}  // namespace qes::search

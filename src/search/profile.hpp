@@ -1,0 +1,76 @@
+// Quality profiling: measure quality(work) on the search substrate and
+// bridge it to the scheduler's model.
+//
+// This closes the loop the paper assumes: it runs real early-terminated
+// queries, measures the mean quality as a function of work, verifies the
+// curve is increasing and concave, fits the paper's Eq. (1) family to
+// it, and emits a scheduler workload whose service demands are the
+// actual per-query evaluation costs (instead of the bounded-Pareto
+// stand-in).
+#pragma once
+
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/quality.hpp"
+#include "search/executor.hpp"
+
+namespace qes::search {
+
+struct ProfileConfig {
+  std::size_t num_queries = 200;
+  std::size_t top_k = 10;
+  /// Work-fraction grid at which quality is sampled per query.
+  std::size_t grid_points = 20;
+  /// Calibration: mean full query cost maps to this many scheduler
+  /// processing units (paper's mean demand ~192).
+  Work target_mean_units = 192.0;
+  std::uint64_t seed = 7;
+};
+
+struct QualityProfile {
+  /// Work grid in scheduler units (absolute) and the measured mean
+  /// quality at each point.
+  std::vector<Work> work_units;
+  std::vector<double> mean_quality;
+  /// Eq. (1) parameter fitted to the measured curve, and its RMSE.
+  double fitted_c = 0.0;
+  double fit_rmse = 0.0;
+  /// Normalization point of the fitted curve (the mean demand).
+  Work x_norm = 0.0;
+  /// Calibration: scheduler units per evaluated posting.
+  double units_per_posting = 0.0;
+  /// Demand statistics over the profiled queries (in units).
+  Work demand_mean = 0.0;
+  Work demand_min = 0.0;
+  Work demand_max = 0.0;
+
+  /// The fitted member of the paper's quality family.
+  [[nodiscard]] QualityFunction fitted_function() const;
+
+  /// Piecewise-linear interpolation of the *measured* curve.
+  [[nodiscard]] QualityFunction measured_function() const;
+
+  /// True if the measured curve is monotone and concave up to sampling
+  /// noise: each slope may exceed its predecessor by at most `slack`
+  /// relatively and must never exceed the initial slope.
+  [[nodiscard]] bool measured_curve_concave(double slack = 0.25) const;
+};
+
+/// Runs the profiler over randomly sampled queries.
+[[nodiscard]] QualityProfile profile_quality(const InvertedIndex& index,
+                                             const Corpus& corpus,
+                                             const ProfileConfig& config = {});
+
+/// Generates a scheduler job trace whose demands are real query costs
+/// (converted with the profile's calibration): Poisson arrivals at
+/// `rate_per_second` over `horizon_ms`, deadline = arrival + deadline_ms.
+[[nodiscard]] std::vector<Job> search_workload(const InvertedIndex& index,
+                                               const Corpus& corpus,
+                                               const QualityProfile& profile,
+                                               double rate_per_second,
+                                               Time horizon_ms,
+                                               Time deadline_ms = 150.0,
+                                               std::uint64_t seed = 1);
+
+}  // namespace qes::search

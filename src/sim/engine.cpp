@@ -1,0 +1,349 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qes {
+
+namespace {
+constexpr double kEps = kTimeEps;
+}
+
+Engine::Engine(EngineConfig config, std::vector<Job> jobs,
+               std::unique_ptr<SchedulingPolicy> policy)
+    : cfg_(std::move(config)), policy_(std::move(policy)) {
+  QES_ASSERT(cfg_.cores > 0 && cfg_.power_budget > 0.0);
+  QES_ASSERT_MSG(cfg_.per_core_max_speed.empty() ||
+                     cfg_.per_core_max_speed.size() ==
+                         static_cast<std::size_t>(cfg_.cores),
+                 "per_core_max_speed must have one entry per core");
+  for (Speed cap : cfg_.per_core_max_speed) QES_ASSERT(cap > 0.0);
+  QES_ASSERT(policy_ != nullptr);
+  sort_by_release(jobs);
+  QES_ASSERT_MSG(deadlines_agreeable(jobs),
+                 "engine requires agreeable deadlines");
+  jobs_.reserve(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    QES_ASSERT_MSG(jobs[k].id == k + 1,
+                   "jobs must carry dense ids 1..n in arrival order");
+    QES_ASSERT(jobs[k].demand > 0.0 && jobs[k].deadline > jobs[k].release);
+    jobs_.push_back(JobState{.job = jobs[k]});
+  }
+  cores_.resize(static_cast<std::size_t>(cfg_.cores));
+}
+
+JobState& Engine::state(JobId id) {
+  QES_ASSERT(id >= 1 && id <= jobs_.size());
+  return jobs_[id - 1];
+}
+
+const JobState& Engine::job(JobId id) const {
+  QES_ASSERT(id >= 1 && id <= jobs_.size());
+  return jobs_[id - 1];
+}
+
+const std::deque<JobId>& Engine::assigned(int core) const {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  return cores_[static_cast<std::size_t>(core)].queue;
+}
+
+bool Engine::core_idle(int core) const {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  const CoreRuntime& c = cores_[static_cast<std::size_t>(core)];
+  return c.next_seg >= c.plan.size();
+}
+
+void Engine::assign_to_core(JobId id, int core) {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  JobState& st = state(id);
+  QES_ASSERT_MSG(st.phase == JobState::Phase::Waiting,
+                 "only waiting jobs can be assigned");
+  auto it = std::find(waiting_.begin(), waiting_.end(), id);
+  QES_ASSERT(it != waiting_.end());
+  waiting_.erase(it);
+  st.phase = JobState::Phase::Assigned;
+  st.core = core;
+  // Keep the queue in id (== arrival == deadline) order; rebalanced jobs
+  // may slot in ahead of later arrivals.
+  auto& q = cores_[static_cast<std::size_t>(core)].queue;
+  q.insert(std::lower_bound(q.begin(), q.end(), id), id);
+}
+
+void Engine::discard_job(JobId id) { finalize(id); }
+
+void Engine::unassign_from_core(JobId id) {
+  JobState& st = state(id);
+  QES_ASSERT_MSG(st.phase == JobState::Phase::Assigned,
+                 "only assigned jobs can be unassigned");
+  QES_ASSERT_MSG(st.processed <= kTimeEps,
+                 "started jobs never migrate (non-migratory model)");
+  CoreRuntime& c = cores_[static_cast<std::size_t>(st.core)];
+  auto it = std::find(c.queue.begin(), c.queue.end(), id);
+  QES_ASSERT(it != c.queue.end());
+  c.queue.erase(it);
+  c.plan = Schedule{};
+  c.next_seg = 0;
+  st.phase = JobState::Phase::Waiting;
+  st.core = -1;
+  // Waiting stays in arrival (== id) order.
+  auto pos = std::lower_bound(waiting_.begin(), waiting_.end(), id);
+  waiting_.insert(pos, id);
+}
+
+void Engine::set_core_plan(int core, Schedule plan) {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  CoreRuntime& c = cores_[static_cast<std::size_t>(core)];
+  plan.check_well_formed();
+  for (const Segment& s : plan.segments()) {
+    QES_ASSERT_MSG(s.t0 >= now_ - 1e-5, "plan must start at or after now");
+    const JobState& st = job(s.job);
+    QES_ASSERT_MSG(st.phase == JobState::Phase::Assigned && st.core == core,
+                   "plan segment must reference a live job on this core");
+    QES_ASSERT_MSG(s.t1 <= st.job.deadline + 1e-5,
+                   "plan segment must end by the job's deadline");
+    QES_ASSERT_MSG(s.speed <= cfg_.core_speed_cap(core) + 1e-6,
+                   "plan speed exceeds the core's hardware cap");
+  }
+  c.plan = std::move(plan);
+  c.next_seg = 0;
+}
+
+void Engine::set_core_idle_power(int core, Watts watts) {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  QES_ASSERT(watts >= 0.0);
+  cores_[static_cast<std::size_t>(core)].idle_power = watts;
+}
+
+void Engine::finalize(JobId id, bool force_zero_quality) {
+  JobState& st = state(id);
+  QES_ASSERT(st.phase != JobState::Phase::Finalized);
+  if (st.phase == JobState::Phase::Waiting) {
+    auto it = std::find(waiting_.begin(), waiting_.end(), id);
+    if (it != waiting_.end()) waiting_.erase(it);
+  } else {
+    auto& q = cores_[static_cast<std::size_t>(st.core)].queue;
+    auto it = std::find(q.begin(), q.end(), id);
+    QES_ASSERT(it != q.end());
+    q.erase(it);
+  }
+  st.processed = std::min(st.processed, st.job.demand);
+  st.satisfied = st.processed + 1e-6 * std::max(1.0, st.job.demand) >=
+                 st.job.demand;
+  if (force_zero_quality) {
+    st.quality = 0.0;
+  } else if (!st.job.partial_ok) {
+    st.quality =
+        st.satisfied ? st.job.weight * cfg_.quality(st.job.demand) : 0.0;
+  } else {
+    st.quality = st.job.weight * cfg_.quality(st.processed);
+  }
+  st.phase = JobState::Phase::Finalized;
+  st.finalized_at = now_;
+  ++finalized_count_;
+}
+
+void Engine::expire_due_jobs() {
+  while (first_live_ < jobs_.size()) {
+    JobState& st = jobs_[first_live_];
+    if (st.phase == JobState::Phase::Finalized) {
+      ++first_live_;
+      continue;
+    }
+    if (first_live_ >= next_arrival_) break;  // not yet arrived
+    if (st.job.deadline <= now_ + kEps) {
+      finalize(st.job.id);
+      ++first_live_;
+      continue;
+    }
+    break;
+  }
+}
+
+void Engine::advance_to(Time target) {
+  QES_ASSERT(target >= now_ - kEps);
+  while (true) {
+    // Sub-step end: the earliest segment boundary across cores, capped at
+    // the target. Power is constant within the sub-step.
+    Time step_end = target;
+    for (const CoreRuntime& c : cores_) {
+      if (c.next_seg >= c.plan.size()) continue;
+      const Segment& s = c.plan[c.next_seg];
+      step_end = std::min(step_end, s.t0 > now_ + kEps ? s.t0 : s.t1);
+    }
+
+    if (step_end > now_ + kEps) {
+      const Time dt = step_end - now_;
+      Watts total_power = 0.0;
+      for (std::size_t i = 0; i < cores_.size(); ++i) {
+        CoreRuntime& c = cores_[i];
+        const bool active = c.next_seg < c.plan.size() &&
+                            c.plan[c.next_seg].t0 <= now_ + kEps;
+        if (active) {
+          const Segment& s = c.plan[c.next_seg];
+          total_power += cfg_.power_model.dynamic_power(s.speed);
+          state(s.job).processed += s.speed * dt;
+          if (cfg_.record_execution) {
+            result_.executed[i].push({now_, step_end, s.job, s.speed});
+          }
+        } else {
+          total_power += c.idle_power;
+        }
+      }
+      QES_ASSERT_MSG(
+          total_power <= cfg_.power_budget * (1.0 + 1e-6) + 1e-6,
+          "instantaneous power exceeded the budget");
+      dynamic_energy_ += joules(total_power, dt);
+      peak_power_ = std::max(peak_power_, total_power);
+      now_ = step_end;
+    }
+
+    // Process segment completions at now_.
+    for (CoreRuntime& c : cores_) {
+      while (c.next_seg < c.plan.size() &&
+             c.plan[c.next_seg].t1 <= now_ + kEps) {
+        const Segment done = c.plan[c.next_seg];
+        ++c.next_seg;
+        JobState& st = state(done.job);
+        if (st.phase == JobState::Phase::Finalized) continue;
+        const bool complete =
+            st.processed + 1e-6 * std::max(1.0, st.job.demand) >=
+            st.job.demand;
+        bool more_planned = false;
+        for (std::size_t k = c.next_seg; k < c.plan.size(); ++k) {
+          if (c.plan[k].job == done.job) {
+            more_planned = true;
+            break;
+          }
+        }
+        if (complete) {
+          finalize(done.job);
+        } else if (!more_planned && !cfg_.resume_passed_jobs) {
+          // The core moves past a partially executed job: discarded due
+          // to partial evaluation (paper §IV-B).
+          finalize(done.job);
+        }
+      }
+    }
+
+    if (now_ >= target - kEps) break;
+  }
+  now_ = std::max(now_, target);
+}
+
+RunResult Engine::run() {
+  const std::size_t n = jobs_.size();
+  if (cfg_.record_execution) {
+    result_.executed.resize(cores_.size());
+  }
+  if (n == 0) return std::move(result_);
+
+  next_quantum_ = cfg_.quantum_ms > 0.0
+                      ? cfg_.quantum_ms
+                      : std::numeric_limits<double>::infinity();
+  const Time final_deadline = jobs_.back().job.deadline;
+
+  while (!all_finalized()) {
+    // Next event: arrival, quantum firing, earliest live deadline, or the
+    // next segment boundary on any core.
+    Time t = std::numeric_limits<double>::infinity();
+    if (next_arrival_ < n) t = std::min(t, jobs_[next_arrival_].job.release);
+    if (cfg_.quantum_ms > 0.0) t = std::min(t, next_quantum_);
+    if (first_live_ < n && first_live_ < next_arrival_) {
+      t = std::min(t, jobs_[first_live_].job.deadline);
+    }
+    for (const CoreRuntime& c : cores_) {
+      if (c.next_seg >= c.plan.size()) continue;
+      const Segment& s = c.plan[c.next_seg];
+      t = std::min(t, s.t0 > now_ + kEps ? s.t0 : s.t1);
+    }
+    QES_ASSERT_MSG(std::isfinite(t), "event loop stalled with live jobs");
+
+    advance_to(std::max(t, now_));
+
+    // Arrivals at the current time.
+    while (next_arrival_ < n &&
+           jobs_[next_arrival_].job.release <= now_ + kEps) {
+      waiting_.push_back(jobs_[next_arrival_].job.id);
+      ++next_arrival_;
+    }
+
+    expire_due_jobs();
+
+    // Grouped-scheduling triggers (§IV-E).
+    bool replan = false;
+    if (cfg_.quantum_ms > 0.0 && now_ >= next_quantum_ - kEps) {
+      while (next_quantum_ <= now_ + kEps) next_quantum_ += cfg_.quantum_ms;
+      replan = true;
+    }
+    if (cfg_.counter_trigger > 0 &&
+        waiting_.size() >= static_cast<std::size_t>(cfg_.counter_trigger)) {
+      replan = true;
+    }
+    if (cfg_.idle_trigger && !waiting_.empty()) {
+      for (int i = 0; i < cfg_.cores; ++i) {
+        if (core_idle(i)) {
+          replan = true;
+          break;
+        }
+      }
+    }
+
+    if (replan) {
+      result_.replan_times.push_back(now_);
+      policy_->replan(*this);
+    }
+  }
+
+  // Keep integrating idle power to the last deadline: the paper's energy
+  // runs from r_1 to d_n (matters for No-DVFS, whose cores never sleep).
+  advance_to(final_deadline);
+
+  RunStats& s = result_.stats;
+  s.jobs_total = n;
+  for (const JobState& st : jobs_) {
+    s.total_quality += st.quality;
+    s.max_quality += st.job.weight * cfg_.quality(st.job.demand);
+    if (st.satisfied) {
+      ++s.jobs_satisfied;
+    } else if (st.processed > kEps) {
+      ++s.jobs_partial;
+    } else {
+      ++s.jobs_zero;
+    }
+    if (!st.job.partial_ok && !st.satisfied) ++s.jobs_discarded_rigid;
+  }
+  s.normalized_quality = s.max_quality > 0.0
+                             ? s.total_quality / s.max_quality
+                             : 0.0;
+  // Tail latency over satisfied jobs.
+  std::vector<Time> latencies;
+  latencies.reserve(s.jobs_satisfied);
+  for (const JobState& st : jobs_) {
+    if (st.satisfied) latencies.push_back(st.finalized_at - st.job.release);
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    Time sum = 0.0;
+    for (Time l : latencies) sum += l;
+    s.mean_latency = sum / static_cast<double>(latencies.size());
+    auto pct = [&](double p) {
+      const std::size_t idx = std::min(
+          latencies.size() - 1,
+          static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
+      return latencies[idx];
+    };
+    s.p50_latency = pct(0.50);
+    s.p95_latency = pct(0.95);
+    s.p99_latency = pct(0.99);
+  }
+  s.dynamic_energy = dynamic_energy_;
+  s.static_energy =
+      cfg_.cores * cfg_.power_model.b * final_deadline / 1000.0;
+  s.peak_power = peak_power_;
+  s.end_time = final_deadline;
+  s.replans = result_.replan_times.size();
+  result_.jobs = jobs_;
+  return std::move(result_);
+}
+
+}  // namespace qes

@@ -1,0 +1,180 @@
+// Discrete-event simulation engine for multicore scheduling under a
+// power budget (paper §V).
+//
+// The engine is architecture-agnostic: a SchedulingPolicy installs, per
+// core, a piecewise-constant (job, speed) plan plus an "idle power" that
+// the core burns when no segment is active (0 for core-level DVFS; the
+// common chip power for S-DVFS; the fixed full power for No-DVFS). The
+// engine advances time event by event — arrivals, trigger firings,
+// segment boundaries, deadline expiries — integrating processed volumes
+// and energy exactly (power is constant between consecutive events) and
+// asserting the instantaneous power cap.
+//
+// Job lifecycle: Waiting (arrived, in the global queue) -> Assigned (on a
+// core, never migrates) -> Finalized. A job finalizes when it completes,
+// when its deadline passes, when the policy discards it, or — under the
+// paper's execution model — when its core finishes the job's planned
+// partial volume and moves past it ("discarded due to partial
+// evaluation", §IV-B). Setting resume_passed_jobs keeps passed-over jobs
+// alive for re-planning instead (the ablation model).
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/power.hpp"
+#include "core/quality.hpp"
+#include "core/schedule.hpp"
+#include "sim/metrics.hpp"
+
+namespace qes {
+
+struct EngineConfig {
+  int cores = 16;
+  /// Total *dynamic* power budget H in watts (§V-B: 320 W).
+  Watts power_budget = 320.0;
+  PowerModel power_model = default_power_model();
+  QualityFunction quality = QualityFunction::exponential(0.003);
+  /// Grouped-scheduling triggers (§IV-E). quantum_ms <= 0 disables the
+  /// quantum trigger; counter_trigger <= 0 disables the counter trigger.
+  Time quantum_ms = 500.0;
+  int counter_trigger = 8;
+  bool idle_trigger = true;
+  /// Hardware cap on any core's speed (GHz); infinity = power-bound only.
+  Speed max_core_speed = std::numeric_limits<double>::infinity();
+  /// Heterogeneous (big.LITTLE) servers: per-core speed caps overriding
+  /// max_core_speed when non-empty (size must equal `cores`; extension).
+  std::vector<Speed> per_core_max_speed;
+
+  /// Effective hardware speed cap of core `i`.
+  [[nodiscard]] Speed core_speed_cap(int i) const {
+    if (per_core_max_speed.empty()) return max_core_speed;
+    return per_core_max_speed[static_cast<std::size_t>(i)];
+  }
+  /// Keep partially executed, passed-over jobs alive for re-planning
+  /// (ablation; the paper discards them).
+  bool resume_passed_jobs = false;
+  /// Record the executed per-core schedules in the RunResult (needed by
+  /// the validation replay; costs memory on long runs).
+  bool record_execution = true;
+};
+
+class Engine;
+
+/// Strategy invoked at every trigger firing to (re)plan the system.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  virtual void replan(Engine& engine) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Engine-side view of one job.
+struct JobState {
+  Job job;
+  enum class Phase { Waiting, Assigned, Finalized } phase = Phase::Waiting;
+  int core = -1;              ///< assigned core, -1 while waiting
+  Work processed = 0.0;       ///< volume executed so far
+  double quality = 0.0;       ///< set at finalization
+  bool satisfied = false;     ///< processed == demand at finalization
+  Time finalized_at = -1.0;
+};
+
+struct RunResult {
+  RunStats stats;
+  /// Actually executed segments per core (empty if !record_execution).
+  std::vector<Schedule> executed;
+  /// Times at which the policy was invoked.
+  std::vector<Time> replan_times;
+  /// Final per-job states, in job-id order.
+  std::vector<JobState> jobs;
+};
+
+class Engine {
+ public:
+  /// Jobs must have dense ids 1..n in arrival order (as produced by the
+  /// workload generator) and agreeable deadlines.
+  Engine(EngineConfig config, std::vector<Job> jobs,
+         std::unique_ptr<SchedulingPolicy> policy);
+
+  /// Runs the simulation to completion (all jobs finalized) and returns
+  /// the collected statistics.
+  [[nodiscard]] RunResult run();
+
+  // ---- policy-facing API (valid during SchedulingPolicy::replan) ----
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+  [[nodiscard]] int cores() const { return cfg_.cores; }
+
+  /// Waiting (arrived, unassigned, unexpired) jobs in arrival order.
+  [[nodiscard]] std::span<const JobId> waiting() const { return waiting_; }
+
+  /// Live jobs assigned to `core`, in arrival (== deadline) order.
+  [[nodiscard]] const std::deque<JobId>& assigned(int core) const;
+
+  /// Read one job's state.
+  [[nodiscard]] const JobState& job(JobId id) const;
+
+  /// True when the core has exhausted its current plan.
+  [[nodiscard]] bool core_idle(int core) const;
+
+  /// Move a waiting job onto a core (C-RR / baseline pick). The job must
+  /// currently be waiting.
+  void assign_to_core(JobId id, int core);
+
+  /// Finalize a job right now with its accumulated volume (zero quality
+  /// if the job does not support partial evaluation and is incomplete).
+  void discard_job(JobId id);
+
+  /// Return an assigned but UNSTARTED job to the waiting queue (used by
+  /// the rebalancing ablation; the paper's DES never migrates). Clears
+  /// the core's plan — the policy must install a fresh one.
+  void unassign_from_core(JobId id);
+
+  /// Replace the core's plan from now() onward. Segments must start at
+  /// or after now(), reference live jobs assigned to this core, and
+  /// respect their windows.
+  void set_core_plan(int core, Schedule plan);
+
+  /// Dynamic power the core burns when no segment is active (until the
+  /// next replan that changes it).
+  void set_core_idle_power(int core, Watts watts);
+
+ private:
+  struct CoreRuntime {
+    Schedule plan;
+    std::size_t next_seg = 0;
+    Watts idle_power = 0.0;
+    std::deque<JobId> queue;  // live assigned jobs, arrival order
+  };
+
+  JobState& state(JobId id);
+  void advance_to(Time t);
+  void finalize(JobId id, bool force_zero_quality = false);
+  void expire_due_jobs();
+  [[nodiscard]] bool all_finalized() const {
+    return finalized_count_ == jobs_.size();
+  }
+
+  EngineConfig cfg_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::vector<JobState> jobs_;     // index = id - 1
+  std::vector<CoreRuntime> cores_;
+  std::vector<JobId> waiting_;
+  std::size_t next_arrival_ = 0;   // index into jobs_ (arrival order)
+  std::size_t first_live_ = 0;     // earliest possibly-unfinalized job
+  std::size_t finalized_count_ = 0;
+  Time now_ = 0.0;
+  Time next_quantum_ = 0.0;
+  Joules dynamic_energy_ = 0.0;
+  Watts peak_power_ = 0.0;
+  RunResult result_;
+};
+
+}  // namespace qes

@@ -1,0 +1,150 @@
+#include "sim/experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "core/assert.hpp"
+
+namespace qes {
+
+RunStats run_once(const EngineConfig& engine_cfg, const WorkloadConfig& wl,
+                  const PolicyFactory& make_policy) {
+  EngineConfig cfg = engine_cfg;
+  cfg.record_execution = false;  // stats only; replay callers use Engine
+  Engine engine(cfg, generate_websearch_jobs(wl), make_policy());
+  return engine.run().stats;
+}
+
+RunStats average_stats(std::span<const RunStats> runs) {
+  QES_ASSERT(!runs.empty());
+  RunStats avg;
+  const double n = static_cast<double>(runs.size());
+  for (const RunStats& r : runs) {
+    avg.total_quality += r.total_quality / n;
+    avg.max_quality += r.max_quality / n;
+    avg.normalized_quality += r.normalized_quality / n;
+    avg.dynamic_energy += r.dynamic_energy / n;
+    avg.static_energy += r.static_energy / n;
+    avg.peak_power = std::max(avg.peak_power, r.peak_power);
+    avg.end_time = std::max(avg.end_time, r.end_time);
+    avg.mean_latency += r.mean_latency / n;
+    avg.p50_latency += r.p50_latency / n;
+    avg.p95_latency += r.p95_latency / n;
+    avg.p99_latency += r.p99_latency / n;
+    avg.jobs_total += r.jobs_total;
+    avg.jobs_satisfied += r.jobs_satisfied;
+    avg.jobs_partial += r.jobs_partial;
+    avg.jobs_zero += r.jobs_zero;
+    avg.jobs_discarded_rigid += r.jobs_discarded_rigid;
+    avg.replans += r.replans;
+  }
+  return avg;
+}
+
+RunStats run_averaged(const EngineConfig& engine_cfg, WorkloadConfig wl,
+                      const PolicyFactory& make_policy, int seeds,
+                      std::uint64_t base_seed) {
+  QES_ASSERT(seeds >= 1);
+  std::vector<RunStats> runs;
+  runs.reserve(static_cast<std::size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    wl.seed = base_seed + static_cast<std::uint64_t>(s);
+    runs.push_back(run_once(engine_cfg, wl, make_policy));
+  }
+  return average_stats(runs);
+}
+
+double ReplicatedStats::quality_ci95() const {
+  return replicates > 1
+             ? 1.96 * quality_stddev / std::sqrt(static_cast<double>(replicates))
+             : 0.0;
+}
+
+Joules ReplicatedStats::energy_ci95() const {
+  return replicates > 1
+             ? 1.96 * energy_stddev / std::sqrt(static_cast<double>(replicates))
+             : 0.0;
+}
+
+ReplicatedStats run_replicated(const EngineConfig& engine_cfg,
+                               WorkloadConfig wl,
+                               const PolicyFactory& make_policy, int seeds,
+                               std::uint64_t base_seed) {
+  QES_ASSERT(seeds >= 1);
+  std::vector<RunStats> runs;
+  runs.reserve(static_cast<std::size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    wl.seed = base_seed + static_cast<std::uint64_t>(s);
+    runs.push_back(run_once(engine_cfg, wl, make_policy));
+  }
+  ReplicatedStats out;
+  out.mean = average_stats(runs);
+  out.replicates = seeds;
+  if (seeds > 1) {
+    double qs = 0.0, es = 0.0;
+    for (const RunStats& r : runs) {
+      const double dq = r.normalized_quality - out.mean.normalized_quality;
+      const double de = r.dynamic_energy - out.mean.dynamic_energy;
+      qs += dq * dq;
+      es += de * de;
+    }
+    out.quality_stddev = std::sqrt(qs / (seeds - 1));
+    out.energy_stddev = std::sqrt(es / (seeds - 1));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_rates(const EngineConfig& engine_cfg,
+                                    WorkloadConfig wl,
+                                    std::span<const double> rates,
+                                    const PolicyFactory& make_policy,
+                                    int seeds) {
+  std::vector<SweepPoint> out;
+  out.reserve(rates.size());
+  for (double rate : rates) {
+    wl.arrival_rate = rate;
+    out.push_back({rate, run_averaged(engine_cfg, wl, make_policy, seeds)});
+  }
+  return out;
+}
+
+double throughput_at_quality(std::span<const SweepPoint> sweep,
+                             double target_quality) {
+  QES_ASSERT(!sweep.empty());
+  double best = 0.0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const double q = sweep[i].stats.normalized_quality;
+    if (q >= target_quality) {
+      best = sweep[i].arrival_rate;
+      // Interpolate into the next segment if quality crosses the target.
+      if (i + 1 < sweep.size()) {
+        const double q2 = sweep[i + 1].stats.normalized_quality;
+        if (q2 < target_quality && q > q2) {
+          const double frac = (q - target_quality) / (q - q2);
+          best = sweep[i].arrival_rate +
+                 frac * (sweep[i + 1].arrival_rate - sweep[i].arrival_rate);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double env_sim_seconds(double fallback) {
+  if (const char* v = std::getenv("QES_SIM_SECONDS")) {
+    const double s = std::atof(v);
+    if (s > 0.0) return s;
+  }
+  return fallback;
+}
+
+int env_seeds(int fallback) {
+  if (const char* v = std::getenv("QES_SEEDS")) {
+    const int s = std::atoi(v);
+    if (s > 0) return s;
+  }
+  return fallback;
+}
+
+}  // namespace qes

@@ -1,0 +1,76 @@
+// Experiment harness shared by the figure benches and examples: run one
+// simulation, sweep arrival rates over several seeds, and locate the
+// maximum sustainable rate for a target quality (the paper's
+// "throughput at quality 0.9" comparison, §V-E).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace qes {
+
+/// Creates a fresh policy per run (policies hold per-run state such as
+/// the C-RR cursor).
+using PolicyFactory = std::function<std::unique_ptr<SchedulingPolicy>()>;
+
+/// Generates the workload for `wl`, runs it through `engine_cfg` +
+/// `make_policy`, returns the stats.
+[[nodiscard]] RunStats run_once(const EngineConfig& engine_cfg,
+                                const WorkloadConfig& wl,
+                                const PolicyFactory& make_policy);
+
+/// Component-wise mean of several runs' stats.
+[[nodiscard]] RunStats average_stats(std::span<const RunStats> runs);
+
+/// Runs `seeds` replicates (seeds base_seed, base_seed+1, ...) at one
+/// arrival rate and averages.
+[[nodiscard]] RunStats run_averaged(const EngineConfig& engine_cfg,
+                                    WorkloadConfig wl,
+                                    const PolicyFactory& make_policy,
+                                    int seeds, std::uint64_t base_seed = 1);
+
+/// Replicate statistics: mean stats plus the across-seed spread of the
+/// two headline metrics (sample stddev; 95% CI via normal approximation,
+/// adequate for the >= 3 replicates the benches use).
+struct ReplicatedStats {
+  RunStats mean;
+  double quality_stddev = 0.0;
+  Joules energy_stddev = 0.0;
+  int replicates = 0;
+
+  [[nodiscard]] double quality_ci95() const;
+  [[nodiscard]] Joules energy_ci95() const;
+};
+
+/// Runs `seeds` replicates and reports mean + spread.
+[[nodiscard]] ReplicatedStats run_replicated(const EngineConfig& engine_cfg,
+                                             WorkloadConfig wl,
+                                             const PolicyFactory& make_policy,
+                                             int seeds,
+                                             std::uint64_t base_seed = 1);
+
+struct SweepPoint {
+  double arrival_rate = 0.0;
+  RunStats stats;
+};
+
+/// Sweeps arrival rates, averaging over seeds per point.
+[[nodiscard]] std::vector<SweepPoint> sweep_rates(
+    const EngineConfig& engine_cfg, WorkloadConfig wl,
+    std::span<const double> rates, const PolicyFactory& make_policy,
+    int seeds);
+
+/// Largest arrival rate sustaining normalized quality >= target, linearly
+/// interpolated between sweep points (0 if even the lowest rate fails).
+[[nodiscard]] double throughput_at_quality(std::span<const SweepPoint> sweep,
+                                           double target_quality);
+
+/// Environment overrides for the benches: QES_SIM_SECONDS (simulated
+/// duration) and QES_SEEDS (replicates per point).
+[[nodiscard]] double env_sim_seconds(double fallback);
+[[nodiscard]] int env_seeds(int fallback);
+
+}  // namespace qes

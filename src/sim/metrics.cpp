@@ -1,0 +1,14 @@
+#include "sim/metrics.hpp"
+
+#include <cmath>
+
+namespace qes {
+
+bool lex_better(const QualityEnergy& a, const QualityEnergy& b,
+                double quality_tol) {
+  if (a.quality > b.quality + quality_tol) return true;
+  if (a.quality < b.quality - quality_tol) return false;
+  return a.energy < b.energy;
+}
+
+}  // namespace qes

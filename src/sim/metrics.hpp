@@ -1,0 +1,59 @@
+// Run statistics and the paper's composite <quality, energy> metric
+// (paper §II-C): schedules are ranked lexicographically — higher total
+// quality first, lower energy among quality ties.
+#pragma once
+
+#include <cstddef>
+
+#include "core/time.hpp"
+
+namespace qes {
+
+struct QualityEnergy {
+  double quality = 0.0;
+  Joules energy = 0.0;
+};
+
+/// Lexicographic comparison: true if `a` is strictly better than `b`
+/// under <quality, energy>. Qualities within `quality_tol` count as tied.
+[[nodiscard]] bool lex_better(const QualityEnergy& a, const QualityEnergy& b,
+                              double quality_tol = 1e-9);
+
+struct RunStats {
+  // Quality.
+  double total_quality = 0.0;       ///< sum of f(p_j) (0 for failed rigid jobs)
+  double max_quality = 0.0;         ///< sum of f(w_j): the attainable maximum
+  double normalized_quality = 0.0;  ///< total / max
+
+  // Energy (dynamic integrated over [0, end_time]; static = m*b*end_time).
+  Joules dynamic_energy = 0.0;
+  Joules static_energy = 0.0;
+  [[nodiscard]] Joules total_energy() const {
+    return dynamic_energy + static_energy;
+  }
+  Watts peak_power = 0.0;
+  Time end_time = 0.0;  ///< last deadline (the d_n of E's integral)
+
+  // Job outcomes.
+  std::size_t jobs_total = 0;
+  std::size_t jobs_satisfied = 0;   ///< completed in full
+  std::size_t jobs_partial = 0;     ///< got some volume, not all
+  std::size_t jobs_zero = 0;        ///< no volume at all
+  std::size_t jobs_discarded_rigid = 0;  ///< non-partial jobs that failed
+
+  // Response-time statistics of SATISFIED jobs (finalize - release, ms).
+  // Zero when nothing was satisfied. Interactive services watch the tail.
+  Time mean_latency = 0.0;
+  Time p50_latency = 0.0;
+  Time p95_latency = 0.0;
+  Time p99_latency = 0.0;
+
+  // Scheduler activity.
+  std::size_t replans = 0;
+
+  [[nodiscard]] QualityEnergy quality_energy() const {
+    return {normalized_quality, dynamic_energy + static_energy};
+  }
+};
+
+}  // namespace qes

@@ -1,0 +1,49 @@
+// The paper's validation hardware (§V-G): 8-node cluster of Quad-Core
+// AMD Opteron 2380, per-core discrete speeds with measured total power,
+// instrumented with PowerPack. We reproduce the measured table and the
+// paper's regression-fitted model P = a s^beta + b.
+#pragma once
+
+#include <array>
+
+#include "core/assert.hpp"
+#include "core/power.hpp"
+
+namespace qes {
+
+struct MeasuredPowerPoint {
+  Speed ghz;
+  Watts watts;  ///< total per-core power (dynamic + static)
+};
+
+/// Measured (speed, power) pairs from §V-G.
+inline constexpr std::array<MeasuredPowerPoint, 4> kOpteron2380Measured = {{
+    {0.8, 11.06},
+    {1.3, 13.275},
+    {1.8, 16.85},
+    {2.5, 22.69},
+}};
+
+/// The paper's regression result over the measured pairs.
+[[nodiscard]] inline PowerModel opteron_fitted_model() {
+  return PowerModel{.a = 2.6075, .beta = 1.791, .b = 9.2562};
+}
+
+/// Total per-core power at a given speed according to the measured table
+/// (linear interpolation between levels; 0 speed = static-only power
+/// using the fitted b, since an idle core is clock-gated).
+[[nodiscard]] inline Watts opteron_measured_power(Speed s) {
+  QES_ASSERT(s >= 0.0);
+  if (s <= kTimeEps) return opteron_fitted_model().b;
+  const auto& tab = kOpteron2380Measured;
+  if (s <= tab.front().ghz) return tab.front().watts;
+  for (std::size_t i = 1; i < tab.size(); ++i) {
+    if (s <= tab[i].ghz + kTimeEps) {
+      const double f = (s - tab[i - 1].ghz) / (tab[i].ghz - tab[i - 1].ghz);
+      return tab[i - 1].watts + f * (tab[i].watts - tab[i - 1].watts);
+    }
+  }
+  return tab.back().watts;
+}
+
+}  // namespace qes

@@ -1,0 +1,73 @@
+#include "validation/regression.hpp"
+
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace qes {
+
+namespace {
+
+// Linear least squares P = a * x + b with x = s^beta; returns RMSE.
+double solve_linear(std::span<const std::pair<Speed, Watts>> samples,
+                    double beta, double& a, double& b) {
+  const double n = static_cast<double>(samples.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (const auto& [s, p] : samples) {
+    const double x = std::pow(s, beta);
+    sx += x;
+    sy += p;
+    sxx += x * x;
+    sxy += x * p;
+  }
+  const double det = n * sxx - sx * sx;
+  QES_ASSERT_MSG(std::fabs(det) > 1e-12,
+                 "regression needs samples with distinct speeds");
+  a = (n * sxy - sx * sy) / det;
+  b = (sy - a * sx) / n;
+  double sse = 0.0;
+  for (const auto& [s, p] : samples) {
+    const double r = a * std::pow(s, beta) + b - p;
+    sse += r * r;
+  }
+  return std::sqrt(sse / n);
+}
+
+}  // namespace
+
+PowerFit fit_power_model(std::span<const std::pair<Speed, Watts>> samples,
+                         double beta_lo, double beta_hi) {
+  QES_ASSERT(samples.size() >= 3);
+  QES_ASSERT(beta_lo > 0.0 && beta_hi > beta_lo);
+
+  // Golden-section search for the beta minimizing the linear-fit RMSE.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = beta_lo, hi = beta_hi;
+  double a = 0.0, b = 0.0;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = solve_linear(samples, x1, a, b);
+  double f2 = solve_linear(samples, x2, a, b);
+  for (int iter = 0; iter < 100 && hi - lo > 1e-7; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = solve_linear(samples, x1, a, b);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = solve_linear(samples, x2, a, b);
+    }
+  }
+  const double beta = (lo + hi) / 2.0;
+  PowerFit fit;
+  fit.rmse = solve_linear(samples, beta, a, b);
+  fit.model = PowerModel{.a = a, .beta = beta, .b = b};
+  return fit;
+}
+
+}  // namespace qes

@@ -1,0 +1,28 @@
+// Power-model regression (paper §V-G): fit P(s) = a * s^beta + b to a set
+// of measured (speed, power) samples, as the authors did to drive their
+// simulator with a realistic model.
+//
+// For a fixed beta the problem is linear least squares in (a, b); beta is
+// then found by golden-section search on the residual, which is smooth
+// and unimodal over the physical range.
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "core/power.hpp"
+
+namespace qes {
+
+struct PowerFit {
+  PowerModel model;
+  double rmse = 0.0;  ///< root mean squared residual (watts)
+};
+
+/// Fits (a, beta, b) to the samples. Requires >= 3 samples with distinct
+/// speeds; beta is searched in [beta_lo, beta_hi].
+[[nodiscard]] PowerFit fit_power_model(
+    std::span<const std::pair<Speed, Watts>> samples, double beta_lo = 1.05,
+    double beta_hi = 3.5);
+
+}  // namespace qes

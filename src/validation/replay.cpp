@@ -1,0 +1,71 @@
+#include "validation/replay.hpp"
+
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "core/prng.hpp"
+#include "validation/opteron.hpp"
+
+namespace qes {
+
+ReplayResult replay_on_real_system(const RunResult& run,
+                                   const EngineConfig& cfg,
+                                   ReplayOptions opt) {
+  QES_ASSERT_MSG(!run.executed.empty(),
+                 "replay needs a run recorded with record_execution");
+  QES_ASSERT_MSG(run.executed.size() == static_cast<std::size_t>(cfg.cores),
+                 "run and config disagree on the core count");
+  QES_ASSERT(opt.sampling_hz > 0.0);
+  ReplayResult out;
+  Xoshiro256 rng(opt.seed);
+
+  const Time end = run.stats.end_time;
+  const Time dt = 1000.0 / opt.sampling_hz;  // sample period, ms
+  const std::size_t samples =
+      static_cast<std::size_t>(std::ceil(end / dt));
+  out.power_samples = samples;
+
+  // Sampled integral of the measured-table power, core by core.
+  Joules busy_energy = 0.0;
+  for (const Schedule& sched : run.executed) {
+    std::size_t seg = 0;
+    const auto& segs = sched.segments();
+    for (std::size_t k = 0; k < samples; ++k) {
+      const Time t = (static_cast<double>(k) + 0.5) * dt;
+      while (seg < segs.size() && segs[seg].t1 <= t) ++seg;
+      Speed s = 0.0;
+      if (seg < segs.size() && segs[seg].t0 <= t) s = segs[seg].speed;
+      busy_energy += joules(opteron_measured_power(s), dt);
+    }
+    // DVFS transitions: one per speed change (including idle<->busy).
+    Speed prev = 0.0;
+    for (const Segment& sg : segs) {
+      if (!approx_eq(sg.speed, prev)) {
+        ++out.speed_transitions;
+        // During the stall the core burns the target level's power but
+        // performs no work; charge the extra time.
+        busy_energy += joules(opteron_measured_power(sg.speed),
+                              opt.dvfs_transition_ms);
+      }
+      prev = sg.speed;
+    }
+    if (prev > 0.0) ++out.speed_transitions;  // final drop to idle
+  }
+
+  // Scheduler invocations execute on some core at top speed.
+  const Watts top_power = opteron_measured_power(2.5);
+  busy_energy += joules(top_power, opt.scheduler_overhead_ms) *
+                 static_cast<double>(run.replan_times.size());
+
+  // Sensor noise on each total-power sample.
+  Joules noise_energy = 0.0;
+  for (std::size_t k = 0; k < samples; ++k) {
+    noise_energy += joules(rng.normal(0.0, opt.noise_stddev_watts), dt);
+  }
+
+  out.measured_energy = busy_energy + noise_energy;
+  out.model_energy = run.stats.dynamic_energy + run.stats.static_energy;
+  return out;
+}
+
+}  // namespace qes

@@ -1,0 +1,52 @@
+// "Real-system" replay substrate for the §V-G validation experiment.
+//
+// The paper replays DES scheduling traces on an instrumented Opteron
+// cluster and compares measured energy against the simulation. Lacking
+// that hardware, this module re-executes a simulation's per-core executed
+// schedule against a synthetic machine whose ground-truth power is the
+// *measured speed/power table* (not the fitted a*s^beta + b model the
+// simulator uses), with the artifacts a physical measurement would add:
+//   - static power on every core at all times,
+//   - DVFS transition overhead on every per-core speed change,
+//   - per-invocation scheduling overhead,
+//   - PowerPack-style finite-rate sampling with Gaussian sensor noise.
+// The gap between model_energy and measured_energy therefore has the
+// same sources as the paper's Fig. 11 gap (fit residuals + overheads).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace qes {
+
+struct ReplayOptions {
+  /// Stall on every per-core speed transition (µs-scale on real parts).
+  Time dvfs_transition_ms = 0.1;
+  /// Power-meter sampling rate (PowerPack samples at ~1 kHz).
+  double sampling_hz = 1000.0;
+  /// Per-sample Gaussian noise on the total power reading (watts).
+  double noise_stddev_watts = 1.0;
+  /// CPU cost of one scheduler invocation, charged at top-level power.
+  Time scheduler_overhead_ms = 0.05;
+  std::uint64_t seed = 42;
+};
+
+struct ReplayResult {
+  /// Energy the instrumented "real system" reports (includes static).
+  Joules measured_energy = 0.0;
+  /// Energy the simulator's fitted model predicts (includes static).
+  Joules model_energy = 0.0;
+  std::size_t speed_transitions = 0;
+  std::size_t power_samples = 0;
+};
+
+/// Replays the executed schedules of `run` (produced with
+/// EngineConfig::record_execution) on the synthetic Opteron machine.
+/// `cfg` must be the config the run used (for core count and the fitted
+/// power model).
+[[nodiscard]] ReplayResult replay_on_real_system(const RunResult& run,
+                                                 const EngineConfig& cfg,
+                                                 ReplayOptions opt = {});
+
+}  // namespace qes

@@ -1,0 +1,58 @@
+#include "vod/allocate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/assert.hpp"
+
+namespace qes::vod {
+
+LayerAwareResult layer_aware_allocate(const LayeredVideoModel& model,
+                                      std::span<const double> complexities,
+                                      Work capacity) {
+  LayerAwareResult out;
+  out.alloc.assign(complexities.size(), 0.0);
+  if (complexities.empty() || capacity <= 0.0) return out;
+
+  // All (job, layer) items in descending utility-density order. Within a
+  // job, densities are non-increasing by construction, and the stable
+  // tie-break keeps earlier layers first, so picking items in this order
+  // respects layer precedence automatically.
+  struct Item {
+    std::size_t job;
+    std::size_t layer;
+    Work work;
+    double utility;
+  };
+  std::vector<Item> items;
+  for (std::size_t j = 0; j < complexities.size(); ++j) {
+    QES_ASSERT(complexities[j] > 0.0);
+    for (std::size_t l = 0; l < model.layers().size(); ++l) {
+      items.push_back({j, l, complexities[j] * model.layers()[l].work,
+                       model.layers()[l].utility});
+    }
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.utility / a.work > b.utility / b.work;
+                   });
+
+  // Greedy with skip: take every item that still fits AND whose
+  // predecessor layer was taken. This is the fractional-knapsack greedy
+  // made integral; its utility is within one layer's utility of the
+  // fractional optimum, which upper-bounds the true optimum.
+  std::vector<std::size_t> next_layer(complexities.size(), 0);
+  Work remaining = capacity;
+  for (const Item& it : items) {
+    if (next_layer[it.job] != it.layer) continue;  // precedence gap
+    if (it.work > remaining + kTimeEps) continue;  // does not fit
+    remaining -= it.work;
+    out.alloc[it.job] += it.work;
+    out.total_utility += it.utility;
+    out.used += it.work;
+    ++next_layer[it.job];
+  }
+  return out;
+}
+
+}  // namespace qes::vod

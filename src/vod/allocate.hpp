@@ -1,0 +1,36 @@
+// Layer-aware capacity allocation (extension).
+//
+// The paper's water-filling assumes smooth concave quality, so it leaves
+// volume stranded inside unfinished video layers. When quality is a
+// layered staircase, the single-interval allocation problem
+//   maximize sum_j U_j(p_j)  s.t.  sum_j p_j <= C
+// with U_j a staircase whose utility-per-work densities are
+// non-increasing is solved exactly by GREEDY: take layers across all
+// jobs in descending density order until the capacity cannot fit the
+// next layer (densities within each job decrease, so greedy never needs
+// to revisit a skipped job's later layer before its earlier one).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "vod/video.hpp"
+
+namespace qes::vod {
+
+struct LayerAwareResult {
+  /// Allocated volume per job, always on a layer boundary of that job's
+  /// (complexity-scaled) staircase.
+  std::vector<Work> alloc;
+  double total_utility = 0.0;
+  Work used = 0.0;
+};
+
+/// Allocates `capacity` units across jobs whose chunk curves are `model`
+/// stretched by `complexities[j]` (job j's layer l costs
+/// complexity_j * model.layers()[l].work).
+[[nodiscard]] LayerAwareResult layer_aware_allocate(
+    const LayeredVideoModel& model, std::span<const double> complexities,
+    Work capacity);
+
+}  // namespace qes::vod

@@ -1,0 +1,81 @@
+#include "vod/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "core/prng.hpp"
+
+namespace qes::vod {
+
+SessionWorkload generate_sessions(const LayeredVideoModel& model,
+                                  const SessionWorkloadConfig& config) {
+  QES_ASSERT(config.session_rate > 0.0 && config.mean_chunks >= 1.0);
+  QES_ASSERT(config.chunk_period_ms > 0.0 && config.deadline_ms > 0.0);
+  Xoshiro256 rng(config.seed);
+
+  struct RawJob {
+    Time release;
+    Work demand;
+    double complexity;
+  };
+  std::vector<RawJob> raw;
+  std::size_t sessions = 0;
+
+  Time t = rng.exponential(config.session_rate / 1000.0);
+  while (t < config.horizon_ms) {
+    ++sessions;
+    const double complexity =
+        rng.uniform(config.complexity_min, config.complexity_max);
+    // Geometric(p) chunk count with mean 1/p.
+    const double p = 1.0 / config.mean_chunks;
+    std::size_t chunks = 1;
+    while (!rng.bernoulli(p)) ++chunks;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const Time release =
+          t + static_cast<double>(c) * config.chunk_period_ms;
+      if (release >= config.horizon_ms) break;
+      raw.push_back({release, complexity * model.total_work(), complexity});
+    }
+    t += rng.exponential(config.session_rate / 1000.0);
+  }
+
+  std::sort(raw.begin(), raw.end(), [](const RawJob& a, const RawJob& b) {
+    return a.release < b.release;
+  });
+
+  SessionWorkload out;
+  out.sessions = sessions;
+  out.jobs.reserve(raw.size());
+  out.complexity.reserve(raw.size());
+  for (std::size_t k = 0; k < raw.size(); ++k) {
+    Job j;
+    j.id = k + 1;
+    j.release = raw[k].release;
+    j.deadline = raw[k].release + config.deadline_ms;
+    j.demand = raw[k].demand;
+    out.jobs.push_back(j);
+    out.complexity.push_back(raw[k].complexity);
+  }
+  return out;
+}
+
+double scaled_quality(const LayeredVideoModel& model,
+                      const SessionWorkload& workload,
+                      std::span<const Work> processed, bool staircase) {
+  QES_ASSERT(processed.size() == workload.jobs.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < processed.size(); ++k) {
+    // Stretch the chunk curve by the job's complexity: a 2x-complex
+    // chunk needs 2x the work for the same layer.
+    const Work v = processed[k] / workload.complexity[k];
+    total += staircase ? model.staircase_utility(v)
+                       : model.envelope_utility(v);
+  }
+  // Full service yields utility 1 per job.
+  return workload.jobs.empty()
+             ? 0.0
+             : total / static_cast<double>(workload.jobs.size());
+}
+
+}  // namespace qes::vod

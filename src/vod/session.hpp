@@ -1,0 +1,56 @@
+// Streaming-session workload for the VoD substrate.
+//
+// Viewers arrive as a Poisson process and watch for a geometric number
+// of chunks; every chunk_period the player requests the next chunk,
+// which must be transcoded before its playout deadline. Each request is
+// a best-effort job: serving fewer layers degrades quality per the
+// LayeredVideoModel. Titles vary in complexity, scaling per-chunk work.
+#pragma once
+
+#include <vector>
+
+#include "core/job.hpp"
+#include "vod/video.hpp"
+
+namespace qes::vod {
+
+struct SessionWorkloadConfig {
+  /// Viewer (session) arrivals per second.
+  double session_rate = 1.0;
+  /// Mean chunks watched per session (geometric).
+  double mean_chunks = 30.0;
+  /// Wall-clock spacing between a session's chunk requests.
+  Time chunk_period_ms = 500.0;
+  /// Transcode deadline for each chunk request.
+  Time deadline_ms = 150.0;
+  Time horizon_ms = 60'000.0;
+  /// Title complexity multiplies the model's chunk work; sampled
+  /// uniformly in [min, max] per session.
+  double complexity_min = 0.6;
+  double complexity_max = 2.2;
+  std::uint64_t seed = 1;
+};
+
+struct SessionWorkload {
+  std::vector<Job> jobs;
+  /// Per-job complexity multiplier (aligned with job id - 1): the job's
+  /// full demand is complexity * model.total_work().
+  std::vector<double> complexity;
+  std::size_t sessions = 0;
+};
+
+/// Generates the chunk-request job trace. Jobs are re-sorted into
+/// release order and re-numbered densely (engine requirement); deadlines
+/// are agreeable because every request uses the same relative deadline.
+[[nodiscard]] SessionWorkload generate_sessions(
+    const LayeredVideoModel& model, const SessionWorkloadConfig& config);
+
+/// Post-hoc quality of a finished run under a per-job scaled quality
+/// curve: job j's utility is `shape(processed / complexity_j)` — i.e.
+/// the model curve stretched to the job's own demand. Returns the
+/// normalized total.
+[[nodiscard]] double scaled_quality(
+    const LayeredVideoModel& model, const SessionWorkload& workload,
+    std::span<const Work> processed, bool staircase);
+
+}  // namespace qes::vod

@@ -1,0 +1,116 @@
+#include "vod/video.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace qes::vod {
+
+LayeredVideoModel::LayeredVideoModel(const VideoModelConfig& config) {
+  QES_ASSERT(config.layers >= 1);
+  QES_ASSERT(config.base_rate_kbps > 0.0 && config.rate_growth > 1.0);
+  QES_ASSERT(config.total_work_units > 0.0);
+
+  // Cumulative bitrate after each layer; utility via the logarithmic
+  // rate-distortion proxy U(R) = log(1 + R / R_base).
+  std::vector<double> cum_rate(static_cast<std::size_t>(config.layers));
+  double rate = config.base_rate_kbps;
+  double total_rate = 0.0;
+  for (int l = 0; l < config.layers; ++l) {
+    total_rate += rate;
+    cum_rate[static_cast<std::size_t>(l)] = total_rate;
+    rate *= config.rate_growth;
+  }
+  auto utility_at = [&](double r) {
+    return std::log1p(r / config.base_rate_kbps);
+  };
+  const double u_max = utility_at(total_rate);
+
+  double prev_rate = 0.0;
+  double prev_u = 0.0;
+  for (int l = 0; l < config.layers; ++l) {
+    const double r = cum_rate[static_cast<std::size_t>(l)];
+    Layer layer;
+    // Work proportional to the layer's bits.
+    layer.work = config.total_work_units * (r - prev_rate) / total_rate;
+    layer.utility = (utility_at(r) - prev_u) / u_max;
+    layers_.push_back(layer);
+    prev_rate = r;
+    prev_u = utility_at(r);
+  }
+
+  cum_work_.resize(layers_.size());
+  cum_utility_.resize(layers_.size());
+  Work w = 0.0;
+  double u = 0.0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    w += layers_[l].work;
+    u += layers_[l].utility;
+    cum_work_[l] = w;
+    cum_utility_[l] = u;
+  }
+  total_work_ = w;
+  QES_ASSERT(approx_eq(total_work_, config.total_work_units, 1e-9));
+  QES_ASSERT(approx_eq(cum_utility_.back(), 1.0, 1e-9));
+
+  // The envelope is concave iff utility-per-work decreases layer over
+  // layer — guaranteed by the log R-D curve, asserted for safety.
+  double prev_density = std::numeric_limits<double>::infinity();
+  for (const Layer& layer : layers_) {
+    const double density = layer.utility / layer.work;
+    QES_ASSERT_MSG(density <= prev_density + 1e-9,
+                   "layer utility density must be non-increasing");
+    prev_density = density;
+  }
+}
+
+double LayeredVideoModel::staircase_utility(Work volume) const {
+  double u = 0.0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    if (volume + kTimeEps < cum_work_[l]) break;
+    u = cum_utility_[l];
+  }
+  return u;
+}
+
+double LayeredVideoModel::envelope_utility(Work volume) const {
+  if (volume <= 0.0) return 0.0;
+  Work prev_w = 0.0;
+  double prev_u = 0.0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    if (volume <= cum_work_[l] + kTimeEps) {
+      const double f = (volume - prev_w) / (cum_work_[l] - prev_w);
+      return prev_u + f * (cum_utility_[l] - prev_u);
+    }
+    prev_w = cum_work_[l];
+    prev_u = cum_utility_[l];
+  }
+  return 1.0;
+}
+
+Work LayeredVideoModel::round_to_layer(Work volume) const {
+  Work rounded = 0.0;
+  for (Work w : cum_work_) {
+    if (volume + kTimeEps < w) break;
+    rounded = w;
+  }
+  return rounded;
+}
+
+QualityFunction LayeredVideoModel::staircase_function() const {
+  auto self = *this;  // value capture keeps the function self-contained
+  return QualityFunction::custom(
+      "vod-staircase",
+      [self](Work v) { return self.staircase_utility(v); },
+      /*strictly_concave=*/false);
+}
+
+QualityFunction LayeredVideoModel::envelope_function() const {
+  auto self = *this;
+  return QualityFunction::custom(
+      "vod-envelope", [self](Work v) { return self.envelope_utility(v); },
+      /*strictly_concave=*/false);  // piecewise linear: weakly concave
+}
+
+}  // namespace qes::vod

@@ -1,0 +1,71 @@
+// Layered video model for the video-on-demand substrate — the paper's
+// second motivating best-effort service (§I, §II-A).
+//
+// A chunk (one group of pictures) is encoded in L scalable layers: a
+// base layer plus enhancements. Serving a chunk is best-effort — any
+// prefix of layers is decodable — but quality only improves at LAYER
+// BOUNDARIES: a half-transcoded enhancement layer contributes nothing.
+// The true quality(work) curve is therefore a concave STAIRCASE, whose
+// upper concave envelope is the smooth curve the paper's model assumes.
+// The gap between the two is a model-fidelity question this substrate
+// lets the benches quantify.
+//
+// Layer utilities follow a logarithmic rate-distortion curve (PSNR gains
+// diminish with bitrate) and per-layer work is proportional to the layer
+// bitrate, so utility-per-work decreases layer over layer — the
+// staircase's envelope is genuinely concave.
+#pragma once
+
+#include <vector>
+
+#include "core/quality.hpp"
+#include "core/time.hpp"
+
+namespace qes::vod {
+
+struct Layer {
+  Work work = 0.0;       ///< transcode work for this layer (units)
+  double utility = 0.0;  ///< quality gained when the layer COMPLETES
+};
+
+struct VideoModelConfig {
+  int layers = 5;
+  /// Base-layer bitrate and the multiplicative growth per enhancement.
+  double base_rate_kbps = 300.0;
+  double rate_growth = 1.6;
+  /// Total work of a fully served chunk, in scheduler units (calibrated
+  /// near the paper's mean demand).
+  Work total_work_units = 192.0;
+};
+
+class LayeredVideoModel {
+ public:
+  explicit LayeredVideoModel(const VideoModelConfig& config = {});
+
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+  [[nodiscard]] Work total_work() const { return total_work_; }
+
+  /// Utility after `volume` units of work: sum of utilities of FULLY
+  /// completed layers (the truthful staircase), normalized to 1 at full
+  /// work.
+  [[nodiscard]] double staircase_utility(Work volume) const;
+
+  /// Upper concave envelope: linear interpolation within a layer (the
+  /// smooth approximation the paper's quality model corresponds to).
+  [[nodiscard]] double envelope_utility(Work volume) const;
+
+  /// Largest volume <= `volume` landing exactly on a layer boundary.
+  [[nodiscard]] Work round_to_layer(Work volume) const;
+
+  /// QualityFunction wrappers for the engine.
+  [[nodiscard]] QualityFunction staircase_function() const;
+  [[nodiscard]] QualityFunction envelope_function() const;
+
+ private:
+  std::vector<Layer> layers_;
+  std::vector<Work> cum_work_;      // cumulative work after each layer
+  std::vector<double> cum_utility_;  // cumulative utility after each layer
+  Work total_work_ = 0.0;
+};
+
+}  // namespace qes::vod

@@ -1,0 +1,16 @@
+#include "workload/arrival.hpp"
+
+namespace qes {
+
+std::vector<Time> generate_arrivals(const ArrivalProcess& proc,
+                                    Time horizon_ms, Xoshiro256& rng) {
+  std::vector<Time> arrivals;
+  Time t = proc.next_gap(rng);
+  while (t < horizon_ms) {
+    arrivals.push_back(t);
+    t += proc.next_gap(rng);
+  }
+  return arrivals;
+}
+
+}  // namespace qes

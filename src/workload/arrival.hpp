@@ -1,0 +1,61 @@
+// Arrival processes (paper §V-B: Poisson arrivals at rate lambda req/s).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "core/time.hpp"
+
+namespace qes {
+
+/// Interface for arrival processes; next_gap returns the time (ms) until
+/// the next arrival.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  [[nodiscard]] virtual Time next_gap(Xoshiro256& rng) const = 0;
+  [[nodiscard]] virtual double rate_per_second() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Poisson process: exponential inter-arrival gaps.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate_per_second)
+      : rate_(rate_per_second) {
+    QES_ASSERT(rate_ > 0.0);
+  }
+  [[nodiscard]] Time next_gap(Xoshiro256& rng) const override {
+    return rng.exponential(rate_ / 1000.0);  // rate per ms
+  }
+  [[nodiscard]] double rate_per_second() const override { return rate_; }
+  [[nodiscard]] std::string name() const override { return "poisson"; }
+
+ private:
+  double rate_;
+};
+
+/// Evenly spaced arrivals; handy for analytic test oracles.
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  explicit UniformArrivals(double rate_per_second)
+      : rate_(rate_per_second) {
+    QES_ASSERT(rate_ > 0.0);
+  }
+  [[nodiscard]] Time next_gap(Xoshiro256&) const override {
+    return 1000.0 / rate_;
+  }
+  [[nodiscard]] double rate_per_second() const override { return rate_; }
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  double rate_;
+};
+
+/// Generate arrival timestamps in [0, horizon_ms).
+[[nodiscard]] std::vector<Time> generate_arrivals(const ArrivalProcess& proc,
+                                                  Time horizon_ms,
+                                                  Xoshiro256& rng);
+
+}  // namespace qes

@@ -1,0 +1,36 @@
+#include "workload/demand.hpp"
+
+#include <cmath>
+
+namespace qes {
+
+BoundedPareto::BoundedPareto(double alpha, Work x_min, Work x_max)
+    : alpha_(alpha), x_min_(x_min), x_max_(x_max) {
+  QES_ASSERT_MSG(alpha > 0.0 && alpha != 1.0,
+                 "alpha must be positive and != 1 (mean formula)");
+  QES_ASSERT(0.0 < x_min && x_min < x_max);
+  tail_ = 1.0 - std::pow(x_min_ / x_max_, alpha_);
+}
+
+BoundedPareto BoundedPareto::websearch() {
+  return BoundedPareto(3.0, 130.0, 1000.0);
+}
+
+Work BoundedPareto::sample(Xoshiro256& rng) const {
+  const double u = rng.next_double();  // [0, 1)
+  // Inverse CDF of the bounded Pareto: F(x) = (1-(x_min/x)^a) / tail.
+  const Work x = x_min_ / std::pow(1.0 - u * tail_, 1.0 / alpha_);
+  return std::min(x, x_max_);
+}
+
+double BoundedPareto::mean() const {
+  // E[X] = a x_min^a / (tail (a-1)) * (x_min^{1-a} - x_max^{1-a}).
+  return alpha_ * std::pow(x_min_, alpha_) / (tail_ * (alpha_ - 1.0)) *
+         (std::pow(x_min_, 1.0 - alpha_) - std::pow(x_max_, 1.0 - alpha_));
+}
+
+std::string BoundedPareto::name() const {
+  return "bounded_pareto(a=" + std::to_string(alpha_) + ")";
+}
+
+}  // namespace qes

@@ -1,0 +1,79 @@
+// Service-demand distributions (paper §V-B).
+//
+// The web-search workload draws demands from a bounded Pareto
+// distribution with index alpha = 3, lower bound 130 and upper bound 1000
+// processing units (mean ~192). Deterministic and uniform samplers exist
+// for tests and ablations.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/prng.hpp"
+#include "core/time.hpp"
+
+namespace qes {
+
+/// Interface for demand samplers. Implementations must be deterministic
+/// given the RNG stream.
+class DemandDistribution {
+ public:
+  virtual ~DemandDistribution() = default;
+  [[nodiscard]] virtual Work sample(Xoshiro256& rng) const = 0;
+  [[nodiscard]] virtual double mean() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Bounded Pareto(alpha, x_min, x_max) via inverse-transform sampling.
+class BoundedPareto final : public DemandDistribution {
+ public:
+  BoundedPareto(double alpha, Work x_min, Work x_max);
+
+  /// The paper's web-search demand model: alpha=3, [130, 1000] units.
+  [[nodiscard]] static BoundedPareto websearch();
+
+  [[nodiscard]] Work sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] Work x_min() const { return x_min_; }
+  [[nodiscard]] Work x_max() const { return x_max_; }
+
+ private:
+  double alpha_;
+  Work x_min_;
+  Work x_max_;
+  double tail_;  // 1 - (x_min / x_max)^alpha, cached
+};
+
+/// Every job has the same demand; useful for analytic test oracles.
+class FixedDemand final : public DemandDistribution {
+ public:
+  explicit FixedDemand(Work w) : w_(w) { QES_ASSERT(w > 0.0); }
+  [[nodiscard]] Work sample(Xoshiro256&) const override { return w_; }
+  [[nodiscard]] double mean() const override { return w_; }
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  Work w_;
+};
+
+/// Uniform demand in [lo, hi].
+class UniformDemand final : public DemandDistribution {
+ public:
+  UniformDemand(Work lo, Work hi) : lo_(lo), hi_(hi) {
+    QES_ASSERT(0.0 < lo && lo <= hi);
+  }
+  [[nodiscard]] Work sample(Xoshiro256& rng) const override {
+    return rng.uniform(lo_, hi_);
+  }
+  [[nodiscard]] double mean() const override { return (lo_ + hi_) / 2.0; }
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  Work lo_;
+  Work hi_;
+};
+
+}  // namespace qes

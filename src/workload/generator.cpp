@@ -1,0 +1,75 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+
+namespace qes {
+
+std::vector<Job> generate_websearch_jobs(const WorkloadConfig& cfg) {
+  QES_ASSERT(cfg.partial_fraction >= 0.0 && cfg.partial_fraction <= 1.0);
+  QES_ASSERT(cfg.premium_fraction >= 0.0 && cfg.premium_fraction <= 1.0 &&
+             cfg.premium_weight > 0.0);
+  Xoshiro256 rng(cfg.seed);
+  const PoissonArrivals arrivals(cfg.arrival_rate);
+  const BoundedPareto demands(cfg.pareto_alpha, cfg.demand_min,
+                              cfg.demand_max);
+  std::vector<Job> jobs;
+  Time t = arrivals.next_gap(rng);
+  JobId next_id = 1;
+  while (t < cfg.horizon_ms) {
+    Job j;
+    j.id = next_id++;
+    j.release = t;
+    j.deadline = t + cfg.deadline_ms;
+    j.demand = demands.sample(rng);
+    j.partial_ok = rng.bernoulli(cfg.partial_fraction);
+    if (cfg.premium_fraction > 0.0 && rng.bernoulli(cfg.premium_fraction)) {
+      j.weight = cfg.premium_weight;
+    }
+    jobs.push_back(j);
+    t += arrivals.next_gap(rng);
+  }
+  return jobs;
+}
+
+double diurnal_rate(const DiurnalConfig& cfg, Time t) {
+  constexpr double kPi = 3.14159265358979323846;
+  return cfg.base_rate *
+         (1.0 + cfg.amplitude *
+                    std::sin(2.0 * kPi * t / cfg.period_ms - kPi / 2.0));
+}
+
+std::vector<Job> generate_diurnal_jobs(const DiurnalConfig& cfg) {
+  QES_ASSERT(cfg.base_rate > 0.0 && cfg.amplitude >= 0.0 &&
+             cfg.amplitude < 1.0);
+  QES_ASSERT(cfg.period_ms > 0.0 && cfg.horizon_ms > 0.0);
+  Xoshiro256 rng(cfg.seed);
+  const BoundedPareto demands(cfg.pareto_alpha, cfg.demand_min,
+                              cfg.demand_max);
+  const double max_rate = cfg.base_rate * (1.0 + cfg.amplitude);
+  std::vector<Job> jobs;
+  Time t = 0.0;
+  JobId next_id = 1;
+  for (;;) {
+    // Thinning: candidates at the max rate, accepted with rate(t)/max.
+    t += rng.exponential(max_rate / 1000.0);
+    if (t >= cfg.horizon_ms) break;
+    if (!rng.bernoulli(diurnal_rate(cfg, t) / max_rate)) continue;
+    Job j;
+    j.id = next_id++;
+    j.release = t;
+    j.deadline = t + cfg.deadline_ms;
+    j.demand = demands.sample(rng);
+    j.partial_ok = rng.bernoulli(cfg.partial_fraction);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+double offered_load(std::span<const Job> jobs, Time horizon_ms, int cores,
+                    Speed per_core_speed) {
+  QES_ASSERT(cores > 0 && per_core_speed > 0.0 && horizon_ms > 0.0);
+  const Work capacity = cores * per_core_speed * horizon_ms;
+  return total_demand(jobs) / capacity;
+}
+
+}  // namespace qes

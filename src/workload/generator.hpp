@@ -1,0 +1,70 @@
+// Workload generator: turns an arrival process + demand distribution +
+// deadline policy into a concrete job trace (paper §V-B).
+#pragma once
+
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/prng.hpp"
+#include "workload/arrival.hpp"
+#include "workload/demand.hpp"
+
+namespace qes {
+
+struct WorkloadConfig {
+  /// Arrival rate lambda in requests per second.
+  double arrival_rate = 120.0;
+  /// Simulated duration in milliseconds (paper: 1800 s).
+  Time horizon_ms = 1'800'000.0;
+  /// Relative deadline: every request must respond within this window.
+  Time deadline_ms = 150.0;
+  /// Fraction of jobs supporting partial evaluation (§V-D; default all).
+  double partial_fraction = 1.0;
+  /// Bounded-Pareto demand parameters (§V-B defaults).
+  double pareto_alpha = 3.0;
+  Work demand_min = 130.0;
+  Work demand_max = 1000.0;
+  /// Service classes (extension): this fraction of jobs carries
+  /// premium_weight instead of weight 1.
+  double premium_fraction = 0.0;
+  double premium_weight = 4.0;
+  /// RNG seed; a fixed seed reproduces the exact trace.
+  std::uint64_t seed = 1;
+};
+
+/// Generates a job trace under `cfg`: Poisson arrivals, bounded-Pareto
+/// demands, deadline = arrival + deadline_ms (hence agreeable), and the
+/// requested fraction of partial-evaluation support. Job ids are 1..n in
+/// arrival order.
+[[nodiscard]] std::vector<Job> generate_websearch_jobs(
+    const WorkloadConfig& cfg);
+
+/// Total demand / (capacity of m cores at `per_core_speed` over the
+/// horizon); the paper's notion of offered load (72% at lambda=120).
+[[nodiscard]] double offered_load(std::span<const Job> jobs, Time horizon_ms,
+                                  int cores, Speed per_core_speed);
+
+/// Diurnal (time-varying Poisson) traffic: the instantaneous rate is
+///   rate(t) = base_rate * (1 + amplitude * sin(2*pi*t/period - pi/2)),
+/// i.e. the trough is at t = 0 and the peak at t = period/2. Sampled by
+/// thinning, so the process is an exact inhomogeneous Poisson process.
+struct DiurnalConfig {
+  double base_rate = 120.0;   ///< mean requests per second
+  double amplitude = 0.6;     ///< in [0, 1): peak/trough swing
+  Time period_ms = 60'000.0;  ///< one "day"
+  Time horizon_ms = 120'000.0;
+  Time deadline_ms = 150.0;
+  double partial_fraction = 1.0;
+  double pareto_alpha = 3.0;
+  Work demand_min = 130.0;
+  Work demand_max = 1000.0;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] std::vector<Job> generate_diurnal_jobs(
+    const DiurnalConfig& cfg);
+
+/// The instantaneous arrival rate of the diurnal model at time t.
+[[nodiscard]] double diurnal_rate(const DiurnalConfig& cfg, Time t);
+
+}  // namespace qes

@@ -1,0 +1,79 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace qes {
+
+namespace {
+// v2 adds the service-class weight column; v1 traces (without it) are
+// still readable and default every weight to 1.
+constexpr const char* kHeaderV1 =
+    "id,release_ms,deadline_ms,demand_units,partial_ok";
+constexpr const char* kHeaderV2 =
+    "id,release_ms,deadline_ms,demand_units,partial_ok,weight";
+}
+
+void write_job_trace(std::ostream& os, std::span<const Job> jobs) {
+  os << kHeaderV2 << '\n';
+  os << std::setprecision(17);
+  for (const Job& j : jobs) {
+    os << j.id << ',' << j.release << ',' << j.deadline << ',' << j.demand
+       << ',' << (j.partial_ok ? 1 : 0) << ',' << j.weight << '\n';
+  }
+}
+
+std::vector<Job> read_job_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("job trace: bad or missing header");
+  }
+  bool v2 = false;
+  if (line == kHeaderV2) {
+    v2 = true;
+  } else if (line != kHeaderV1) {
+    throw std::runtime_error("job trace: bad or missing header");
+  }
+  std::vector<Job> jobs;
+  std::size_t row = 1;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    Job j;
+    char c1, c2, c3, c4, c5;
+    int partial = 0;
+    bool ok = static_cast<bool>(ss >> j.id >> c1 >> j.release >> c2 >>
+                                j.deadline >> c3 >> j.demand >> c4 >>
+                                partial) &&
+              c1 == ',' && c2 == ',' && c3 == ',' && c4 == ',';
+    if (ok && v2) {
+      ok = static_cast<bool>(ss >> c5 >> j.weight) && c5 == ',' &&
+           j.weight > 0.0;
+    }
+    if (!ok) {
+      throw std::runtime_error("job trace: malformed row " +
+                               std::to_string(row));
+    }
+    j.partial_ok = partial != 0;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+void save_job_trace(const std::string& path, std::span<const Job> jobs) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_job_trace(out, jobs);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<Job> load_job_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_job_trace(in);
+}
+
+}  // namespace qes

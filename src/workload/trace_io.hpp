@@ -1,0 +1,24 @@
+// CSV job-trace I/O: lets experiments snapshot a workload and replay the
+// exact same trace (used by the validation substrate and by users who
+// want to feed real traces into the simulator).
+//
+// Format: header "id,release_ms,deadline_ms,demand_units,partial_ok"
+// followed by one row per job.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace qes {
+
+void write_job_trace(std::ostream& os, std::span<const Job> jobs);
+[[nodiscard]] std::vector<Job> read_job_trace(std::istream& is);
+
+/// File conveniences; throw std::runtime_error on I/O failure.
+void save_job_trace(const std::string& path, std::span<const Job> jobs);
+[[nodiscard]] std::vector<Job> load_job_trace(const std::string& path);
+
+}  // namespace qes

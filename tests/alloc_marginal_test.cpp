@@ -1,0 +1,147 @@
+#include "alloc/marginal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "alloc/waterfill.hpp"
+#include "core/prng.hpp"
+
+namespace qes {
+namespace {
+
+TEST(MarginalAlloc, AmpleCapacitySatisfiesAll) {
+  std::vector<Work> caps = {100.0, 50.0};
+  std::vector<QualityFunction> fs = {QualityFunction::exponential(0.003),
+                                     QualityFunction::exponential(0.01)};
+  auto r = marginal_allocate(caps, fs, 500.0);
+  EXPECT_NEAR(r.alloc[0], 100.0, 1e-9);
+  EXPECT_NEAR(r.alloc[1], 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.lambda, 0.0);
+}
+
+TEST(MarginalAlloc, IdenticalFunctionsReduceToWaterfill) {
+  Xoshiro256 rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(8);
+    std::vector<Work> caps;
+    Work total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      caps.push_back(rng.uniform(20.0, 300.0));
+      total += caps.back();
+    }
+    const Work C = rng.uniform(total * 0.3, total * 0.8);
+    std::vector<QualityFunction> fs(n, QualityFunction::exponential(0.003));
+    const auto m = marginal_allocate(caps, fs, C);
+    const auto w = waterfill_volumes(caps, C);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(m.alloc[i], w.alloc[i], 0.5) << "item " << i;
+    }
+  }
+}
+
+TEST(MarginalAlloc, SteeperFunctionWinsScarceCapacity) {
+  // f with larger c has a higher marginal at low volume: under scarcity
+  // it should receive more than a flat-marginal competitor.
+  std::vector<Work> caps = {1000.0, 1000.0};
+  std::vector<QualityFunction> fs = {QualityFunction::exponential(0.009),
+                                     QualityFunction::exponential(0.0005)};
+  auto r = marginal_allocate(caps, fs, 300.0);
+  EXPECT_GT(r.alloc[0], r.alloc[1]);
+  EXPECT_NEAR(r.used, 300.0, 1e-3);
+}
+
+TEST(MarginalAlloc, MatchesBruteForceOnTwoItems) {
+  Xoshiro256 rng(11);
+  for (int rep = 0; rep < 8; ++rep) {
+    std::vector<Work> caps = {rng.uniform(50.0, 400.0),
+                              rng.uniform(50.0, 400.0)};
+    std::vector<QualityFunction> fs = {
+        QualityFunction::exponential(rng.uniform(0.001, 0.01)),
+        QualityFunction::sqrt(rng.uniform(500.0, 1500.0))};
+    const Work C = rng.uniform(30.0, caps[0] + caps[1] - 10.0);
+    const auto r = marginal_allocate(caps, fs, C);
+    // Brute force: grid over p0.
+    double best = -1.0;
+    const Work lo = std::max(0.0, C - caps[1]);
+    const Work hi = std::min(caps[0], C);
+    for (int g = 0; g <= 2000; ++g) {
+      const Work p0 = lo + (hi - lo) * g / 2000.0;
+      const Work p1 = std::min(caps[1], C - p0);
+      best = std::max(best, fs[0](p0) + fs[1](p1));
+    }
+    const double got = fs[0](r.alloc[0]) + fs[1](r.alloc[1]);
+    EXPECT_NEAR(got, best, 2e-4) << "rep " << rep;
+  }
+}
+
+TEST(MarginalAlloc, DominatesRandomFeasibleAllocations) {
+  Xoshiro256 rng(13);
+  for (int rep = 0; rep < 6; ++rep) {
+    const std::size_t n = 3 + rng.uniform_index(5);
+    std::vector<Work> caps;
+    std::vector<QualityFunction> fs;
+    Work total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      caps.push_back(rng.uniform(50.0, 300.0));
+      total += caps.back();
+      fs.push_back(rng.bernoulli(0.5)
+                       ? QualityFunction::exponential(rng.uniform(0.001, 0.01))
+                       : QualityFunction::log1p(0.01, 1000.0));
+    }
+    const Work C = rng.uniform(total * 0.2, total * 0.7);
+    const auto r = marginal_allocate(caps, fs, C);
+    double opt = 0.0;
+    for (std::size_t i = 0; i < n; ++i) opt += fs[i](r.alloc[i]);
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      std::vector<double> weight(n);
+      double sum = 0.0;
+      for (auto& w : weight) {
+        w = rng.uniform(0.01, 1.0);
+        sum += w;
+      }
+      double q = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        q += fs[i](std::min(caps[i], C * weight[i] / sum));
+      }
+      EXPECT_LE(q, opt + 1e-4);
+    }
+  }
+}
+
+TEST(MarginalAlloc, ConservationAndBounds) {
+  Xoshiro256 rng(17);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 1 + rng.uniform_index(10);
+    std::vector<Work> caps;
+    std::vector<QualityFunction> fs;
+    Work total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      caps.push_back(rng.uniform(10.0, 200.0));
+      total += caps.back();
+      fs.push_back(QualityFunction::exponential(rng.uniform(0.001, 0.02)));
+    }
+    const Work C = rng.uniform(0.0, total * 1.2);
+    const auto r = marginal_allocate(caps, fs, C);
+    Work used = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(r.alloc[i], -1e-9);
+      EXPECT_LE(r.alloc[i], caps[i] + 1e-6);
+      used += r.alloc[i];
+    }
+    EXPECT_NEAR(used, std::min(C, total), 0.2);
+    EXPECT_NEAR(used, r.used, 1e-6);
+  }
+}
+
+TEST(MarginalAlloc, EmptyAndZeroCapacity) {
+  std::vector<Work> caps;
+  std::vector<QualityFunction> fs;
+  auto r = marginal_allocate(caps, fs, 100.0);
+  EXPECT_TRUE(r.alloc.empty());
+  std::vector<Work> caps2 = {10.0};
+  std::vector<QualityFunction> fs2 = {QualityFunction::exponential(0.003)};
+  auto r2 = marginal_allocate(caps2, fs2, 0.0);
+  EXPECT_DOUBLE_EQ(r2.alloc[0], 0.0);
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,228 @@
+#include "alloc/waterfill.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/prng.hpp"
+#include "core/quality.hpp"
+
+namespace qes {
+namespace {
+
+TEST(Waterfill, AllSatisfiedWhenCapacityIsAmple) {
+  std::vector<Work> caps = {10.0, 20.0, 30.0};
+  auto r = waterfill_volumes(caps, 100.0);
+  EXPECT_TRUE(r.all_satisfied);
+  EXPECT_TRUE(std::isinf(r.level));
+  EXPECT_DOUBLE_EQ(r.alloc[0], 10.0);
+  EXPECT_DOUBLE_EQ(r.alloc[1], 20.0);
+  EXPECT_DOUBLE_EQ(r.alloc[2], 30.0);
+  EXPECT_DOUBLE_EQ(r.used, 60.0);
+}
+
+TEST(Waterfill, EqualSplitWhenNothingSaturates) {
+  std::vector<Work> caps = {100.0, 100.0, 100.0};
+  auto r = waterfill_volumes(caps, 90.0);
+  EXPECT_FALSE(r.all_satisfied);
+  EXPECT_NEAR(r.level, 30.0, 1e-9);
+  for (double a : r.alloc) EXPECT_NEAR(a, 30.0, 1e-9);
+}
+
+TEST(Waterfill, SmallJobsSaturateFirst) {
+  // Paper d-mean example shape: satisfied jobs keep w, deprived share.
+  std::vector<Work> caps = {10.0, 100.0, 100.0};
+  auto r = waterfill_volumes(caps, 90.0);
+  // level L solves 10 + 2L = 90 => L = 40.
+  EXPECT_NEAR(r.level, 40.0, 1e-9);
+  EXPECT_NEAR(r.alloc[0], 10.0, 1e-9);
+  EXPECT_NEAR(r.alloc[1], 40.0, 1e-9);
+  EXPECT_NEAR(r.alloc[2], 40.0, 1e-9);
+}
+
+TEST(Waterfill, DMeanFormulaHolds) {
+  // p~ = (C - sum_{satisfied} w) / |deprived| (paper §III-A).
+  std::vector<Work> caps = {5.0, 12.0, 60.0, 80.0};
+  const Work C = 50.0;
+  auto r = waterfill_volumes(caps, C);
+  ASSERT_FALSE(r.all_satisfied);
+  double sat_sum = 0.0;
+  int deprived = 0;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    if (caps[i] <= r.level + 1e-9) {
+      sat_sum += caps[i];
+    } else {
+      ++deprived;
+    }
+  }
+  ASSERT_GT(deprived, 0);
+  EXPECT_NEAR(r.level, (C - sat_sum) / deprived, 1e-9);
+}
+
+TEST(Waterfill, ZeroCapacity) {
+  std::vector<Work> caps = {10.0, 20.0};
+  auto r = waterfill_volumes(caps, 0.0);
+  EXPECT_DOUBLE_EQ(r.alloc[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.alloc[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.used, 0.0);
+}
+
+TEST(Waterfill, EmptyInput) {
+  std::vector<Work> caps;
+  auto r = waterfill_volumes(caps, 10.0);
+  EXPECT_TRUE(r.alloc.empty());
+  EXPECT_TRUE(r.all_satisfied);
+}
+
+TEST(Waterfill, BaselinesLevelTheField) {
+  // Item 0 already received 30 units; capacity should flow to item 1
+  // until both reach the same total level.
+  std::vector<Work> caps = {100.0, 100.0};
+  std::vector<Work> base = {30.0, 0.0};
+  auto r = waterfill_volumes(caps, base, 50.0);
+  // Level L: fill item 1 from 0 to 30 (uses 30), then both: 2*(L-30)=20
+  // => L = 40. Item 0 gets 10, item 1 gets 40.
+  EXPECT_NEAR(r.level, 40.0, 1e-9);
+  EXPECT_NEAR(r.alloc[0], 10.0, 1e-9);
+  EXPECT_NEAR(r.alloc[1], 40.0, 1e-9);
+}
+
+TEST(Waterfill, BaselineAboveLevelGetsNothing) {
+  std::vector<Work> caps = {100.0, 100.0};
+  std::vector<Work> base = {80.0, 0.0};
+  auto r = waterfill_volumes(caps, base, 40.0);
+  EXPECT_NEAR(r.alloc[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.alloc[1], 40.0, 1e-9);
+  EXPECT_NEAR(r.level, 40.0, 1e-9);
+}
+
+TEST(Waterfill, SaturatedItemIsSkipped) {
+  std::vector<Work> caps = {50.0, 100.0};
+  std::vector<Work> base = {50.0, 0.0};  // item 0 fully served
+  auto r = waterfill_volumes(caps, base, 60.0);
+  EXPECT_NEAR(r.alloc[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.alloc[1], 60.0, 1e-9);
+}
+
+// ---- Property tests -------------------------------------------------------
+
+class WaterfillPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(WaterfillPropertyTest, ConservesCapacityAndRespectsCaps) {
+  Xoshiro256 rng(GetParam());
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t n = 1 + rng.uniform_index(20);
+    std::vector<Work> caps, base;
+    Work remaining_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Work w = rng.uniform(1.0, 200.0);
+      const Work b = rng.uniform(0.0, w);
+      caps.push_back(w);
+      base.push_back(b);
+      remaining_total += w - b;
+    }
+    const Work C = rng.uniform(0.0, remaining_total * 1.5);
+    auto r = waterfill_volumes(caps, base, C);
+    Work used = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(r.alloc[i], -1e-9);
+      EXPECT_LE(base[i] + r.alloc[i], caps[i] + 1e-6);
+      used += r.alloc[i];
+    }
+    EXPECT_NEAR(used, std::min(C, remaining_total), 1e-5);
+    EXPECT_NEAR(used, r.used, 1e-6);
+  }
+}
+
+TEST_P(WaterfillPropertyTest, LevelPropertyHolds) {
+  // Every item either reaches its cap or sits exactly at the level
+  // (or started above it).
+  Xoshiro256 rng(GetParam() ^ 0xABCDEFULL);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t n = 1 + rng.uniform_index(15);
+    std::vector<Work> caps, base;
+    Work total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Work w = rng.uniform(1.0, 100.0);
+      caps.push_back(w);
+      base.push_back(0.0);
+      total += w;
+    }
+    const Work C = rng.uniform(0.1, total * 0.9);
+    auto r = waterfill_volumes(caps, base, C);
+    if (r.all_satisfied) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double final_volume = base[i] + r.alloc[i];
+      const bool at_cap = std::fabs(final_volume - caps[i]) < 1e-6;
+      const bool at_level = std::fabs(final_volume - r.level) < 1e-6;
+      EXPECT_TRUE(at_cap || at_level)
+          << "item " << i << " volume " << final_volume << " level "
+          << r.level << " cap " << caps[i];
+    }
+  }
+}
+
+TEST_P(WaterfillPropertyTest, OptimalForConcaveQuality) {
+  // The water-fill allocation must dominate random feasible allocations
+  // under every concave quality function.
+  Xoshiro256 rng(GetParam() ^ 0x5EEDULL);
+  const std::vector<QualityFunction> fs = {
+      QualityFunction::exponential(0.003), QualityFunction::exponential(0.01),
+      QualityFunction::sqrt(1000.0), QualityFunction::log1p(0.01, 1000.0)};
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(8);
+    std::vector<Work> caps;
+    Work total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      caps.push_back(rng.uniform(10.0, 300.0));
+      total += caps.back();
+    }
+    const Work C = rng.uniform(total * 0.2, total * 0.8);
+    auto r = waterfill_volumes(caps, C);
+    for (const auto& f : fs) {
+      double opt_q = 0.0;
+      for (std::size_t i = 0; i < n; ++i) opt_q += f(r.alloc[i]);
+      // Random feasible competitor: random proportions of capacity.
+      for (int attempt = 0; attempt < 25; ++attempt) {
+        std::vector<double> weight(n);
+        double wsum = 0.0;
+        for (auto& w : weight) {
+          w = rng.uniform(0.01, 1.0);
+          wsum += w;
+        }
+        // Scale to capacity, clamp at caps (may under-use capacity:
+        // still feasible).
+        double q = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          q += f(std::min(caps[i], C * weight[i] / wsum));
+        }
+        EXPECT_LE(q, opt_q + 1e-7) << "f=" << f.name();
+      }
+    }
+  }
+}
+
+TEST_P(WaterfillPropertyTest, MonotoneInCapacity) {
+  Xoshiro256 rng(GetParam() ^ 0xFEEDULL);
+  std::vector<Work> caps;
+  for (int i = 0; i < 12; ++i) caps.push_back(rng.uniform(5.0, 150.0));
+  double prev_used = -1.0;
+  double prev_level = -1.0;
+  for (double C = 10.0; C <= 1200.0; C += 25.0) {
+    auto r = waterfill_volumes(caps, C);
+    EXPECT_GE(r.used, prev_used - 1e-9);
+    if (!r.all_satisfied) {
+      EXPECT_GE(r.level, prev_level - 1e-9);
+      prev_level = r.level;
+    }
+    prev_used = r.used;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaterfillPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,143 @@
+#include "cli/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace qes::cli {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  return parse_options(std::vector<std::string>(args.begin(), args.end()));
+}
+
+TEST(CliOptions, Defaults) {
+  const Options o = parse({});
+  EXPECT_EQ(o.policy, PolicyKind::DES);
+  EXPECT_EQ(o.arch, Architecture::CDVFS);
+  EXPECT_EQ(o.engine.cores, 16);
+  EXPECT_DOUBLE_EQ(o.engine.power_budget, 320.0);
+  EXPECT_DOUBLE_EQ(o.workload.arrival_rate, 150.0);
+  EXPECT_FALSE(o.json);
+}
+
+TEST(CliOptions, PolicySelection) {
+  EXPECT_EQ(parse({"--policy", "fcfs"}).policy, PolicyKind::FCFS);
+  EXPECT_EQ(parse({"--policy", "ljf"}).policy, PolicyKind::LJF);
+  EXPECT_EQ(parse({"--policy", "sjf", "--wf"}).baseline_power,
+            PowerDistribution::WaterFilling);
+  EXPECT_THROW(parse({"--policy", "rr"}), std::invalid_argument);
+}
+
+TEST(CliOptions, ServerParameters) {
+  const Options o = parse({"--cores", "8", "--budget", "152", "--quantum",
+                           "250", "--counter", "4", "--c", "0.009"});
+  EXPECT_EQ(o.engine.cores, 8);
+  EXPECT_DOUBLE_EQ(o.engine.power_budget, 152.0);
+  EXPECT_DOUBLE_EQ(o.engine.quantum_ms, 250.0);
+  EXPECT_EQ(o.engine.counter_trigger, 4);
+  EXPECT_DOUBLE_EQ(o.quality_c, 0.009);
+}
+
+TEST(CliOptions, WorkloadParameters) {
+  const Options o = parse({"--rate", "200", "--seconds", "30", "--deadline",
+                           "100", "--partial", "0.5", "--seed", "7"});
+  EXPECT_DOUBLE_EQ(o.workload.arrival_rate, 200.0);
+  EXPECT_DOUBLE_EQ(o.workload.horizon_ms, 30'000.0);
+  EXPECT_DOUBLE_EQ(o.workload.deadline_ms, 100.0);
+  EXPECT_DOUBLE_EQ(o.workload.partial_fraction, 0.5);
+  EXPECT_EQ(o.workload.seed, 7u);
+}
+
+TEST(CliOptions, SweepExpansion) {
+  const Options o = parse({"--sweep", "80:120:20"});
+  ASSERT_EQ(o.sweep_rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(o.sweep_rates[0], 80.0);
+  EXPECT_DOUBLE_EQ(o.sweep_rates[2], 120.0);
+  EXPECT_THROW(parse({"--sweep", "80-120-20"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sweep", "120:80:20"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--sweep", "80:120:0"}), std::invalid_argument);
+}
+
+TEST(CliOptions, RejectsBadValues) {
+  EXPECT_THROW(parse({"--cores", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--cores", "abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--rate", "-5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--partial", "1.5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--budget"}), std::invalid_argument);  // missing value
+  EXPECT_THROW(parse({"--frobnicate"}), std::invalid_argument);
+}
+
+TEST(CliOptions, DesOnlyFlagsRejectedForBaselines) {
+  EXPECT_THROW(parse({"--policy", "fcfs", "--discrete"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--policy", "sjf", "--arch", "sdvfs"}),
+               std::invalid_argument);
+  // ...but fine for DES.
+  EXPECT_NO_THROW(parse({"--policy", "des", "--discrete", "--eager"}));
+}
+
+TEST(CliOptions, PolicyLabel) {
+  EXPECT_EQ(policy_label(parse({})), "DES[C-DVFS]");
+  EXPECT_EQ(policy_label(parse({"--arch", "sdvfs"})), "DES[S-DVFS]");
+  EXPECT_EQ(policy_label(parse({"--discrete", "--eager"})),
+            "DES[C-DVFS,discrete,eager]");
+  EXPECT_EQ(policy_label(parse({"--policy", "fcfs", "--wf"})), "FCFS+WF");
+  EXPECT_EQ(policy_label(parse({"--policy", "ljf"})), "LJF");
+}
+
+TEST(CliOptions, EngineConfigConstruction) {
+  const Options o = parse({"--c", "0.01", "--resume", "--discrete"});
+  const EngineConfig cfg = make_engine_config(o);
+  EXPECT_TRUE(cfg.resume_passed_jobs);
+  EXPECT_DOUBLE_EQ(cfg.max_core_speed, 2.5);
+  EXPECT_NEAR(cfg.quality(1000.0), 1.0, 1e-9);
+  // Baselines get idle-trigger-only engine config.
+  const Options b = parse({"--policy", "fcfs"});
+  const EngineConfig bcfg = make_engine_config(b);
+  EXPECT_DOUBLE_EQ(bcfg.quantum_ms, 0.0);
+  EXPECT_EQ(bcfg.counter_trigger, 0);
+}
+
+TEST(CliOptions, PolicyFactoryProducesNamedPolicies) {
+  const Options o = parse({});
+  EXPECT_EQ(make_policy(o)->name(), "DES[C-DVFS]");
+  const Options b = parse({"--policy", "sjf", "--wf"});
+  EXPECT_EQ(make_policy(b)->name(), "SJF+WF");
+}
+
+TEST(CliOptions, WeightedAndPremiumFlags) {
+  const Options o = parse({"--weighted", "--premium", "0.3",
+                           "--premium-weight", "6"});
+  EXPECT_TRUE(o.weighted);
+  EXPECT_DOUBLE_EQ(o.workload.premium_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(o.workload.premium_weight, 6.0);
+  EXPECT_EQ(policy_label(o), "DES[C-DVFS,weighted]");
+  EXPECT_THROW(parse({"--weighted", "--discrete"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--weighted", "--arch", "sdvfs"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--premium", "2"}), std::invalid_argument);
+}
+
+TEST(CliOptions, BigLittleFlags) {
+  const Options o = parse({"--cores", "8", "--little", "4", "--little-cap",
+                           "1.2"});
+  EXPECT_EQ(o.little_cores, 4);
+  const EngineConfig cfg = make_engine_config(o);
+  ASSERT_EQ(cfg.per_core_max_speed.size(), 8u);
+  EXPECT_DOUBLE_EQ(cfg.per_core_max_speed.front(),
+                   std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(cfg.per_core_max_speed.back(), 1.2);
+  EXPECT_THROW(parse({"--cores", "4", "--little", "8"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--little-cap", "0"}), std::invalid_argument);
+}
+
+TEST(CliOptions, HelpAndUsage) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_NE(usage().find("--policy"), std::string::npos);
+  EXPECT_NE(usage().find("--sweep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qes::cli

@@ -1,0 +1,108 @@
+#include "core/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "test_util.hpp"
+
+namespace qes {
+namespace {
+
+TEST(Job, WindowLength) {
+  Job j{.id = 1, .release = 10.0, .deadline = 160.0, .demand = 100.0};
+  EXPECT_DOUBLE_EQ(j.window(), 150.0);
+}
+
+TEST(Job, AgreeableDetection) {
+  std::vector<Job> ok = {
+      {.id = 1, .release = 0.0, .deadline = 150.0, .demand = 1.0},
+      {.id = 2, .release = 50.0, .deadline = 200.0, .demand = 1.0},
+      {.id = 3, .release = 50.0, .deadline = 220.0, .demand = 1.0},
+  };
+  EXPECT_TRUE(deadlines_agreeable(ok));
+
+  std::vector<Job> bad = {
+      {.id = 1, .release = 0.0, .deadline = 300.0, .demand = 1.0},
+      {.id = 2, .release = 50.0, .deadline = 200.0, .demand = 1.0},
+  };
+  EXPECT_FALSE(deadlines_agreeable(bad));
+}
+
+TEST(Job, AgreeableWithEqualDeadlines) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 150.0, .demand = 1.0},
+      {.id = 2, .release = 10.0, .deadline = 150.0, .demand = 1.0},
+  };
+  EXPECT_TRUE(deadlines_agreeable(jobs));
+}
+
+TEST(Job, SortByRelease) {
+  std::vector<Job> jobs = {
+      {.id = 2, .release = 50.0, .deadline = 200.0, .demand = 1.0},
+      {.id = 1, .release = 0.0, .deadline = 150.0, .demand = 1.0},
+      {.id = 3, .release = 50.0, .deadline = 180.0, .demand = 1.0},
+  };
+  sort_by_release(jobs);
+  EXPECT_EQ(jobs[0].id, 1u);
+  EXPECT_EQ(jobs[1].id, 3u);  // same release, earlier deadline first
+  EXPECT_EQ(jobs[2].id, 2u);
+}
+
+TEST(Job, TotalDemand) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 1.0, .demand = 10.0},
+      {.id = 2, .release = 0.0, .deadline = 1.0, .demand = 32.5},
+  };
+  EXPECT_DOUBLE_EQ(total_demand(jobs), 42.5);
+}
+
+TEST(AgreeableJobSet, PrefixSumsAndIntensity) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 50.0},
+      {.id = 2, .release = 20.0, .deadline = 120.0, .demand = 30.0},
+      {.id = 3, .release = 60.0, .deadline = 160.0, .demand = 20.0},
+  };
+  AgreeableJobSet set(jobs);
+  EXPECT_DOUBLE_EQ(set.demand_between(0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(set.demand_between(1, 1), 30.0);
+  // g([r_0, d_1]) = (50 + 30) / (120 - 0)
+  EXPECT_NEAR(set.intensity(0, 1), 80.0 / 120.0, 1e-12);
+}
+
+TEST(AgreeableJobSet, SortsOnConstruction) {
+  std::vector<Job> jobs = {
+      {.id = 2, .release = 20.0, .deadline = 120.0, .demand = 30.0},
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 50.0},
+  };
+  AgreeableJobSet set(jobs);
+  EXPECT_EQ(set[0].id, 1u);
+  EXPECT_EQ(set[1].id, 2u);
+}
+
+TEST(AgreeableJobSet, RejectsNonAgreeable) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 300.0, .demand = 1.0},
+      {.id = 2, .release = 50.0, .deadline = 200.0, .demand = 1.0},
+  };
+  EXPECT_DEATH({ AgreeableJobSet set(jobs); }, "agreeable");
+}
+
+TEST(AgreeableJobSet, RejectsEmptyWindow) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 10.0, .deadline = 10.0, .demand = 1.0},
+  };
+  EXPECT_DEATH({ AgreeableJobSet set(jobs); }, "window");
+}
+
+TEST(JobGenerators, RandomAgreeableSetsAreAgreeable) {
+  Xoshiro256 rng(42);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 30);
+    EXPECT_TRUE(deadlines_agreeable(jobs));
+    auto varied = test::random_agreeable_jobs_varwindow(rng, 30);
+    EXPECT_TRUE(deadlines_agreeable(varied));
+  }
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,99 @@
+#include "core/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qes {
+namespace {
+
+TEST(PowerModel, PaperDefaults) {
+  PowerModel pm = default_power_model();
+  EXPECT_DOUBLE_EQ(pm.a, 5.0);
+  EXPECT_DOUBLE_EQ(pm.beta, 2.0);
+  EXPECT_DOUBLE_EQ(pm.b, 0.0);
+  // §V-B: H/m = 320/16 = 20 W per core => 2 GHz average speed.
+  EXPECT_NEAR(pm.speed_for_power(20.0), 2.0, 1e-12);
+  EXPECT_NEAR(pm.dynamic_power(2.0), 20.0, 1e-12);
+}
+
+TEST(PowerModel, SpeedPowerRoundTrip) {
+  PowerModel pm{.a = 2.6075, .beta = 1.791, .b = 9.2562};
+  for (double s : {0.8, 1.3, 1.8, 2.5}) {
+    EXPECT_NEAR(pm.speed_for_power(pm.dynamic_power(s)), s, 1e-9);
+  }
+}
+
+TEST(PowerModel, OpteronRegressionModelMatchesMeasurements) {
+  // §V-G: fitted model vs the four measured (speed, power) points.
+  PowerModel pm{.a = 2.6075, .beta = 1.791, .b = 9.2562};
+  EXPECT_NEAR(pm.total_power(0.8), 11.06, 0.35);
+  EXPECT_NEAR(pm.total_power(1.3), 13.275, 0.35);
+  EXPECT_NEAR(pm.total_power(1.8), 16.85, 0.35);
+  EXPECT_NEAR(pm.total_power(2.5), 22.69, 0.35);
+}
+
+TEST(PowerModel, ZeroOrNegativeBudgetMeansZeroSpeed) {
+  PowerModel pm = default_power_model();
+  EXPECT_DOUBLE_EQ(pm.speed_for_power(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pm.speed_for_power(-5.0), 0.0);
+}
+
+TEST(PowerModel, EnergyIsPowerTimesSeconds) {
+  PowerModel pm = default_power_model();
+  // 2 GHz => 20 W; 500 ms => 10 J.
+  EXPECT_NEAR(pm.dynamic_energy(2.0, 500.0), 10.0, 1e-12);
+}
+
+TEST(PowerModel, ConvexityOfDynamicPower) {
+  PowerModel pm = default_power_model();
+  // Equal sharing maximizes total speed: P(s1)+P(s2) >= 2 P((s1+s2)/2).
+  const double s1 = 1.0, s2 = 3.0;
+  EXPECT_GE(pm.dynamic_power(s1) + pm.dynamic_power(s2),
+            2.0 * pm.dynamic_power((s1 + s2) / 2.0));
+}
+
+TEST(DiscreteSpeedSet, Opteron2380Levels) {
+  auto set = DiscreteSpeedSet::opteron2380();
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_DOUBLE_EQ(set.min_speed(), 0.8);
+  EXPECT_DOUBLE_EQ(set.max_speed(), 2.5);
+}
+
+TEST(DiscreteSpeedSet, SnapUp) {
+  auto set = DiscreteSpeedSet::opteron2380();
+  EXPECT_DOUBLE_EQ(*set.snap_up(0.1), 0.8);
+  EXPECT_DOUBLE_EQ(*set.snap_up(0.8), 0.8);
+  EXPECT_DOUBLE_EQ(*set.snap_up(0.81), 1.3);
+  EXPECT_DOUBLE_EQ(*set.snap_up(2.5), 2.5);
+  EXPECT_FALSE(set.snap_up(2.51).has_value());
+}
+
+TEST(DiscreteSpeedSet, SnapDown) {
+  auto set = DiscreteSpeedSet::opteron2380();
+  EXPECT_FALSE(set.snap_down(0.5).has_value());
+  EXPECT_DOUBLE_EQ(*set.snap_down(0.8), 0.8);
+  EXPECT_DOUBLE_EQ(*set.snap_down(1.79), 1.3);
+  EXPECT_DOUBLE_EQ(*set.snap_down(99.0), 2.5);
+}
+
+TEST(DiscreteSpeedSet, RectifyPrefersSnapUpWithinBudget) {
+  auto set = DiscreteSpeedSet::opteron2380();
+  PowerModel pm = default_power_model();
+  // Want 1.5 GHz; 1.8 GHz costs 16.2 W.
+  EXPECT_DOUBLE_EQ(*set.rectify(1.5, 20.0, pm), 1.8);
+  // Budget too small for 1.8 (16.2 W) but fits 1.3 (8.45 W).
+  EXPECT_DOUBLE_EQ(*set.rectify(1.5, 10.0, pm), 1.3);
+  // Budget fits nothing.
+  EXPECT_FALSE(set.rectify(1.5, 1.0, pm).has_value());
+  // Idle stays idle.
+  EXPECT_FALSE(set.rectify(0.0, 100.0, pm).has_value());
+}
+
+TEST(DiscreteSpeedSet, ConstructorSortsAndDedups) {
+  DiscreteSpeedSet set({2.0, 1.0, 2.0, 0.5});
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set.levels()[0], 0.5);
+  EXPECT_DOUBLE_EQ(set.levels()[2], 2.0);
+}
+
+}  // namespace
+}  // namespace qes

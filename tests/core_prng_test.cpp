@@ -1,0 +1,99 @@
+#include "core/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qes {
+namespace {
+
+TEST(Prng, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, OpenDoubleNeverZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.next_open_double(), 0.0);
+  }
+}
+
+TEST(Prng, UniformMeanAndBounds) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(10.0, 20.0);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LT(x, 20.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 15.0, 0.05);
+}
+
+TEST(Prng, ExponentialMean) {
+  Xoshiro256 rng(13);
+  const double lambda = 0.25;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.05);
+}
+
+TEST(Prng, NormalMoments) {
+  Xoshiro256 rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Prng, BernoulliFrequency) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Prng, UniformIndexInRange) {
+  Xoshiro256 rng(23);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    ++counts[rng.uniform_index(7)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+}  // namespace
+}  // namespace qes

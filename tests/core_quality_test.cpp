@@ -1,0 +1,83 @@
+#include "core/quality.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qes {
+namespace {
+
+TEST(QualityFunction, ExponentialMatchesPaperEq1) {
+  const double c = 0.003;
+  auto f = QualityFunction::exponential(c);
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  // q(1000) = 1 by construction of the normalizer.
+  EXPECT_NEAR(f(1000.0), 1.0, 1e-12);
+  // Spot value: q(500) = (1 - e^{-1.5}) / (1 - e^{-3}).
+  const double expected = (1.0 - std::exp(-1.5)) / (1.0 - std::exp(-3.0));
+  EXPECT_NEAR(f(500.0), expected, 1e-12);
+}
+
+TEST(QualityFunction, LargerCIsMoreConcave) {
+  // Figure 7(a): at the same volume, larger c yields higher quality.
+  auto lo = QualityFunction::exponential(0.0005);
+  auto hi = QualityFunction::exponential(0.009);
+  for (double x : {50.0, 200.0, 500.0, 900.0}) {
+    EXPECT_GT(hi(x), lo(x)) << "at x=" << x;
+  }
+  // Both normalize to 1 at 1000 units.
+  EXPECT_NEAR(lo(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(hi(1000.0), 1.0, 1e-12);
+}
+
+TEST(QualityFunction, ShapeChecks) {
+  EXPECT_TRUE(QualityFunction::exponential(0.003).check_shape(1000.0));
+  EXPECT_TRUE(QualityFunction::exponential(0.009).check_shape(1000.0));
+  EXPECT_TRUE(QualityFunction::linear().check_shape(1000.0));
+  EXPECT_TRUE(QualityFunction::sqrt().check_shape(1000.0));
+  EXPECT_TRUE(QualityFunction::log1p().check_shape(1000.0));
+  // A convex function must fail the concavity check.
+  auto convex = QualityFunction::custom(
+      "square", [](Work x) { return x * x; }, false);
+  EXPECT_FALSE(convex.check_shape(10.0));
+  // A decreasing function must fail monotonicity.
+  auto decreasing = QualityFunction::custom(
+      "neg", [](Work x) { return -x; }, false);
+  EXPECT_FALSE(decreasing.check_shape(10.0));
+}
+
+TEST(QualityFunction, StepFunction) {
+  auto f = QualityFunction::step(100.0);
+  EXPECT_DOUBLE_EQ(f(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(500.0), 1.0);
+  EXPECT_FALSE(f.strictly_concave());
+}
+
+TEST(QualityFunction, SqrtAndLog1pAreNormalized) {
+  EXPECT_NEAR(QualityFunction::sqrt(1000.0)(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(QualityFunction::log1p(0.01, 1000.0)(1000.0), 1.0, 1e-12);
+}
+
+TEST(QualityFunction, ConcavityGivesDiminishingReturns) {
+  auto f = QualityFunction::exponential(0.003);
+  const double first_half = f(500.0) - f(0.0);
+  const double second_half = f(1000.0) - f(500.0);
+  EXPECT_GT(first_half, second_half);
+}
+
+class QualityFamilyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QualityFamilyTest, ExponentialFamilyWellFormed) {
+  const double c = GetParam();
+  auto f = QualityFunction::exponential(c);
+  EXPECT_TRUE(f.check_shape(1000.0, 512));
+  EXPECT_NEAR(f(1000.0), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_TRUE(f.strictly_concave());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperCValues, QualityFamilyTest,
+                         ::testing::Values(0.0005, 0.001, 0.002, 0.003, 0.005,
+                                           0.009));
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,93 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qes {
+namespace {
+
+TEST(Schedule, PushMergesAdjacentEqualSegments) {
+  Schedule s;
+  s.push({0.0, 10.0, 1, 2.0});
+  s.push({10.0, 20.0, 1, 2.0});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0].t1, 20.0);
+}
+
+TEST(Schedule, PushDropsEmptySegments) {
+  Schedule s;
+  s.push({5.0, 5.0, 1, 2.0});
+  s.push({5.0, 6.0, 1, 0.0});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Schedule, VolumesAndEnergy) {
+  Schedule s;
+  s.push({0.0, 100.0, 1, 2.0});   // 200 units, 20 W * 0.1 s = 2 J
+  s.push({100.0, 150.0, 2, 1.0});  // 50 units, 5 W * 0.05 s = 0.25 J
+  auto v = s.volumes();
+  EXPECT_DOUBLE_EQ(v[1], 200.0);
+  EXPECT_DOUBLE_EQ(v[2], 50.0);
+  EXPECT_DOUBLE_EQ(s.volume_of(1), 200.0);
+  EXPECT_DOUBLE_EQ(s.volume_of(3), 0.0);
+  PowerModel pm = default_power_model();
+  EXPECT_NEAR(s.dynamic_energy(pm), 2.25, 1e-12);
+}
+
+TEST(Schedule, SpeedAtAndMakespan) {
+  Schedule s;
+  s.push({0.0, 100.0, 1, 2.0});
+  s.push({150.0, 200.0, 2, 1.5});
+  EXPECT_DOUBLE_EQ(s.speed_at(50.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.speed_at(120.0), 0.0);  // idle gap
+  EXPECT_DOUBLE_EQ(s.speed_at(150.0), 1.5);
+  EXPECT_DOUBLE_EQ(s.speed_at(200.0), 0.0);  // half-open
+  EXPECT_DOUBLE_EQ(s.max_speed(), 2.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 200.0);
+}
+
+TEST(Schedule, ConstructorSortsSegments) {
+  Schedule s({{100.0, 150.0, 2, 1.0}, {0.0, 50.0, 1, 2.0}});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].job, 1u);
+  EXPECT_EQ(s[1].job, 2u);
+  s.check_well_formed();
+}
+
+TEST(Schedule, OutOfOrderPushDies) {
+  Schedule s;
+  s.push({100.0, 150.0, 1, 1.0});
+  EXPECT_DEATH(s.push({0.0, 50.0, 2, 1.0}), "time order");
+}
+
+TEST(Schedule, WindowCheckPasses) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 150.0, .demand = 100.0}};
+  Schedule s;
+  s.push({10.0, 60.0, 1, 2.0});
+  s.check_respects_windows(jobs);  // must not abort
+}
+
+TEST(Schedule, WindowCheckCatchesDeadlineOverrun) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 150.0, .demand = 100.0}};
+  Schedule s;
+  s.push({100.0, 200.0, 1, 2.0});
+  EXPECT_DEATH(s.check_respects_windows(jobs), "deadline");
+}
+
+TEST(Schedule, WindowCheckCatchesUnknownJob) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 150.0, .demand = 100.0}};
+  Schedule s;
+  s.push({0.0, 10.0, 99, 1.0});
+  EXPECT_DEATH(s.check_respects_windows(jobs), "unknown job");
+}
+
+TEST(Segment, VolumeIsSpeedTimesDuration) {
+  Segment seg{10.0, 30.0, 1, 2.5};
+  EXPECT_DOUBLE_EQ(seg.duration(), 20.0);
+  EXPECT_DOUBLE_EQ(seg.volume(), 50.0);
+}
+
+}  // namespace
+}  // namespace qes

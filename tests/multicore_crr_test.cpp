@@ -1,0 +1,113 @@
+#include "multicore/crr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/prng.hpp"
+
+namespace qes {
+namespace {
+
+TEST(Crr, RoundRobinWithinOneCall) {
+  CumulativeRoundRobin crr(4);
+  auto t = crr.distribute(6);
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[0], 0u);
+  EXPECT_EQ(t[1], 1u);
+  EXPECT_EQ(t[2], 2u);
+  EXPECT_EQ(t[3], 3u);
+  EXPECT_EQ(t[4], 0u);
+  EXPECT_EQ(t[5], 1u);
+}
+
+TEST(Crr, CursorPersistsAcrossCalls) {
+  CumulativeRoundRobin crr(4);
+  (void)crr.distribute(3);  // cores 0,1,2
+  auto t = crr.distribute(3);
+  EXPECT_EQ(t[0], 3u);  // continues where the last cycle stopped
+  EXPECT_EQ(t[1], 0u);
+  EXPECT_EQ(t[2], 1u);
+  EXPECT_EQ(crr.cursor(), 2u);
+}
+
+TEST(Crr, LongRunBalanceIsPerfect) {
+  // The defining property vs plain RR: cumulative distribution keeps
+  // per-core counts within 1 regardless of batch sizes.
+  CumulativeRoundRobin crr(5);
+  Xoshiro256 rng(9);
+  std::map<std::size_t, int> counts;
+  int total = 0;
+  for (int call = 0; call < 200; ++call) {
+    const std::size_t batch = rng.uniform_index(7);  // 0..6 jobs
+    for (std::size_t core : crr.distribute(batch)) {
+      ++counts[core];
+      ++total;
+    }
+  }
+  int lo = total, hi = 0;
+  for (std::size_t c = 0; c < 5; ++c) {
+    lo = std::min(lo, counts[c]);
+    hi = std::max(hi, counts[c]);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(Crr, PlainRoundRobinIsImbalancedUnderSmallBatches) {
+  // Plain RR restarts at core 0 every call: batches of 1 all land on
+  // core 0, the pathology C-RR fixes.
+  PlainRoundRobin rr(4);
+  std::map<std::size_t, int> counts;
+  for (int call = 0; call < 100; ++call) {
+    for (std::size_t core : rr.distribute(1)) ++counts[core];
+  }
+  EXPECT_EQ(counts[0], 100);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST(Crr, Reset) {
+  CumulativeRoundRobin crr(3);
+  (void)crr.distribute(2);
+  crr.reset();
+  EXPECT_EQ(crr.cursor(), 0u);
+  EXPECT_EQ(crr.distribute(1)[0], 0u);
+}
+
+TEST(Crr, SingleCore) {
+  CumulativeRoundRobin crr(1);
+  for (std::size_t core : crr.distribute(5)) EXPECT_EQ(core, 0u);
+}
+
+TEST(Swrr, ProportionalDealing) {
+  SmoothWeightedRoundRobin swrr({3.0, 1.0});
+  std::map<std::size_t, int> counts;
+  for (std::size_t t : swrr.distribute(400)) ++counts[t];
+  EXPECT_EQ(counts[0], 300);
+  EXPECT_EQ(counts[1], 100);
+}
+
+TEST(Swrr, InterleavesSmoothly) {
+  // Weights {2,1}: the classic smooth pattern repeats (0,1,0) — the
+  // heavy target never gets a long monopoly run.
+  SmoothWeightedRoundRobin swrr({2.0, 1.0});
+  const auto t = swrr.distribute(9);
+  int longest_run = 1, run = 1;
+  for (std::size_t k = 1; k < t.size(); ++k) {
+    run = t[k] == t[k - 1] ? run + 1 : 1;
+    longest_run = std::max(longest_run, run);
+  }
+  EXPECT_LE(longest_run, 2);
+  EXPECT_EQ(std::count(t.begin(), t.end(), 0u), 6);
+}
+
+TEST(Swrr, EqualWeightsReduceToRoundRobin) {
+  SmoothWeightedRoundRobin swrr({1.0, 1.0, 1.0});
+  const auto t = swrr.distribute(6);
+  std::map<std::size_t, int> counts;
+  for (std::size_t x : t) ++counts[x];
+  for (auto& [core, c] : counts) EXPECT_EQ(c, 2);
+}
+
+}  // namespace
+}  // namespace qes

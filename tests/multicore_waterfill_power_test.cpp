@@ -1,0 +1,167 @@
+#include "multicore/power_waterfill.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/prng.hpp"
+
+namespace qes {
+namespace {
+
+TEST(PowerWaterfill, PaperFigure2Shape) {
+  // Fig. 2: core 4 requests less than the equal share and gets exactly
+  // its demand; cores 1-3 split the rest equally.
+  std::vector<Watts> req = {120.0, 100.0, 90.0, 10.0};
+  auto a = waterfill_power(req, 100.0);
+  EXPECT_NEAR(a[3], 10.0, 1e-9);
+  EXPECT_NEAR(a[0], 30.0, 1e-9);
+  EXPECT_NEAR(a[1], 30.0, 1e-9);
+  EXPECT_NEAR(a[2], 30.0, 1e-9);
+}
+
+TEST(PowerWaterfill, AmpleBudgetGivesEveryoneTheirRequest) {
+  std::vector<Watts> req = {20.0, 30.0, 10.0};
+  auto a = waterfill_power(req, 320.0);
+  EXPECT_NEAR(a[0], 20.0, 1e-9);
+  EXPECT_NEAR(a[1], 30.0, 1e-9);
+  EXPECT_NEAR(a[2], 10.0, 1e-9);
+}
+
+TEST(PowerWaterfill, EqualRequestsSplitEqually) {
+  std::vector<Watts> req(16, 100.0);
+  auto a = waterfill_power(req, 320.0);
+  for (Watts w : a) EXPECT_NEAR(w, 20.0, 1e-9);
+}
+
+TEST(PowerWaterfill, ZeroRequestGetsNothing) {
+  std::vector<Watts> req = {0.0, 50.0};
+  auto a = waterfill_power(req, 20.0);
+  EXPECT_NEAR(a[0], 0.0, 1e-9);
+  EXPECT_NEAR(a[1], 20.0, 1e-9);
+}
+
+TEST(PowerWaterfill, EmptyInput) {
+  std::vector<Watts> req;
+  auto a = waterfill_power(req, 100.0);
+  EXPECT_TRUE(a.empty());
+}
+
+class PowerWaterfillPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PowerWaterfillPropertyTest, ConservationAndCapRespect) {
+  Xoshiro256 rng(GetParam());
+  for (int rep = 0; rep < 100; ++rep) {
+    const std::size_t m = 1 + rng.uniform_index(32);
+    std::vector<Watts> req;
+    Watts total_req = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      req.push_back(rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.0, 100.0));
+      total_req += req.back();
+    }
+    const Watts H = rng.uniform(0.0, 150.0 * static_cast<double>(m) / 4.0);
+    auto a = waterfill_power(req, H);
+    Watts sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_GE(a[i], -1e-9);
+      EXPECT_LE(a[i], req[i] + 1e-6);
+      sum += a[i];
+    }
+    EXPECT_NEAR(sum, std::min(H, total_req), 1e-5);
+  }
+}
+
+TEST_P(PowerWaterfillPropertyTest, MaxMinFairness) {
+  // Any core receiving less than its request must receive at least as
+  // much as every other core (the water level property).
+  Xoshiro256 rng(GetParam() ^ 0xAAULL);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t m = 2 + rng.uniform_index(16);
+    std::vector<Watts> req;
+    for (std::size_t i = 0; i < m; ++i) req.push_back(rng.uniform(1.0, 80.0));
+    const Watts H = rng.uniform(10.0, 40.0 * static_cast<double>(m) / 2.0);
+    auto a = waterfill_power(req, H);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (a[i] < req[i] - 1e-6) {
+        for (std::size_t j = 0; j < m; ++j) {
+          EXPECT_GE(a[i], a[j] - 1e-6)
+              << "unsatisfied core " << i << " got less than core " << j;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerWaterfillPropertyTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(RectifySpeeds, SnapsUpWhenBudgetAllows) {
+  PowerModel pm = default_power_model();
+  auto levels = DiscreteSpeedSet::opteron2380();
+  // One core at 1.5 GHz (11.25 W), budget 20 W: snapping to 1.8 costs
+  // 16.2 W <= 20 -> up.
+  std::vector<Speed> cont = {1.5};
+  auto r = rectify_speeds_discrete(cont, 20.0, levels, pm);
+  ASSERT_TRUE(r[0].has_value());
+  EXPECT_DOUBLE_EQ(*r[0], 1.8);
+}
+
+TEST(RectifySpeeds, FallsBackDownWhenBudgetTight) {
+  PowerModel pm = default_power_model();
+  auto levels = DiscreteSpeedSet::opteron2380();
+  std::vector<Speed> cont = {1.5};
+  // 1.8 GHz needs 16.2 W; only 12 W available -> 1.3 GHz (8.45 W).
+  auto r = rectify_speeds_discrete(cont, 12.0, levels, pm);
+  ASSERT_TRUE(r[0].has_value());
+  EXPECT_DOUBLE_EQ(*r[0], 1.3);
+}
+
+TEST(RectifySpeeds, IdleCoreStaysIdle) {
+  PowerModel pm = default_power_model();
+  auto levels = DiscreteSpeedSet::opteron2380();
+  std::vector<Speed> cont = {0.0, 2.0};
+  auto r = rectify_speeds_discrete(cont, 320.0, levels, pm);
+  EXPECT_FALSE(r[0].has_value());
+  ASSERT_TRUE(r[1].has_value());
+  EXPECT_DOUBLE_EQ(*r[1], 2.5);
+}
+
+TEST(RectifySpeeds, TotalPowerNeverExceedsBudget) {
+  PowerModel pm = default_power_model();
+  auto levels = DiscreteSpeedSet::opteron2380();
+  Xoshiro256 rng(17);
+  for (int rep = 0; rep < 100; ++rep) {
+    const std::size_t m = 1 + rng.uniform_index(16);
+    const Watts H = rng.uniform(20.0, 400.0);
+    // Continuous speeds from a WF assignment: scale requests into H.
+    std::vector<Watts> req;
+    for (std::size_t i = 0; i < m; ++i) req.push_back(rng.uniform(0.0, 40.0));
+    auto assigned = waterfill_power(req, H);
+    std::vector<Speed> cont;
+    for (Watts w : assigned) cont.push_back(pm.speed_for_power(w));
+    auto r = rectify_speeds_discrete(cont, H, levels, pm);
+    Watts total = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (r[i]) total += pm.dynamic_power(*r[i]);
+    }
+    EXPECT_LE(total, H + 1e-5);
+  }
+}
+
+TEST(RectifySpeeds, LowestAssignedCoreRectifiedFirst) {
+  PowerModel pm = default_power_model();
+  auto levels = DiscreteSpeedSet::opteron2380();
+  // Two cores at 1.5 GHz each (11.25 W each), budget 28.65 W: slack is
+  // 6.15 W; snapping one core up to 1.8 costs 4.95 extra. The LOWER core
+  // is processed first; with equal speeds the first in sort order wins,
+  // leaving only 1.2 W slack so the second drops to 1.3.
+  std::vector<Speed> cont = {1.5, 1.5};
+  auto r = rectify_speeds_discrete(cont, 28.65, levels, pm);
+  ASSERT_TRUE(r[0] && r[1]);
+  EXPECT_DOUBLE_EQ(*r[0], 1.8);
+  EXPECT_DOUBLE_EQ(*r[1], 1.3);
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,34 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace qes {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  Table t({"rate", "quality"});
+  t.add_row({"100", "0.99"});
+  t.add_row({"2600", "0.5"});
+  std::stringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("rate"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("2600"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchDies) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"1"}), "row width");
+}
+
+TEST(Table, Formatting) {
+  EXPECT_EQ(fmt(0.98765, 3), "0.988");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_sci(123456.0, 2), "1.23e+05");
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,164 @@
+#include "sched/online_qe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "core/quality.hpp"
+#include "sched/qe_opt.hpp"
+#include "test_util.hpp"
+
+namespace qes {
+namespace {
+
+PowerModel pm = default_power_model();
+
+TEST(OnlineQe, EmptyInput) {
+  auto r = online_qe(100.0, {}, 2.0);
+  EXPECT_TRUE(r.schedule.empty());
+  EXPECT_TRUE(r.planned.empty());
+}
+
+TEST(OnlineQe, SkipsExpiredAndFinishedJobs) {
+  std::vector<ReadyJob> jobs = {
+      {.id = 1, .deadline = 90.0, .demand = 50.0},                  // expired
+      {.id = 2, .deadline = 200.0, .demand = 50.0, .processed = 50.0},
+      {.id = 3, .deadline = 200.0, .demand = 50.0},
+  };
+  auto r = online_qe(100.0, jobs, 2.0);
+  EXPECT_EQ(r.planned.count(1), 0u);
+  EXPECT_EQ(r.planned.count(2), 0u);
+  ASSERT_EQ(r.planned.count(3), 1u);
+  EXPECT_NEAR(r.planned[3], 50.0, 1e-9);
+}
+
+TEST(OnlineQe, MatchesQeOptWhenInvokedFresh) {
+  // With no running job and all releases at `now`, Online-QE must equal
+  // QE-OPT on the same (re-released) set — the myopic-optimality claim.
+  Xoshiro256 rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Time now = 1000.0;
+    const std::size_t n = 2 + rng.uniform_index(10);
+    std::vector<ReadyJob> ready;
+    std::vector<Job> offline;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Time d = now + rng.uniform(50.0, 300.0);
+      const Work w = rng.uniform(20.0, 300.0);
+      ready.push_back({.id = k + 1, .deadline = d, .demand = w});
+      offline.push_back(
+          {.id = k + 1, .release = now, .deadline = d, .demand = w});
+    }
+    const Speed s = rng.uniform(0.5, 2.5);
+    auto on = online_qe(now, ready, s);
+    const AgreeableJobSet off_set(offline);
+    auto off = qe_opt_schedule(off_set, s);
+    EXPECT_NEAR(on.schedule.dynamic_energy(pm),
+                off.schedule.dynamic_energy(pm), 1e-6);
+    for (std::size_t k = 0; k < n; ++k) {
+      const JobId id = off_set[k].id;  // volumes align with sorted order
+      const Work planned = on.planned.count(id) ? on.planned[id] : 0.0;
+      EXPECT_NEAR(planned, off.volumes[k], 1e-5);
+    }
+  }
+}
+
+TEST(OnlineQe, RunningJobKeepsItsFairShareCredit) {
+  // Two identical jobs, tight capacity. Job 1 already processed 40: the
+  // release rewind makes Quality-OPT see that volume, so the *total*
+  // volumes equalize rather than the increments.
+  const Time now = 0.0;
+  std::vector<ReadyJob> jobs = {
+      {.id = 1, .deadline = 100.0, .demand = 100.0, .processed = 40.0,
+       .running = true},
+      {.id = 2, .deadline = 100.0, .demand = 100.0},
+  };
+  auto r = online_qe(now, jobs, 1.0);
+  // Windows: job1 [-40, 100] (140 capacity in its rewound window),
+  // job2 [0, 100]. Quality-OPT on [-40,100]: capacity 140, both jobs
+  // levelled at 70. Job1's remaining plan = 70 - 40 = 30; job2 = 70.
+  ASSERT_EQ(r.planned.count(1), 1u);
+  ASSERT_EQ(r.planned.count(2), 1u);
+  EXPECT_NEAR(r.planned[1], 30.0, 1e-6);
+  EXPECT_NEAR(r.planned[2], 70.0, 1e-6);
+}
+
+TEST(OnlineQe, OverServedRunningJobIsDropped) {
+  // Job 1 already received more than its fair share: it gets no more.
+  std::vector<ReadyJob> jobs = {
+      {.id = 1, .deadline = 100.0, .demand = 100.0, .processed = 80.0,
+       .running = true},
+      {.id = 2, .deadline = 100.0, .demand = 100.0},
+      {.id = 3, .deadline = 100.0, .demand = 100.0},
+  };
+  auto r = online_qe(0.0, jobs, 1.0);
+  // Rewound window [-80,100]: capacity 180, level 60 < 80 => job1's
+  // remaining plan <= 0 => dropped; the other two share [0,100].
+  EXPECT_EQ(r.planned.count(1), 0u);
+  EXPECT_NEAR(r.planned[2], 50.0, 1e-6);
+  EXPECT_NEAR(r.planned[3], 50.0, 1e-6);
+}
+
+TEST(OnlineQe, ScheduleStartsAtNowAndMeetsDeadlines) {
+  Xoshiro256 rng(77);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Time now = rng.uniform(0.0, 5000.0);
+    const std::size_t n = 1 + rng.uniform_index(12);
+    std::vector<ReadyJob> jobs;
+    // The running job (index 0) must have the earliest deadline — the
+    // engine guarantees this via FIFO execution.
+    const Time running_deadline = now + rng.uniform(20.0, 120.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      ReadyJob rj{.id = k + 1,
+                  .deadline = k == 0 ? running_deadline
+                                     : running_deadline +
+                                           rng.uniform(0.0, 200.0),
+                  .demand = rng.uniform(20.0, 400.0)};
+      if (k == 0 && rng.bernoulli(0.5)) {
+        rj.running = true;
+        rj.processed = rng.uniform(0.0, rj.demand * 0.9);
+      }
+      jobs.push_back(rj);
+    }
+    const Speed s_max = rng.uniform(0.5, 3.0);
+    auto r = online_qe(now, jobs, s_max);
+    r.schedule.check_well_formed();
+    EXPECT_LE(r.schedule.max_speed(), s_max + 1e-6);
+    for (const Segment& seg : r.schedule.segments()) {
+      EXPECT_GE(seg.t0, now - 1e-6);
+      const auto& rj = jobs[seg.job - 1];
+      EXPECT_LE(seg.t1, rj.deadline + 1e-5);
+    }
+    // Planned volumes stay within remaining demand.
+    for (const auto& [id, planned] : r.planned) {
+      const auto& rj = jobs[id - 1];
+      EXPECT_LE(planned, rj.demand - rj.processed + 1e-6);
+      EXPECT_NEAR(r.schedule.volume_of(id), planned, 1e-5);
+    }
+  }
+}
+
+TEST(OnlineQe, WorksWithChangedPowerBudget) {
+  // The same ready set under a smaller budget (slower max speed) must
+  // still produce a feasible schedule with (weakly) lower total volume.
+  std::vector<ReadyJob> jobs = {
+      {.id = 1, .deadline = 100.0, .demand = 150.0},
+      {.id = 2, .deadline = 120.0, .demand = 150.0},
+  };
+  auto fast = online_qe(0.0, jobs, 2.0);
+  auto slow = online_qe(0.0, jobs, 1.0);
+  double fast_total = 0.0, slow_total = 0.0;
+  for (auto& [id, v] : fast.planned) fast_total += v;
+  for (auto& [id, v] : slow.planned) slow_total += v;
+  EXPECT_GE(fast_total, slow_total - 1e-9);
+  EXPECT_LE(slow.schedule.max_speed(), 1.0 + 1e-9);
+}
+
+TEST(OnlineQe, TwoRunningJobsDie) {
+  std::vector<ReadyJob> jobs = {
+      {.id = 1, .deadline = 100.0, .demand = 10.0, .running = true},
+      {.id = 2, .deadline = 100.0, .demand = 10.0, .running = true},
+  };
+  EXPECT_DEATH(online_qe(0.0, jobs, 1.0), "at most one running job");
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,158 @@
+// Stronger optimality evidence for Quality-OPT / QE-OPT via the
+// feasibility polytope.
+//
+// For agreeable deadlines, a volume vector (p_1..p_n) is EDF-feasible at
+// fixed speed s iff every interval constraint holds:
+//     sum_{[r_k,d_k] subseteq [r_i,d_j]} p_k <= s * (d_j - r_i).
+// Maximizing the concave sum f(p_k) over this polytope is a concave
+// program, so LOCAL optimality implies GLOBAL optimality. These tests
+// verify no feasible ascent direction exists at Quality-OPT's solution:
+// no single-job increase and no pairwise volume transfer improves the
+// total quality.
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "core/quality.hpp"
+#include "sched/quality_opt.hpp"
+#include "sched/yds.hpp"
+#include "test_util.hpp"
+
+namespace qes {
+namespace {
+
+// Checks all interval constraints for a volume vector.
+bool volumes_feasible(const AgreeableJobSet& set,
+                      std::span<const Work> volumes, Speed speed) {
+  const std::size_t n = set.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const Time z = set[i].release;
+      const Time z2 = set[j].deadline;
+      Work contained = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (set[k].release >= z - kTimeEps &&
+            set[k].deadline <= z2 + kTimeEps) {
+          contained += volumes[k];
+        }
+      }
+      if (contained > speed * (z2 - z) + 1e-6) return false;
+    }
+  }
+  return true;
+}
+
+class OptimalityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalityTest, QualityOptVolumesAreFeasible) {
+  Xoshiro256 rng(GetParam());
+  for (int rep = 0; rep < 6; ++rep) {
+    auto jobs = test::random_agreeable_jobs_varwindow(rng, 15, 400.0);
+    AgreeableJobSet set(jobs);
+    const Speed s = rng.uniform(0.4, 2.0);
+    const auto r = quality_opt_schedule(set, s);
+    EXPECT_TRUE(volumes_feasible(set, r.volumes, s));
+  }
+}
+
+TEST_P(OptimalityTest, NoSingleJobIncreaseIsFeasibleOrProfitable) {
+  // Every job is either saturated (p == w) or blocked by a tight
+  // interval constraint: otherwise adding volume would raise quality
+  // (f strictly increasing), contradicting optimality.
+  Xoshiro256 rng(GetParam() ^ 0x51ULL);
+  for (int rep = 0; rep < 6; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 12, 300.0);
+    AgreeableJobSet set(jobs);
+    const Speed s = rng.uniform(0.4, 1.5);
+    const auto r = quality_opt_schedule(set, s);
+    const double eps = 0.5;
+    for (std::size_t k = 0; k < set.size(); ++k) {
+      if (r.volumes[k] + eps > set[k].demand) continue;  // saturated
+      auto bumped = r.volumes;
+      bumped[k] += eps;
+      EXPECT_FALSE(volumes_feasible(set, bumped, s))
+          << "job " << set[k].id << " could have received more volume";
+    }
+  }
+}
+
+TEST_P(OptimalityTest, NoPairwiseTransferImprovesQuality) {
+  // Moving volume between two jobs while staying feasible must not
+  // increase sum f(p) — checked for several concave f simultaneously,
+  // since Quality-OPT's allocation is f-independent.
+  Xoshiro256 rng(GetParam() ^ 0x52ULL);
+  const std::vector<QualityFunction> fs = {
+      QualityFunction::exponential(0.003),
+      QualityFunction::exponential(0.012), QualityFunction::sqrt(1000.0)};
+  for (int rep = 0; rep < 4; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 10, 250.0);
+    AgreeableJobSet set(jobs);
+    const Speed s = rng.uniform(0.4, 1.2);
+    const auto r = quality_opt_schedule(set, s);
+    const std::vector<double> base_q = [&] {
+      std::vector<double> q;
+      for (const auto& f : fs) q.push_back(total_quality(r.volumes, f));
+      return q;
+    }();
+    for (double eps : {2.0, 10.0}) {
+      for (std::size_t a = 0; a < set.size(); ++a) {
+        for (std::size_t b = 0; b < set.size(); ++b) {
+          if (a == b || r.volumes[a] < eps) continue;
+          auto moved = r.volumes;
+          moved[a] -= eps;
+          moved[b] = std::min(moved[b] + eps, set[b].demand);
+          if (!volumes_feasible(set, moved, s)) continue;
+          for (std::size_t fi = 0; fi < fs.size(); ++fi) {
+            EXPECT_LE(total_quality(moved, fs[fi]), base_q[fi] + 1e-7)
+                << "transfer " << set[a].id << "->" << set[b].id
+                << " improved " << fs[fi].name();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(OptimalityTest, YdsNoPairwiseSpeedSwapReducesEnergy) {
+  // Energy-side local optimality: slowing one job down and speeding a
+  // neighbour up (keeping the FIFO timetable feasible) must not reduce
+  // total energy.
+  Xoshiro256 rng(GetParam() ^ 0x53ULL);
+  const PowerModel pm = default_power_model();
+  for (int rep = 0; rep < 5; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 10, 300.0);
+    AgreeableJobSet set(jobs);
+    const auto r = yds_schedule(set);
+    const Joules base = yds_energy(set, r, pm);
+    for (double factor : {0.9, 0.95, 1.05, 1.1}) {
+      for (std::size_t k = 0; k < set.size(); ++k) {
+        auto speeds = r.speeds;
+        speeds[k] *= factor;
+        // Rebuild the FIFO timetable; skip if infeasible.
+        Time t = set[0].release;
+        bool feasible = true;
+        Joules energy = 0.0;
+        for (std::size_t i = 0; i < set.size(); ++i) {
+          const Time start = std::max(t, set[i].release);
+          const Time dur = set[i].demand / speeds[i];
+          if (start + dur > set[i].deadline + 1e-9) {
+            feasible = false;
+            break;
+          }
+          energy += pm.dynamic_energy(speeds[i], dur);
+          t = start + dur;
+        }
+        if (feasible) {
+          EXPECT_GE(energy, base - 1e-9)
+              << "scaling job " << set[k].id << " by " << factor
+              << " reduced energy";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityTest,
+                         ::testing::Values(71u, 72u, 73u, 74u));
+
+}  // namespace
+}  // namespace qes

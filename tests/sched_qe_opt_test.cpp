@@ -1,0 +1,122 @@
+#include "sched/qe_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "core/quality.hpp"
+#include "sched/quality_opt.hpp"
+#include "test_util.hpp"
+
+namespace qes {
+namespace {
+
+PowerModel pm = default_power_model();
+
+TEST(QeOpt, LightLoadSlowsDownToSave) {
+  // One small job with a large window: quality step grants full volume,
+  // energy step stretches it across the window.
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 200.0, .demand = 100.0}});
+  auto r = qe_opt_schedule(set, 2.0);
+  EXPECT_DOUBLE_EQ(r.volumes[0], 100.0);
+  ASSERT_EQ(r.schedule.size(), 1u);
+  EXPECT_NEAR(r.schedule[0].speed, 0.5, 1e-9);  // 100 units / 200 ms
+  EXPECT_NEAR(r.schedule[0].t1, 200.0, 1e-9);
+}
+
+TEST(QeOpt, OverloadRunsFlatOutAtMaxSpeed) {
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 500.0}});
+  auto r = qe_opt_schedule(set, 2.0);
+  EXPECT_NEAR(r.volumes[0], 200.0, 1e-9);  // capacity-bound
+  ASSERT_EQ(r.schedule.size(), 1u);
+  EXPECT_NEAR(r.schedule[0].speed, 2.0, 1e-9);
+}
+
+TEST(QeOpt, QualityEqualsQualityOptQuality) {
+  Xoshiro256 rng(7);
+  auto f = QualityFunction::exponential(0.003);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 20, 500.0);
+    AgreeableJobSet set(jobs);
+    const Speed s = rng.uniform(0.5, 2.5);
+    auto qe = qe_opt_schedule(set, s);
+    auto q = quality_opt_schedule(set, s);
+    EXPECT_NEAR(total_quality(qe.volumes, f), total_quality(q.volumes, f),
+                1e-9);
+  }
+}
+
+TEST(QeOpt, EnergyNeverExceedsFixedSpeedQualityOpt) {
+  // QE-OPT executes the same volumes as Quality-OPT; running them via
+  // YDS must cost no more energy than the fixed-max-speed timetable.
+  Xoshiro256 rng(21);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 20, 500.0);
+    AgreeableJobSet set(jobs);
+    const Speed s = rng.uniform(0.5, 2.5);
+    auto qe = qe_opt_schedule(set, s);
+    auto q = quality_opt_schedule(set, s);
+    EXPECT_LE(qe.schedule.dynamic_energy(pm),
+              q.schedule.dynamic_energy(pm) + 1e-6);
+  }
+}
+
+TEST(QeOpt, Theorem1SpeedNeverExceedsBudgetSpeed) {
+  Xoshiro256 rng(33);
+  for (int rep = 0; rep < 20; ++rep) {
+    auto jobs = test::random_agreeable_jobs_varwindow(rng, 25, 600.0);
+    AgreeableJobSet set(jobs);
+    const Speed s = rng.uniform(0.3, 3.0);
+    auto qe = qe_opt_schedule(set, s);
+    EXPECT_LE(qe.schedule.max_speed(), s + 1e-6);
+    qe.schedule.check_well_formed();
+    qe.schedule.check_respects_windows(set.jobs());
+  }
+}
+
+TEST(QeOpt, ExecutedVolumesMatchGrantedVolumes) {
+  Xoshiro256 rng(44);
+  auto jobs = test::random_agreeable_jobs(rng, 15, 300.0);
+  AgreeableJobSet set(jobs);
+  auto qe = qe_opt_schedule(set, 1.5);
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    EXPECT_NEAR(qe.schedule.volume_of(set[k].id), qe.volumes[k], 1e-5);
+  }
+}
+
+// Lexicographic dominance sanity check: among a family of "run everything
+// at constant speed sigma, truncate at deadlines" schedules, none may
+// (a) beat QE-OPT's quality, or (b) match its quality with less energy.
+class QeOptDominanceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QeOptDominanceTest, LexicographicallyDominatesConstantSpeedFamily) {
+  Xoshiro256 rng(GetParam());
+  auto f = QualityFunction::exponential(0.003);
+  const Speed s_max = 2.0;
+  for (int rep = 0; rep < 6; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 18, 400.0);
+    AgreeableJobSet set(jobs);
+    auto qe = qe_opt_schedule(set, s_max);
+    const double q_opt = total_quality(qe.volumes, f);
+    const Joules e_opt = qe.schedule.dynamic_energy(pm);
+    for (double sigma : {0.5, 1.0, 1.5, 2.0}) {
+      auto vols = test::fifo_constant_speed_volumes(set, sigma);
+      const double q = total_quality(vols, f);
+      Joules e = 0.0;
+      for (Work v : vols) e += pm.dynamic_energy(sigma, v / sigma);
+      EXPECT_LE(q, q_opt + 1e-7);
+      if (q > q_opt - 1e-7) {
+        EXPECT_GE(e, e_opt - 1e-6)
+            << "constant speed " << sigma
+            << " matched quality with less energy";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QeOptDominanceTest,
+                         ::testing::Values(201u, 202u, 203u));
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,174 @@
+#include "sched/quality_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "core/quality.hpp"
+#include "test_util.hpp"
+
+namespace qes {
+namespace {
+
+TEST(QualityOpt, AmpleSpeedSatisfiesEverything) {
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 150.0, .demand = 100.0},
+      {.id = 2, .release = 50.0, .deadline = 200.0, .demand = 100.0},
+  });
+  auto r = quality_opt_schedule(set, 10.0);
+  EXPECT_DOUBLE_EQ(r.volumes[0], 100.0);
+  EXPECT_DOUBLE_EQ(r.volumes[1], 100.0);
+  r.schedule.check_respects_windows(set.jobs());
+}
+
+TEST(QualityOpt, OverloadEqualizesDeprivedVolumes) {
+  // Two identical jobs, capacity for only one: each gets half (concave
+  // quality prefers equal sharing).
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+      {.id = 2, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+  });
+  auto r = quality_opt_schedule(set, 1.0);  // capacity 100
+  EXPECT_NEAR(r.volumes[0], 50.0, 1e-9);
+  EXPECT_NEAR(r.volumes[1], 50.0, 1e-9);
+}
+
+TEST(QualityOpt, SmallJobSatisfiedLargeJobsLevelled) {
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 10.0},
+      {.id = 2, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+      {.id = 3, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+  });
+  auto r = quality_opt_schedule(set, 0.9);  // capacity 90
+  // Water level: 10 + 2L = 90 => L = 40.
+  EXPECT_NEAR(r.volumes[0], 10.0, 1e-9);
+  EXPECT_NEAR(r.volumes[1], 40.0, 1e-9);
+  EXPECT_NEAR(r.volumes[2], 40.0, 1e-9);
+}
+
+TEST(QualityOpt, BusiestIntervalScheduledFirst) {
+  // A tight prefix must not be starved by a later, looser job: with the
+  // busiest-deprived-interval rule, job 1's tight window is processed
+  // before considering job 2's slack.
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 10.0, .demand = 15.0},
+      {.id = 2, .release = 0.0, .deadline = 20.0, .demand = 1.0},
+  });
+  auto r = quality_opt_schedule(set, 1.0);
+  // Interval [0,10] d-mean = 10 (job 1 deprived); [0,20] satisfies all
+  // (16 <= 20) => infinite; busiest is [0,10]: job1 -> 10, then job2 in
+  // the remaining [10,20] => satisfied.
+  EXPECT_NEAR(r.volumes[0], 10.0, 1e-9);
+  EXPECT_NEAR(r.volumes[1], 1.0, 1e-9);
+  r.schedule.check_respects_windows(set.jobs());
+}
+
+TEST(QualityOpt, TimetableIsFifoAtFixedSpeed) {
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 60.0},
+      {.id = 2, .release = 10.0, .deadline = 110.0, .demand = 30.0},
+  });
+  auto r = quality_opt_schedule(set, 1.0);
+  ASSERT_EQ(r.schedule.size(), 2u);
+  EXPECT_EQ(r.schedule[0].job, 1u);
+  EXPECT_NEAR(r.schedule[0].t1, 60.0, 1e-9);
+  EXPECT_EQ(r.schedule[1].job, 2u);
+  EXPECT_NEAR(r.schedule[1].t0, 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.schedule[0].speed, 1.0);
+}
+
+TEST(QualityOpt, BaselineAwareAllocationYieldsToStarvedJobs) {
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+      {.id = 2, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+  });
+  std::vector<Work> baselines = {40.0, 0.0};
+  auto r = quality_opt_schedule(set, 1.0, baselines);  // capacity 100
+  // Level: fill job2 to 40 (40 used), then both to L: 2(L-40)=60 => L=70.
+  EXPECT_NEAR(r.volumes[0], 30.0, 1e-9);
+  EXPECT_NEAR(r.volumes[1], 70.0, 1e-9);
+}
+
+TEST(QualityOpt, TotalQualityHelper) {
+  auto f = QualityFunction::linear(100.0);
+  std::vector<Work> volumes = {50.0, 25.0};
+  EXPECT_NEAR(total_quality(volumes, f), 0.75, 1e-12);
+}
+
+// ---- Property tests -------------------------------------------------------
+
+class QualityOptPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QualityOptPropertyTest, FeasibleAndWithinDemand) {
+  Xoshiro256 rng(GetParam());
+  for (int rep = 0; rep < 8; ++rep) {
+    auto jobs = (rep % 2 == 0)
+                    ? test::random_agreeable_jobs(rng, 30, 600.0)
+                    : test::random_agreeable_jobs_varwindow(rng, 30, 600.0);
+    AgreeableJobSet set(jobs);
+    const Speed s = rng.uniform(0.3, 3.0);
+    auto r = quality_opt_schedule(set, s);
+    r.schedule.check_well_formed();
+    r.schedule.check_respects_windows(set.jobs());
+    for (std::size_t k = 0; k < set.size(); ++k) {
+      EXPECT_GE(r.volumes[k], -1e-9);
+      EXPECT_LE(r.volumes[k], set[k].demand + 1e-6);
+      EXPECT_NEAR(r.schedule.volume_of(set[k].id), r.volumes[k], 1e-5);
+    }
+    EXPECT_LE(r.schedule.max_speed(), s + 1e-9);
+  }
+}
+
+TEST_P(QualityOptPropertyTest, DominatesGreedyFifoTruncation) {
+  // Quality-OPT must achieve at least the quality of plain FIFO with
+  // deadline truncation at the same fixed speed, for every concave f.
+  Xoshiro256 rng(GetParam() ^ 0xBEEFULL);
+  const std::vector<QualityFunction> fs = {
+      QualityFunction::exponential(0.003),
+      QualityFunction::exponential(0.009), QualityFunction::sqrt(1000.0)};
+  for (int rep = 0; rep < 8; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 25, 400.0);
+    AgreeableJobSet set(jobs);
+    const Speed s = rng.uniform(0.5, 2.0);
+    auto r = quality_opt_schedule(set, s);
+    auto greedy = test::fifo_constant_speed_volumes(set, s);
+    for (const auto& f : fs) {
+      EXPECT_GE(total_quality(r.volumes, f) + 1e-7,
+                total_quality(greedy, f))
+          << "f=" << f.name() << " speed=" << s;
+    }
+  }
+}
+
+TEST_P(QualityOptPropertyTest, MonotoneInSpeed) {
+  // More speed never hurts quality.
+  Xoshiro256 rng(GetParam() ^ 0xCAFEULL);
+  auto f = QualityFunction::exponential(0.003);
+  for (int rep = 0; rep < 5; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 20, 300.0);
+    AgreeableJobSet set(jobs);
+    double prev_q = -1.0;
+    for (double s : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      auto r = quality_opt_schedule(set, s);
+      const double q = total_quality(r.volumes, f);
+      EXPECT_GE(q, prev_q - 1e-7);
+      prev_q = q;
+    }
+  }
+}
+
+TEST_P(QualityOptPropertyTest, SatisfiesEverythingAtHighSpeed) {
+  Xoshiro256 rng(GetParam() ^ 0xF00DULL);
+  auto jobs = test::random_agreeable_jobs(rng, 20, 1000.0, 150.0, 5.0, 50.0);
+  AgreeableJobSet set(jobs);
+  auto r = quality_opt_schedule(set, 100.0);
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    EXPECT_NEAR(r.volumes[k], set[k].demand, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QualityOptPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace qes

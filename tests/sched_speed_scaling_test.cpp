@@ -1,0 +1,119 @@
+#include "sched/speed_scaling_online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "sched/yds.hpp"
+#include "test_util.hpp"
+
+namespace qes {
+namespace {
+
+PowerModel pm = default_power_model();
+
+TEST(Avr, SingleJobRunsAtDensity) {
+  AgreeableJobSet set({{.id = 1, .release = 0.0, .deadline = 100.0,
+                        .demand = 150.0}});
+  const auto profile = avr_speed_profile(set);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_NEAR(profile[0].speed, 1.5, 1e-12);
+  const Schedule sched = avr_schedule(set);
+  EXPECT_NEAR(sched.volume_of(1), 150.0, 1e-6);
+}
+
+TEST(Avr, OverlappingJobsSumDensities) {
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+      {.id = 2, .release = 50.0, .deadline = 150.0, .demand = 100.0},
+  });
+  const auto profile = avr_speed_profile(set);
+  // [0,50): 1.0; [50,100): 2.0; [100,150): 1.0.
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_NEAR(profile[0].speed, 1.0, 1e-12);
+  EXPECT_NEAR(profile[1].speed, 2.0, 1e-12);
+  EXPECT_NEAR(profile[2].speed, 1.0, 1e-12);
+}
+
+TEST(Avr, ProfileEnergyMatchesClosedForm) {
+  AgreeableJobSet set({{.id = 1, .release = 0.0, .deadline = 200.0,
+                        .demand = 100.0}});
+  const auto profile = avr_speed_profile(set);
+  // speed 0.5 for 200 ms: 5 * 0.25 W * 0.2 s = 0.25 J.
+  EXPECT_NEAR(profile_energy(profile, pm), 0.25, 1e-12);
+}
+
+TEST(Oa, MatchesYdsWhenAllJobsArriveTogether) {
+  // With a single release event OA == YDS by construction.
+  Xoshiro256 rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<Job> jobs;
+    const std::size_t n = 2 + rng.uniform_index(10);
+    for (std::size_t k = 0; k < n; ++k) {
+      jobs.push_back({.id = k + 1,
+                      .release = 0.0,
+                      .deadline = rng.uniform(50.0, 400.0),
+                      .demand = rng.uniform(20.0, 300.0)});
+    }
+    AgreeableJobSet set(jobs);
+    const Schedule oa = oa_schedule(set);
+    const YdsResult yds = yds_schedule(set);
+    EXPECT_NEAR(oa.dynamic_energy(pm), yds.schedule.dynamic_energy(pm),
+                1e-6);
+  }
+}
+
+class SpeedScalingPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpeedScalingPropertyTest, BothCompleteEverythingOnTime) {
+  Xoshiro256 rng(GetParam());
+  for (int rep = 0; rep < 8; ++rep) {
+    auto jobs = (rep % 2 == 0)
+                    ? test::random_agreeable_jobs(rng, 25, 800.0)
+                    : test::random_agreeable_jobs_varwindow(rng, 25, 800.0);
+    AgreeableJobSet set(jobs);
+    for (const Schedule& sched : {avr_schedule(set), oa_schedule(set)}) {
+      sched.check_well_formed();
+      sched.check_respects_windows(set.jobs());
+      for (std::size_t k = 0; k < set.size(); ++k) {
+        EXPECT_NEAR(sched.volume_of(set[k].id), set[k].demand, 1e-4);
+      }
+    }
+  }
+}
+
+TEST_P(SpeedScalingPropertyTest, YdsLowerBoundsBothOnlineAlgorithms) {
+  // YDS is offline-optimal: AVR and OA must consume at least as much
+  // energy, and stay within their theoretical competitive ratios
+  // (beta = 2: OA <= 4x, AVR <= 8x; empirically much closer).
+  Xoshiro256 rng(GetParam() ^ 0xC0FFEEULL);
+  for (int rep = 0; rep < 8; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 20, 600.0);
+    AgreeableJobSet set(jobs);
+    const Joules opt = yds_schedule(set).schedule.dynamic_energy(pm);
+    const Joules oa = oa_schedule(set).dynamic_energy(pm);
+    const Joules avr = avr_schedule(set).dynamic_energy(pm);
+    EXPECT_GE(oa, opt - 1e-6);
+    EXPECT_GE(avr, opt - 1e-6);
+    EXPECT_LE(oa, 4.0 * opt + 1e-6);
+    EXPECT_LE(avr, 8.0 * opt + 1e-6);
+  }
+}
+
+TEST_P(SpeedScalingPropertyTest, AvrScheduleConservesVolume) {
+  // The executable EDF schedule performs exactly the total demand
+  // (no work is lost or duplicated).
+  Xoshiro256 rng(GetParam() ^ 0xF1F1ULL);
+  auto jobs = test::random_agreeable_jobs(rng, 15, 500.0);
+  AgreeableJobSet set(jobs);
+  const Schedule sched = avr_schedule(set);
+  Work sched_volume = 0.0;
+  for (const auto& [id, v] : sched.volumes()) sched_volume += v;
+  EXPECT_NEAR(sched_volume, total_demand(set.jobs()), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpeedScalingPropertyTest,
+                         ::testing::Values(31u, 32u, 33u));
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,219 @@
+#include "sched/yds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prng.hpp"
+#include "test_util.hpp"
+
+namespace qes {
+namespace {
+
+PowerModel pm = default_power_model();
+
+TEST(Yds, SingleJobRunsAtAverageSpeed) {
+  AgreeableJobSet set({{.id = 1, .release = 0.0, .deadline = 100.0,
+                        .demand = 150.0}});
+  auto r = yds_schedule(set);
+  // Slowest feasible speed: 150 units / 100 ms = 1.5 GHz.
+  EXPECT_NEAR(r.speeds[0], 1.5, 1e-9);
+  EXPECT_NEAR(r.critical_speed, 1.5, 1e-9);
+  ASSERT_EQ(r.schedule.size(), 1u);
+  EXPECT_NEAR(r.schedule[0].t1, 100.0, 1e-9);
+}
+
+TEST(Yds, TwoDisjointJobsGetIndividualSpeeds) {
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 200.0},
+      {.id = 2, .release = 500.0, .deadline = 600.0, .demand = 50.0},
+  });
+  auto r = yds_schedule(set);
+  EXPECT_NEAR(r.speeds[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.speeds[1], 0.5, 1e-9);
+}
+
+TEST(Yds, CriticalIntervalSharedByTwoJobs) {
+  // Both jobs in [0, 100]: critical speed = (100+100)/100 = 2.
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+      {.id = 2, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+  });
+  auto r = yds_schedule(set);
+  EXPECT_NEAR(r.speeds[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.speeds[1], 2.0, 1e-9);
+}
+
+TEST(Yds, PaperStyleStaircase) {
+  // A dense burst followed by a sparse tail: the burst forms the first
+  // critical interval at high speed, the tail runs slower.
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 300.0},
+      {.id = 2, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+      {.id = 3, .release = 100.0, .deadline = 500.0, .demand = 100.0},
+  });
+  auto r = yds_schedule(set);
+  EXPECT_NEAR(r.speeds[0], 4.0, 1e-9);
+  EXPECT_NEAR(r.speeds[1], 4.0, 1e-9);
+  EXPECT_NEAR(r.speeds[2], 0.25, 1e-9);
+  EXPECT_NEAR(r.critical_speed, 4.0, 1e-9);
+}
+
+TEST(Yds, CompressionAdjustsOverlappingJob) {
+  // Job 2's window overlaps the critical interval of job 1; after
+  // removing [0,100] it has only (100, 200] left: speed 100/100 = 1.
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 300.0},
+      {.id = 2, .release = 50.0, .deadline = 200.0, .demand = 100.0},
+  });
+  auto r = yds_schedule(set);
+  EXPECT_NEAR(r.speeds[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.speeds[1], 1.0, 1e-9);
+  r.schedule.check_well_formed();
+  r.schedule.check_respects_windows(set.jobs());
+}
+
+TEST(Yds, ZeroDemandJobsSkipped) {
+  AgreeableJobSet set({
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 0.0},
+      {.id = 2, .release = 0.0, .deadline = 100.0, .demand = 100.0},
+  });
+  auto r = yds_schedule(set);
+  EXPECT_DOUBLE_EQ(r.speeds[0], 0.0);
+  EXPECT_NEAR(r.speeds[1], 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.schedule.volume_of(1), 0.0);
+}
+
+TEST(Yds, EmptySet) {
+  AgreeableJobSet set;
+  auto r = yds_schedule(set);
+  EXPECT_TRUE(r.schedule.empty());
+  EXPECT_DOUBLE_EQ(r.critical_speed, 0.0);
+}
+
+TEST(Yds, EnergyAccountingMatchesSchedule) {
+  Xoshiro256 rng(99);
+  auto jobs = test::random_agreeable_jobs(rng, 25);
+  AgreeableJobSet set(jobs);
+  auto r = yds_schedule(set);
+  EXPECT_NEAR(yds_energy(set, r, pm), r.schedule.dynamic_energy(pm), 1e-6);
+}
+
+TEST(YdsCapped, PassesThroughWhenFeasible) {
+  AgreeableJobSet set({{.id = 1, .release = 0.0, .deadline = 100.0,
+                        .demand = 150.0}});
+  const auto r = yds_schedule_capped(set, 2.0);
+  EXPECT_NEAR(r.critical_speed, 1.5, 1e-12);
+  EXPECT_NEAR(r.schedule.volume_of(1), 150.0, 1e-9);
+}
+
+TEST(YdsCapped, AbsorbsFloatDriftByRescaling) {
+  // Demand sized to need the cap exactly, plus drift amplified by a tiny
+  // window — the regression that crashed fig04 at full scale: a replan
+  // microseconds before a deadline.
+  const Speed cap = 2.0;
+  AgreeableJobSet set({{.id = 1, .release = 0.0, .deadline = 0.01,
+                        .demand = 0.02 + 1e-9}});
+  const auto r = yds_schedule_capped(set, cap);
+  EXPECT_LE(r.critical_speed, cap);
+  EXPECT_NEAR(r.schedule.volume_of(1), 0.02, 1e-6);
+  r.schedule.check_respects_windows(set.jobs());
+}
+
+TEST(YdsCapped, GenuineInfeasibilityDies) {
+  AgreeableJobSet set({{.id = 1, .release = 0.0, .deadline = 100.0,
+                        .demand = 400.0}});  // needs 4 GHz, cap 2 GHz
+  EXPECT_DEATH((void)yds_schedule_capped(set, 2.0),
+               "floating-point drift");
+}
+
+// ---- Property tests -------------------------------------------------------
+
+class YdsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YdsPropertyTest, CompletesEveryJobOnTime) {
+  Xoshiro256 rng(GetParam());
+  for (int rep = 0; rep < 10; ++rep) {
+    auto jobs = (rep % 2 == 0)
+                    ? test::random_agreeable_jobs(rng, 40)
+                    : test::random_agreeable_jobs_varwindow(rng, 40);
+    AgreeableJobSet set(jobs);
+    auto r = yds_schedule(set);
+    r.schedule.check_well_formed();
+    r.schedule.check_respects_windows(set.jobs());
+    for (std::size_t k = 0; k < set.size(); ++k) {
+      EXPECT_NEAR(r.schedule.volume_of(set[k].id), set[k].demand, 1e-5);
+    }
+  }
+}
+
+TEST_P(YdsPropertyTest, CriticalSpeedsAreNonIncreasingOverSchedule) {
+  // With equal releases, YDS speeds must be non-increasing over time
+  // (the paper relies on this for P_i(t') <= P_i(t) in DES step 2).
+  Xoshiro256 rng(GetParam() ^ 0x77ULL);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(20);
+    std::vector<Job> jobs;
+    for (std::size_t k = 0; k < n; ++k) {
+      jobs.push_back({.id = k + 1,
+                      .release = 0.0,
+                      .deadline = rng.uniform(50.0, 500.0),
+                      .demand = rng.uniform(10.0, 300.0)});
+    }
+    AgreeableJobSet set(jobs);
+    auto r = yds_schedule(set);
+    Speed prev = std::numeric_limits<double>::infinity();
+    for (const Segment& s : r.schedule.segments()) {
+      EXPECT_LE(s.speed, prev + 1e-9);
+      prev = s.speed;
+    }
+  }
+}
+
+TEST_P(YdsPropertyTest, BeatsConstantSpeedSchedules) {
+  // YDS energy must not exceed the energy of the cheapest feasible
+  // constant-speed EDF schedule.
+  Xoshiro256 rng(GetParam() ^ 0x1234ULL);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto jobs = test::random_agreeable_jobs(rng, 15, 400.0, 150.0);
+    AgreeableJobSet set(jobs);
+    auto r = yds_schedule(set);
+    const Joules yds_e = yds_energy(set, r, pm);
+    // Constant speed must be at least the critical speed to be feasible.
+    for (double mult : {1.0, 1.2, 1.5, 2.0}) {
+      const Speed s = r.critical_speed * mult;
+      // Feasible constant-speed energy: each job takes w/s at power a s^b.
+      Joules const_e = 0.0;
+      for (std::size_t k = 0; k < set.size(); ++k) {
+        const_e += pm.dynamic_energy(s, set[k].demand / s);
+      }
+      EXPECT_LE(yds_e, const_e + 1e-6);
+    }
+  }
+}
+
+TEST_P(YdsPropertyTest, LocalSpeedPerturbationNeverHelps) {
+  // First-order optimality: moving volume between two jobs' speed
+  // assignments while preserving feasibility cannot reduce energy.
+  // We check the weaker but fully general property that uniformly
+  // scaling all speeds up increases energy.
+  Xoshiro256 rng(GetParam() ^ 0x9999ULL);
+  auto jobs = test::random_agreeable_jobs(rng, 20);
+  AgreeableJobSet set(jobs);
+  auto r = yds_schedule(set);
+  const Joules base = yds_energy(set, r, pm);
+  for (double mult : {1.05, 1.25, 2.0}) {
+    Joules e = 0.0;
+    for (std::size_t k = 0; k < set.size(); ++k) {
+      const Speed s = r.speeds[k] * mult;
+      e += pm.dynamic_energy(s, set[k].demand / s);
+    }
+    EXPECT_GT(e, base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YdsPropertyTest,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u));
+
+}  // namespace
+}  // namespace qes

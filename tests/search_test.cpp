@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "search/corpus.hpp"
+#include "search/executor.hpp"
+#include "search/index.hpp"
+#include "search/profile.hpp"
+
+namespace qes::search {
+namespace {
+
+CorpusConfig small_corpus_config() {
+  CorpusConfig cfg;
+  cfg.num_documents = 2'000;
+  cfg.vocabulary = 800;
+  cfg.min_terms = 20;
+  cfg.max_terms = 120;
+  return cfg;
+}
+
+class SearchFixture : public ::testing::Test {
+ protected:
+  SearchFixture() : corpus_(small_corpus_config()), index_(corpus_) {}
+  Corpus corpus_;
+  InvertedIndex index_;
+};
+
+TEST(Corpus, DeterministicGeneration) {
+  Corpus a(small_corpus_config());
+  Corpus b(small_corpus_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    ASSERT_EQ(a.doc(static_cast<DocId>(d)).terms,
+              b.doc(static_cast<DocId>(d)).terms);
+  }
+}
+
+TEST(Corpus, DocumentShape) {
+  Corpus c(small_corpus_config());
+  for (const Document& d : c.documents()) {
+    EXPECT_GE(d.length, 20u);
+    EXPECT_LE(d.length, 120u);
+    std::uint32_t sum = 0;
+    TermId prev = 0;
+    bool first = true;
+    for (const auto& [term, tf] : d.terms) {
+      EXPECT_LT(term, 800u);
+      EXPECT_GE(tf, 1u);
+      if (!first) {
+        EXPECT_GT(term, prev);  // sorted, unique
+      }
+      prev = term;
+      first = false;
+      sum += tf;
+    }
+    EXPECT_EQ(sum, d.length);
+  }
+}
+
+TEST(Corpus, ZipfPopularityIsSkewed) {
+  Corpus c(small_corpus_config());
+  Xoshiro256 rng(1);
+  std::size_t low_ids = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (c.sample_term(rng) < 40) ++low_ids;  // top 5% of vocabulary
+  }
+  // Zipf(1.1): the head takes far more than its uniform share (5%).
+  EXPECT_GT(static_cast<double>(low_ids) / n, 0.35);
+}
+
+TEST_F(SearchFixture, IndexIsImpactSortedAndComplete) {
+  std::size_t total = 0;
+  for (TermId t = 0; t < index_.vocabulary(); ++t) {
+    const auto& list = index_.postings(t);
+    total += list.size();
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_GE(list[i - 1].impact, list[i].impact);
+    }
+  }
+  EXPECT_EQ(total, index_.total_postings());
+  // Every document occurrence produced exactly one posting.
+  std::size_t expected = 0;
+  for (const Document& d : corpus_.documents()) expected += d.terms.size();
+  EXPECT_EQ(total, expected);
+}
+
+TEST_F(SearchFixture, IdfDecreasesWithPopularity) {
+  // Term 0 is the most popular under Zipf; a tail term is rarer.
+  EXPECT_LT(index_.idf(0), index_.idf(700));
+}
+
+TEST_F(SearchFixture, FullExecutionFindsTopDocuments) {
+  Xoshiro256 rng(3);
+  const QueryExecutor exec(index_);
+  const Query q = sample_query(corpus_, rng);
+  const SearchResult full = exec.execute(q, 10);
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.postings_processed, exec.full_cost(q));
+  // Hits sorted by score descending.
+  for (std::size_t i = 1; i < full.hits.size(); ++i) {
+    EXPECT_GE(full.hits[i - 1].second, full.hits[i].second);
+  }
+  EXPECT_NEAR(exec.quality(q, full, 10), 1.0, 1e-12);
+}
+
+TEST_F(SearchFixture, BudgetCapsWork) {
+  Xoshiro256 rng(5);
+  const QueryExecutor exec(index_);
+  const Query q = sample_query(corpus_, rng);
+  const std::size_t cost = exec.full_cost(q);
+  ASSERT_GT(cost, 10u);
+  const SearchResult r = exec.execute(q, 10, cost / 2);
+  EXPECT_EQ(r.postings_processed, cost / 2);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST_F(SearchFixture, MeanQualityIsMonotoneInWork) {
+  // Per-query quality may dip (a later posting can promote an impostor
+  // document into the partial top-k), but the MEAN over queries must be
+  // monotone in the work fraction, each sample must stay in [0, 1], and
+  // the full budget must recover the exact result.
+  Xoshiro256 rng(7);
+  const QueryExecutor exec(index_);
+  constexpr int kGrid = 8;
+  double mean[kGrid] = {};
+  int counted = 0;
+  for (int rep = 0; rep < 25; ++rep) {
+    const Query q = sample_query(corpus_, rng);
+    const std::size_t cost = exec.full_cost(q);
+    if (cost < 20) continue;
+    std::vector<std::size_t> budgets;
+    for (int g = 1; g <= kGrid; ++g) budgets.push_back(cost * g / kGrid);
+    const auto snaps = exec.execute_prefixes(q, 10, budgets);
+    const auto& full = snaps.back();
+    for (int g = 0; g < kGrid; ++g) {
+      const double quality = QueryExecutor::score_recall(snaps[g], full);
+      EXPECT_GE(quality, 0.0);
+      EXPECT_LE(quality, 1.0 + 1e-12);
+      mean[g] += quality;
+      if (g == kGrid - 1) {
+        EXPECT_NEAR(quality, 1.0, 1e-12);
+      }
+    }
+    ++counted;
+  }
+  ASSERT_GT(counted, 10);
+  for (int g = 1; g < kGrid; ++g) {
+    EXPECT_GE(mean[g], mean[g - 1] - 0.02 * counted)
+        << "mean quality dipped at grid point " << g;
+  }
+  EXPECT_GT(mean[kGrid - 1], mean[0]);
+}
+
+TEST_F(SearchFixture, PrefixesMatchIndividualExecutions) {
+  Xoshiro256 rng(11);
+  const QueryExecutor exec(index_);
+  const Query q = sample_query(corpus_, rng);
+  const std::size_t cost = exec.full_cost(q);
+  std::vector<std::size_t> budgets = {cost / 4, cost / 2, cost};
+  const auto snaps = exec.execute_prefixes(q, 10, budgets);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    const SearchResult direct = exec.execute(q, 10, budgets[i]);
+    ASSERT_EQ(snaps[i].hits.size(), direct.hits.size());
+    for (std::size_t h = 0; h < direct.hits.size(); ++h) {
+      EXPECT_EQ(snaps[i].hits[h].first, direct.hits[h].first);
+      EXPECT_DOUBLE_EQ(snaps[i].hits[h].second, direct.hits[h].second);
+    }
+  }
+}
+
+TEST_F(SearchFixture, EarlyTerminationBeatsRandomPrefix) {
+  // Impact ordering is what makes partial results good: the top-impact
+  // prefix must dominate processing the same number of postings in
+  // arbitrary (doc-id) order.
+  Xoshiro256 rng(13);
+  const QueryExecutor exec(index_);
+  double impact_sum = 0.0, naive_sum = 0.0;
+  int counted = 0;
+  for (int rep = 0; rep < 12; ++rep) {
+    const Query q = sample_query(corpus_, rng);
+    const std::size_t cost = exec.full_cost(q);
+    if (cost < 40) continue;
+    const std::size_t budget = cost / 5;
+    const SearchResult full = exec.execute(q, 10);
+    const SearchResult smart = exec.execute(q, 10, budget);
+    // Naive: take the first `budget` postings in doc-id order per list
+    // (round-robin across lists).
+    std::map<DocId, double> acc;
+    std::size_t used = 0;
+    std::vector<std::pair<const std::vector<Posting>*, std::size_t>> cursors;
+    for (TermId t : q.terms) cursors.push_back({&index_.postings(t), 0});
+    // Re-sort each list copy by doc id to model a non-impact layout.
+    std::vector<std::vector<Posting>> docid_lists;
+    for (TermId t : q.terms) {
+      auto copy = index_.postings(t);
+      std::sort(copy.begin(), copy.end(),
+                [](const Posting& a, const Posting& b) {
+                  return a.doc < b.doc;
+                });
+      docid_lists.push_back(std::move(copy));
+    }
+    bool progress = true;
+    std::vector<std::size_t> pos(docid_lists.size(), 0);
+    while (used < budget && progress) {
+      progress = false;
+      for (std::size_t l = 0; l < docid_lists.size() && used < budget; ++l) {
+        if (pos[l] < docid_lists[l].size()) {
+          const Posting& p = docid_lists[l][pos[l]++];
+          acc[p.doc] += static_cast<double>(p.impact);
+          ++used;
+          progress = true;
+        }
+      }
+    }
+    SearchResult naive;
+    naive.hits.assign(acc.begin(), acc.end());
+    std::sort(naive.hits.begin(), naive.hits.end(),
+              [](const auto& a, const auto& b) {
+                return a.second > b.second;
+              });
+    if (naive.hits.size() > 10) naive.hits.resize(10);
+    impact_sum += QueryExecutor::score_recall(smart, full);
+    naive_sum += QueryExecutor::score_recall(naive, full);
+    ++counted;
+  }
+  ASSERT_GT(counted, 5);
+  EXPECT_GT(impact_sum, naive_sum);
+}
+
+TEST_F(SearchFixture, TopkMassCurveIsMonotonePerQueryConcaveOnAverage) {
+  // Monotonicity holds query by query (accumulated mass never shrinks);
+  // concavity holds for the averaged curve (individual queries may have
+  // locally convex stretches when their top-k postings cluster late).
+  Xoshiro256 rng(17);
+  const QueryExecutor exec(index_);
+  constexpr int kGrid = 10;
+  double mean[kGrid] = {};
+  int counted = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    const Query q = sample_query(corpus_, rng);
+    const std::size_t cost = exec.full_cost(q);
+    if (cost < 40) continue;
+    std::vector<std::size_t> budgets;
+    for (int g = 1; g <= kGrid; ++g) budgets.push_back(cost * g / kGrid);
+    const auto curve = exec.topk_mass_curve(q, 10, budgets);
+    double prev = 0.0;
+    for (std::size_t g = 0; g < curve.size(); ++g) {
+      EXPECT_GE(curve[g], prev - 1e-12);  // monotone per query
+      prev = curve[g];
+      mean[g] += curve[g];
+    }
+    EXPECT_NEAR(curve.back(), 1.0, 1e-9);
+    ++counted;
+  }
+  ASSERT_GT(counted, 20);
+  // Mean curve: concave up to a small sampling slack.
+  double prev_slope = std::numeric_limits<double>::infinity();
+  double prev = 0.0;
+  for (int g = 0; g < kGrid; ++g) {
+    const double q = mean[g] / counted;
+    const double slope = q - prev;  // uniform grid
+    EXPECT_LE(slope, prev_slope * 1.3 + 1e-9) << "at grid point " << g;
+    prev_slope = slope;
+    prev = q;
+  }
+}
+
+TEST_F(SearchFixture, ProfileMeasuresConcaveCurve) {
+  ProfileConfig pc;
+  pc.num_queries = 60;
+  pc.grid_points = 10;
+  const QualityProfile prof = profile_quality(index_, corpus_, pc);
+  ASSERT_EQ(prof.work_units.size(), 10u);
+  // Monotone increasing to ~1.
+  EXPECT_TRUE(prof.measured_curve_concave());
+  EXPECT_GT(prof.mean_quality.front(), 0.1);
+  EXPECT_NEAR(prof.mean_quality.back(), 1.0, 1e-9);
+  // The fit lands inside the paper's plausible c range with a small
+  // residual, and the profile calibrates demands to the target mean.
+  EXPECT_GT(prof.fitted_c, 1e-4);
+  EXPECT_LT(prof.fitted_c, 0.2);
+  EXPECT_LT(prof.fit_rmse, 0.15);
+  EXPECT_NEAR(prof.demand_mean, 192.0, 1e-9);
+  EXPECT_GT(prof.units_per_posting, 0.0);
+  // Derived quality functions behave.
+  const auto fitted = prof.fitted_function();
+  const auto measured = prof.measured_function();
+  EXPECT_TRUE(fitted.check_shape(1000.0));
+  EXPECT_GE(measured(prof.work_units.back()), 0.9);
+}
+
+TEST_F(SearchFixture, SearchWorkloadIsSchedulable) {
+  ProfileConfig pc;
+  pc.num_queries = 40;
+  const QualityProfile prof = profile_quality(index_, corpus_, pc);
+  const auto jobs =
+      search_workload(index_, corpus_, prof, 100.0, 5'000.0, 150.0, 3);
+  ASSERT_GT(jobs.size(), 300u);
+  EXPECT_TRUE(deadlines_agreeable(jobs));
+  double mean = 0.0;
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    EXPECT_EQ(jobs[k].id, k + 1);
+    EXPECT_GT(jobs[k].demand, 0.0);
+    mean += jobs[k].demand;
+  }
+  mean /= static_cast<double>(jobs.size());
+  // Real query costs calibrated near the paper's 192-unit mean.
+  EXPECT_NEAR(mean, 192.0, 60.0);
+}
+
+}  // namespace
+}  // namespace qes::search

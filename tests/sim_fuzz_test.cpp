@@ -1,0 +1,127 @@
+// Randomized stress test: the engine plus every policy variant must
+// uphold the global invariants on arbitrary (valid) configurations.
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "multicore/baseline_scheduler.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "sim/experiment.hpp"
+
+namespace qes {
+namespace {
+
+struct FuzzCase {
+  EngineConfig cfg;
+  WorkloadConfig wl;
+  PolicyFactory factory;
+  std::string label;
+};
+
+FuzzCase random_case(Xoshiro256& rng) {
+  FuzzCase fc;
+  fc.cfg.cores = 1 + static_cast<int>(rng.uniform_index(24));
+  fc.cfg.power_budget = rng.uniform(5.0, 40.0) * fc.cfg.cores;
+  fc.cfg.quantum_ms = rng.bernoulli(0.8) ? rng.uniform(100.0, 1000.0) : 0.0;
+  fc.cfg.counter_trigger =
+      rng.bernoulli(0.8) ? 1 + static_cast<int>(rng.uniform_index(16)) : 0;
+  fc.cfg.quality = QualityFunction::exponential(rng.uniform(0.0005, 0.02));
+  fc.cfg.resume_passed_jobs = rng.bernoulli(0.2);
+
+  fc.wl.arrival_rate = rng.uniform(5.0, 18.0) * fc.cfg.cores;
+  fc.wl.horizon_ms = 4'000.0;
+  fc.wl.deadline_ms = rng.uniform(60.0, 400.0);
+  fc.wl.partial_fraction = rng.uniform(0.0, 1.0);
+  fc.wl.seed = rng.next_u64();
+
+  const int kind = static_cast<int>(rng.uniform_index(6));
+  switch (kind) {
+    case 0: {
+      DesOptions d;
+      d.arch = Architecture::CDVFS;
+      fc.factory = [d] { return make_des_policy(d); };
+      fc.label = "des-cdvfs";
+      break;
+    }
+    case 1: {
+      DesOptions d;
+      d.arch = rng.bernoulli(0.5) ? Architecture::SDVFS
+                                  : Architecture::NoDVFS;
+      fc.factory = [d] { return make_des_policy(d); };
+      fc.label = "des-fixed-arch";
+      break;
+    }
+    case 2: {
+      DesOptions d;
+      d.speed_levels = DiscreteSpeedSet::opteron2380();
+      fc.cfg.max_core_speed = 2.5;
+      fc.factory = [d] { return make_des_policy(d); };
+      fc.label = "des-discrete";
+      break;
+    }
+    case 3: {
+      DesOptions d;
+      d.eager_execution = rng.bernoulli(0.5);
+      d.rebalance_unstarted = rng.bernoulli(0.5);
+      d.static_power = rng.bernoulli(0.5);
+      fc.factory = [d] { return make_des_policy(d); };
+      fc.label = "des-variants";
+      break;
+    }
+    default: {
+      BaselineOptions b;
+      b.order = kind == 4 ? BaselineOrder::FCFS
+                          : (rng.bernoulli(0.5) ? BaselineOrder::LJF
+                                                : BaselineOrder::SJF);
+      b.power = rng.bernoulli(0.5) ? PowerDistribution::WaterFilling
+                                   : PowerDistribution::StaticEqual;
+      fc.cfg = baseline_engine_config(fc.cfg);
+      fc.cfg.resume_passed_jobs = false;
+      fc.factory = [b] { return make_baseline_policy(b); };
+      fc.label = "baseline";
+      break;
+    }
+  }
+  return fc;
+}
+
+class EngineFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzzTest, InvariantsHoldOnRandomConfigurations) {
+  Xoshiro256 rng(GetParam());
+  for (int rep = 0; rep < 8; ++rep) {
+    const FuzzCase fc = random_case(rng);
+    SCOPED_TRACE(fc.label);
+    const RunStats s = run_once(fc.cfg, fc.wl, fc.factory);
+    // Quality bounded and jobs conserved.
+    EXPECT_GE(s.normalized_quality, 0.0);
+    EXPECT_LE(s.normalized_quality, 1.0 + 1e-9);
+    EXPECT_EQ(s.jobs_total,
+              s.jobs_satisfied + s.jobs_partial + s.jobs_zero);
+    // Power cap respected instant by instant, hence on average too.
+    EXPECT_LE(s.peak_power, fc.cfg.power_budget * (1.0 + 1e-6) + 1e-6);
+    EXPECT_LE(s.dynamic_energy,
+              fc.cfg.power_budget * s.end_time / 1000.0 * (1.0 + 1e-6) +
+                  1e-6);
+    EXPECT_GE(s.dynamic_energy, 0.0);
+    // Something actually happened.
+    EXPECT_GT(s.jobs_total, 0u);
+    EXPECT_GT(s.replans, 0u);
+  }
+}
+
+TEST_P(EngineFuzzTest, DeterministicAcrossRepeatedRuns) {
+  Xoshiro256 rng(GetParam() ^ 0xD5ULL);
+  const FuzzCase fc = random_case(rng);
+  const RunStats a = run_once(fc.cfg, fc.wl, fc.factory);
+  const RunStats b = run_once(fc.cfg, fc.wl, fc.factory);
+  EXPECT_DOUBLE_EQ(a.normalized_quality, b.normalized_quality);
+  EXPECT_DOUBLE_EQ(a.dynamic_energy, b.dynamic_energy);
+  EXPECT_EQ(a.replans, b.replans);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
+                         ::testing::Values(1001u, 1002u, 1003u, 1004u,
+                                           1005u, 1006u));
+
+}  // namespace
+}  // namespace qes

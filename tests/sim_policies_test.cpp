@@ -1,0 +1,434 @@
+// Integration tests: DES and the baseline policies on short web-search
+// workloads, asserting the paper's qualitative results at test scale.
+#include <gtest/gtest.h>
+
+#include "multicore/baseline_scheduler.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "sim/experiment.hpp"
+
+namespace qes {
+namespace {
+
+WorkloadConfig short_workload(double rate, double seconds = 20.0) {
+  WorkloadConfig wl;
+  wl.arrival_rate = rate;
+  wl.horizon_ms = seconds * 1000.0;
+  return wl;
+}
+
+RunStats run_des(double rate, Architecture arch,
+                 double seconds = 20.0, std::uint64_t seed = 1) {
+  EngineConfig cfg;
+  WorkloadConfig wl = short_workload(rate, seconds);
+  wl.seed = seed;
+  return run_once(cfg, wl, [arch] {
+    return make_des_policy({.arch = arch});
+  });
+}
+
+RunStats run_baseline(double rate, BaselineOrder order, PowerDistribution pd,
+                      double seconds = 20.0, std::uint64_t seed = 1) {
+  EngineConfig cfg = baseline_engine_config(EngineConfig{});
+  WorkloadConfig wl = short_workload(rate, seconds);
+  wl.seed = seed;
+  return run_once(cfg, wl, [order, pd] {
+    return make_baseline_policy({.order = order, .power = pd});
+  });
+}
+
+TEST(DesPolicy, LightLoadNearFullQuality) {
+  auto s = run_des(100.0, Architecture::CDVFS);
+  EXPECT_GT(s.normalized_quality, 0.97);
+  // Energy well under the budget ceiling H * T.
+  const Joules ceiling = 320.0 * s.end_time / 1000.0;
+  EXPECT_LT(s.dynamic_energy, 0.85 * ceiling);
+}
+
+TEST(DesPolicy, NoDvfsBurnsTheFullBudget) {
+  auto s = run_des(100.0, Architecture::NoDVFS);
+  // The integral effectively starts at the first arrival (the paper's
+  // r_1), so allow for the sub-100ms lead-in before the first replan.
+  const Joules ceiling = 320.0 * s.end_time / 1000.0;
+  EXPECT_GT(s.dynamic_energy, 0.995 * ceiling);
+  EXPECT_LE(s.dynamic_energy, ceiling * (1.0 + 1e-6));
+}
+
+TEST(DesPolicy, ArchitectureEnergyOrdering) {
+  // Fig. 3(b): E(C-DVFS) <= E(S-DVFS) <= E(No-DVFS) at light load, with
+  // real separation between the tiers.
+  const auto c = run_des(100.0, Architecture::CDVFS);
+  const auto sd = run_des(100.0, Architecture::SDVFS);
+  const auto nd = run_des(100.0, Architecture::NoDVFS);
+  EXPECT_LT(c.dynamic_energy, sd.dynamic_energy);
+  EXPECT_LT(sd.dynamic_energy, 0.9 * nd.dynamic_energy);
+}
+
+TEST(DesPolicy, ArchitectureQualityOrdering) {
+  // Fig. 3(a): C-DVFS achieves the best quality of the three.
+  const auto c = run_des(150.0, Architecture::CDVFS);
+  const auto sd = run_des(150.0, Architecture::SDVFS);
+  const auto nd = run_des(150.0, Architecture::NoDVFS);
+  EXPECT_GE(c.normalized_quality, sd.normalized_quality - 1e-6);
+  EXPECT_GE(c.normalized_quality, nd.normalized_quality - 1e-6);
+}
+
+TEST(DesPolicy, QualityDecreasesWithLoad) {
+  double prev = 2.0;
+  for (double rate : {100.0, 180.0, 260.0}) {
+    const auto s = run_des(rate, Architecture::CDVFS);
+    EXPECT_LT(s.normalized_quality, prev + 0.01);
+    prev = s.normalized_quality;
+  }
+}
+
+TEST(DesPolicy, HeavyLoadSaturatesTheBudget) {
+  const auto s = run_des(260.0, Architecture::CDVFS);
+  const Joules ceiling = 320.0 * s.end_time / 1000.0;
+  // Overloaded: nearly all budget goes to computation.
+  EXPECT_GT(s.dynamic_energy, 0.9 * ceiling);
+  EXPECT_LT(s.normalized_quality, 0.95);
+}
+
+TEST(DesPolicy, BeatsBaselinesOnQuality) {
+  // Fig. 5(a) shape at a moderate-heavy load.
+  const double rate = 180.0;
+  const auto des = run_des(rate, Architecture::CDVFS);
+  for (BaselineOrder order :
+       {BaselineOrder::FCFS, BaselineOrder::LJF, BaselineOrder::SJF}) {
+    const auto b =
+        run_baseline(rate, order, PowerDistribution::StaticEqual);
+    EXPECT_GT(des.normalized_quality, b.normalized_quality - 0.005)
+        << "vs " << to_string(order);
+  }
+}
+
+TEST(DesPolicy, FcfsBeatsLjfAndSjfOnQuality) {
+  // Fig. 5(a): FCFS respects deadline order and wins among baselines.
+  const double rate = 200.0;
+  const auto f = run_baseline(rate, BaselineOrder::FCFS,
+                              PowerDistribution::StaticEqual);
+  const auto l = run_baseline(rate, BaselineOrder::LJF,
+                              PowerDistribution::StaticEqual);
+  const auto s = run_baseline(rate, BaselineOrder::SJF,
+                              PowerDistribution::StaticEqual);
+  EXPECT_GT(f.normalized_quality, l.normalized_quality);
+  EXPECT_GT(f.normalized_quality, s.normalized_quality);
+}
+
+TEST(DesPolicy, WaterFillingHelpsBaselinesAtLightLoad) {
+  // Fig. 6 vs Fig. 5: WF lifts baseline quality under load variance.
+  const double rate = 120.0;
+  const auto stat = run_baseline(rate, BaselineOrder::FCFS,
+                                 PowerDistribution::StaticEqual);
+  const auto wf = run_baseline(rate, BaselineOrder::FCFS,
+                               PowerDistribution::WaterFilling);
+  EXPECT_GE(wf.normalized_quality, stat.normalized_quality - 1e-4);
+}
+
+TEST(DesPolicy, PartialEvaluationRaisesQualityUnderLoad) {
+  // Fig. 4(a): more partial-evaluation support => more quality.
+  EngineConfig cfg;
+  WorkloadConfig wl = short_workload(190.0);
+  double prev = -1.0;
+  for (double frac : {0.0, 0.5, 1.0}) {
+    wl.partial_fraction = frac;
+    const auto s =
+        run_once(cfg, wl, [] { return make_des_policy(); });
+    EXPECT_GT(s.normalized_quality, prev - 0.01) << "frac=" << frac;
+    prev = s.normalized_quality;
+  }
+}
+
+TEST(DesPolicy, MoreConcaveQualityFunctionScoresHigher) {
+  // Fig. 7(b): larger c (more concave) => higher normalized quality
+  // under overload.
+  WorkloadConfig wl = short_workload(220.0);
+  double prev = -1.0;
+  for (double c : {0.0005, 0.003, 0.009}) {
+    EngineConfig cfg;
+    cfg.quality = QualityFunction::exponential(c);
+    const auto s = run_once(cfg, wl, [] { return make_des_policy(); });
+    EXPECT_GT(s.normalized_quality, prev) << "c=" << c;
+    prev = s.normalized_quality;
+  }
+}
+
+TEST(DesPolicy, BiggerBudgetNeverHurts) {
+  // Fig. 8: at heavy load, a larger power budget buys quality.
+  WorkloadConfig wl = short_workload(220.0);
+  EngineConfig lo;
+  lo.power_budget = 160.0;
+  EngineConfig hi;
+  hi.power_budget = 640.0;
+  const auto s_lo = run_once(lo, wl, [] { return make_des_policy(); });
+  const auto s_hi = run_once(hi, wl, [] { return make_des_policy(); });
+  EXPECT_GT(s_hi.normalized_quality, s_lo.normalized_quality + 0.01);
+}
+
+TEST(DesPolicy, DiscreteSpeedScalingCostsLittleQuality) {
+  // Fig. 10: discrete DES loses only a little quality and does not use
+  // more energy than continuous.
+  EngineConfig cfg;
+  WorkloadConfig wl = short_workload(140.0);
+  const auto cont = run_once(cfg, wl, [] { return make_des_policy(); });
+  const auto disc = run_once(cfg, wl, [] {
+    return make_des_policy(
+        {.speed_levels = DiscreteSpeedSet::opteron2380()});
+  });
+  EXPECT_LE(disc.normalized_quality, cont.normalized_quality + 1e-6);
+  EXPECT_GT(disc.normalized_quality, cont.normalized_quality - 0.05);
+  EXPECT_LT(disc.dynamic_energy, cont.dynamic_energy * 1.02);
+}
+
+TEST(DesPolicy, RigidJobsAreDiscardedWholesale) {
+  EngineConfig cfg;
+  WorkloadConfig wl = short_workload(230.0);
+  wl.partial_fraction = 0.0;  // nothing supports partial evaluation
+  const auto s = run_once(cfg, wl, [] { return make_des_policy(); });
+  // Under overload some rigid jobs must fail, and every non-satisfied
+  // job contributes exactly zero quality.
+  EXPECT_GT(s.jobs_discarded_rigid, 0u);
+  const auto f = QualityFunction::exponential(0.003);
+  (void)f;
+  EXPECT_LE(s.total_quality, s.max_quality);
+}
+
+TEST(DesPolicy, StaticPowerAblationIsNoBetter) {
+  // WF should (weakly) dominate static sharing for DES under load.
+  WorkloadConfig wl = short_workload(180.0);
+  EngineConfig cfg;
+  const auto wf = run_once(cfg, wl, [] { return make_des_policy(); });
+  const auto st = run_once(cfg, wl, [] {
+    return make_des_policy({.static_power = true});
+  });
+  EXPECT_GE(wf.normalized_quality, st.normalized_quality - 0.005);
+}
+
+TEST(DesPolicy, ResumeAblationRuns) {
+  EngineConfig cfg;
+  cfg.resume_passed_jobs = true;
+  WorkloadConfig wl = short_workload(200.0, 10.0);
+  const auto s = run_once(cfg, wl, [] { return make_des_policy(); });
+  EXPECT_GT(s.normalized_quality, 0.3);
+  EXPECT_LE(s.normalized_quality, 1.0 + 1e-9);
+}
+
+TEST(DesPolicy, EagerExecutionTradesEnergyForRobustness) {
+  // The eager extension runs granted volumes flat-out: it must never
+  // use less energy than stretched DES, and under heavy load it
+  // recovers (some of) the myopia cost of stretching.
+  WorkloadConfig wl = short_workload(220.0);
+  EngineConfig cfg;
+  const auto stretch = run_once(cfg, wl, [] { return make_des_policy(); });
+  const auto eager = run_once(cfg, wl, [] {
+    return make_des_policy({.eager_execution = true});
+  });
+  EXPECT_GE(eager.dynamic_energy, stretch.dynamic_energy * 0.99);
+  EXPECT_GT(eager.normalized_quality, stretch.normalized_quality - 0.01);
+  EXPECT_LE(eager.peak_power, 320.0 * (1.0 + 1e-6) + 1e-6);
+}
+
+TEST(DesPolicy, RebalanceUnstartedIsRoughlyNeutral) {
+  // Re-dealing unstarted jobs every trigger churns placements without
+  // using queue-depth information, so it lands within a few percent of
+  // plain DES (the ablation's finding: non-migration costs little).
+  WorkloadConfig wl = short_workload(200.0);
+  EngineConfig cfg;
+  const auto plain = run_once(cfg, wl, [] { return make_des_policy(); });
+  const auto reb = run_once(cfg, wl, [] {
+    return make_des_policy({.rebalance_unstarted = true});
+  });
+  EXPECT_NEAR(reb.normalized_quality, plain.normalized_quality, 0.04);
+  EXPECT_LE(reb.peak_power, 320.0 * (1.0 + 1e-6) + 1e-6);
+  EXPECT_EQ(reb.jobs_total, plain.jobs_total);
+}
+
+TEST(DesPolicy, WeightedModeProtectsPremiumClass) {
+  // 20% of jobs carry weight 4; under overload the weighted planner must
+  // give the premium class visibly higher per-job quality than plain DES
+  // does, at similar overall throughput.
+  WorkloadConfig wl = short_workload(230.0);
+  wl.premium_fraction = 0.2;
+  EngineConfig cfg;
+  auto per_class = [&](const PolicyFactory& factory) {
+    EngineConfig c = cfg;
+    c.record_execution = false;
+    Engine engine(c, generate_websearch_jobs(wl), factory());
+    const RunResult run = engine.run();
+    double qp = 0.0, np = 0.0, qr = 0.0, nr = 0.0;
+    const auto f = QualityFunction::exponential(0.003);
+    for (const JobState& st : run.jobs) {
+      const double q = f(st.processed) / f(st.job.demand);
+      if (st.job.weight > 1.5) {
+        qp += q;
+        np += 1.0;
+      } else {
+        qr += q;
+        nr += 1.0;
+      }
+    }
+    return std::pair<double, double>(qp / np, qr / nr);
+  };
+  const auto plain = per_class([] { return make_des_policy(); });
+  const auto weighted =
+      per_class([] { return make_des_policy({.weighted = true}); });
+  // Plain DES is class-blind: both classes get similar quality.
+  EXPECT_NEAR(plain.first, plain.second, 0.05);
+  // Weighted DES lifts premium markedly above regular.
+  EXPECT_GT(weighted.first, weighted.second + 0.05);
+  EXPECT_GT(weighted.first, plain.first + 0.03);
+}
+
+TEST(DesPolicy, WeightedModeHarmlessWithUniformWeights) {
+  // With every weight at 1 the weighted planner matches plain DES
+  // closely (identical allocations up to numerical tolerance).
+  WorkloadConfig wl = short_workload(180.0, 10.0);
+  EngineConfig cfg;
+  const auto plain = run_once(cfg, wl, [] { return make_des_policy(); });
+  const auto weighted =
+      run_once(cfg, wl, [] { return make_des_policy({.weighted = true}); });
+  EXPECT_NEAR(weighted.normalized_quality, plain.normalized_quality, 0.02);
+  EXPECT_LE(weighted.peak_power, 320.0 * (1.0 + 1e-6) + 1e-6);
+}
+
+TEST(DesPolicy, HeterogeneousCoreCapsRespected) {
+  // big.LITTLE: 8 fast cores (3 GHz) + 8 slow cores (1 GHz). Every plan
+  // segment must respect its core's cap (the engine asserts it), and the
+  // run must stay healthy.
+  EngineConfig cfg;
+  cfg.per_core_max_speed.assign(8, 3.0);
+  cfg.per_core_max_speed.insert(cfg.per_core_max_speed.end(), 8, 1.0);
+  WorkloadConfig wl = short_workload(150.0);
+  const auto s = run_once(cfg, wl, [] { return make_des_policy(); });
+  EXPECT_GT(s.normalized_quality, 0.7);
+  EXPECT_LE(s.peak_power, 320.0 * (1.0 + 1e-6) + 1e-6);
+  EXPECT_EQ(s.jobs_total, s.jobs_satisfied + s.jobs_partial + s.jobs_zero);
+  // Baselines handle heterogeneity too.
+  const EngineConfig bcfg = baseline_engine_config(cfg);
+  WorkloadConfig bwl = short_workload(120.0, 10.0);
+  const auto b = run_once(bcfg, bwl, [] {
+    return make_baseline_policy({.power = PowerDistribution::WaterFilling});
+  });
+  EXPECT_GT(b.normalized_quality, 0.5);
+}
+
+TEST(DesPolicy, WaterFillingShinesOnHeterogeneousCores) {
+  // With static power sharing, slow cores cannot spend their 20 W share
+  // (1 GHz needs only 5 W); WF reroutes the surplus to the fast cores.
+  EngineConfig cfg;
+  cfg.per_core_max_speed.assign(8, 3.0);
+  cfg.per_core_max_speed.insert(cfg.per_core_max_speed.end(), 8, 1.0);
+  WorkloadConfig wl = short_workload(170.0);
+  const auto wf = run_once(cfg, wl, [] { return make_des_policy(); });
+  const auto st = run_once(cfg, wl, [] {
+    return make_des_policy({.static_power = true});
+  });
+  EXPECT_GT(wf.normalized_quality, st.normalized_quality + 0.01);
+}
+
+TEST(DesPolicy, CapacityAwareDealingRescuesBigLittle) {
+  EngineConfig cfg;
+  cfg.per_core_max_speed.assign(8, 3.0);
+  cfg.per_core_max_speed.insert(cfg.per_core_max_speed.end(), 8, 1.0);
+  WorkloadConfig wl = short_workload(150.0);
+  const auto blind = run_once(cfg, wl, [] { return make_des_policy(); });
+  const auto aware = run_once(cfg, wl, [] {
+    return make_des_policy({.capacity_aware_distribution = true});
+  });
+  EXPECT_GT(aware.normalized_quality, blind.normalized_quality + 0.02);
+  EXPECT_LE(aware.peak_power, 320.0 * (1.0 + 1e-6) + 1e-6);
+}
+
+TEST(Baselines, SjfDiscardsLongJobsUnderLoad) {
+  // §V-E: SJF starves long jobs; its zero-volume count exceeds FCFS's.
+  const double rate = 220.0;
+  const auto f = run_baseline(rate, BaselineOrder::FCFS,
+                              PowerDistribution::StaticEqual);
+  const auto s = run_baseline(rate, BaselineOrder::SJF,
+                              PowerDistribution::StaticEqual);
+  EXPECT_GT(s.jobs_zero, f.jobs_zero);
+}
+
+TEST(Baselines, AllPoliciesRespectBudgetAndNormalization) {
+  for (BaselineOrder order :
+       {BaselineOrder::FCFS, BaselineOrder::LJF, BaselineOrder::SJF}) {
+    for (PowerDistribution pd : {PowerDistribution::StaticEqual,
+                                 PowerDistribution::WaterFilling}) {
+      const auto s = run_baseline(160.0, order, pd, 10.0);
+      EXPECT_LE(s.peak_power, 320.0 * (1.0 + 1e-6) + 1e-6);
+      EXPECT_GE(s.normalized_quality, 0.0);
+      EXPECT_LE(s.normalized_quality, 1.0 + 1e-9);
+      EXPECT_EQ(s.jobs_total,
+                s.jobs_satisfied + s.jobs_partial + s.jobs_zero);
+    }
+  }
+}
+
+TEST(Experiment, ThroughputAtQualityInterpolates) {
+  std::vector<SweepPoint> sweep(3);
+  sweep[0].arrival_rate = 100.0;
+  sweep[0].stats.normalized_quality = 0.99;
+  sweep[1].arrival_rate = 150.0;
+  sweep[1].stats.normalized_quality = 0.95;
+  sweep[2].arrival_rate = 200.0;
+  sweep[2].stats.normalized_quality = 0.85;
+  // Crossing 0.9 between 150 and 200: 150 + 50 * (0.05/0.10) = 175.
+  EXPECT_NEAR(throughput_at_quality(sweep, 0.9), 175.0, 1e-9);
+  EXPECT_NEAR(throughput_at_quality(sweep, 0.80), 200.0, 1e-9);
+  EXPECT_NEAR(throughput_at_quality(sweep, 0.995), 0.0, 1e-9);
+}
+
+TEST(Experiment, AverageStatsAveragesQualityAndEnergy) {
+  RunStats a, b;
+  a.normalized_quality = 0.8;
+  b.normalized_quality = 1.0;
+  a.dynamic_energy = 100.0;
+  b.dynamic_energy = 200.0;
+  a.jobs_total = 10;
+  b.jobs_total = 20;
+  std::vector<RunStats> runs = {a, b};
+  const auto avg = average_stats(runs);
+  EXPECT_NEAR(avg.normalized_quality, 0.9, 1e-12);
+  EXPECT_NEAR(avg.dynamic_energy, 150.0, 1e-12);
+  EXPECT_EQ(avg.jobs_total, 30u);
+}
+
+TEST(Experiment, SeedAveragingIsDeterministic) {
+  EngineConfig cfg;
+  WorkloadConfig wl = short_workload(120.0, 5.0);
+  const auto a =
+      run_averaged(cfg, wl, [] { return make_des_policy(); }, 2);
+  const auto b =
+      run_averaged(cfg, wl, [] { return make_des_policy(); }, 2);
+  EXPECT_DOUBLE_EQ(a.normalized_quality, b.normalized_quality);
+  EXPECT_DOUBLE_EQ(a.dynamic_energy, b.dynamic_energy);
+}
+
+TEST(Experiment, ReplicatedStatsSpread) {
+  EngineConfig cfg;
+  WorkloadConfig wl = short_workload(140.0, 5.0);
+  const auto r = run_replicated(cfg, wl, [] { return make_des_policy(); },
+                                4);
+  EXPECT_EQ(r.replicates, 4);
+  EXPECT_GT(r.quality_stddev, 0.0);       // seeds differ
+  EXPECT_LT(r.quality_stddev, 0.05);      // but not wildly
+  EXPECT_GT(r.energy_stddev, 0.0);
+  EXPECT_GT(r.quality_ci95(), 0.0);
+  EXPECT_LT(r.quality_ci95(), r.quality_stddev * 1.96);
+  // Mean matches run_averaged on the same seeds.
+  const auto avg = run_averaged(cfg, wl, [] { return make_des_policy(); },
+                                4);
+  EXPECT_DOUBLE_EQ(r.mean.normalized_quality, avg.normalized_quality);
+}
+
+TEST(Metrics, LexicographicOrder) {
+  EXPECT_TRUE(lex_better({0.9, 100.0}, {0.8, 50.0}));   // quality wins
+  EXPECT_FALSE(lex_better({0.8, 50.0}, {0.9, 100.0}));
+  EXPECT_TRUE(lex_better({0.9, 50.0}, {0.9, 100.0}));   // energy breaks tie
+  EXPECT_FALSE(lex_better({0.9, 100.0}, {0.9, 100.0}));
+  // Tolerance: 1e-12 quality difference counts as a tie.
+  EXPECT_TRUE(lex_better({0.9 + 1e-13, 50.0}, {0.9, 100.0}, 1e-12));
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,84 @@
+// Shared helpers for the qesched test suites: random agreeable job-set
+// generation, brute-force reference schedulers, and quality/energy
+// accounting used to cross-check the optimized algorithms.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/power.hpp"
+#include "core/prng.hpp"
+#include "core/quality.hpp"
+#include "core/schedule.hpp"
+
+namespace qes::test {
+
+/// Random agreeable job set: arrivals spread over [0, horizon], each
+/// deadline = release + window (constant window keeps deadlines
+/// agreeable, matching interactive services), demands uniform in
+/// [w_lo, w_hi].
+inline std::vector<Job> random_agreeable_jobs(Xoshiro256& rng, std::size_t n,
+                                              Time horizon = 1000.0,
+                                              Time window = 150.0,
+                                              Work w_lo = 20.0,
+                                              Work w_hi = 400.0) {
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Job j;
+    j.id = k + 1;
+    j.release = rng.uniform(0.0, horizon);
+    j.deadline = j.release + window;
+    j.demand = rng.uniform(w_lo, w_hi);
+    jobs.push_back(j);
+  }
+  sort_by_release(jobs);
+  return jobs;
+}
+
+/// Variable-window agreeable set: windows grow with release order so
+/// deadlines remain agreeable but are not simply release + constant.
+inline std::vector<Job> random_agreeable_jobs_varwindow(Xoshiro256& rng,
+                                                        std::size_t n,
+                                                        Time horizon = 1000.0) {
+  std::vector<Job> jobs;
+  jobs.reserve(n);
+  std::vector<Time> releases;
+  for (std::size_t k = 0; k < n; ++k) {
+    releases.push_back(rng.uniform(0.0, horizon));
+  }
+  std::sort(releases.begin(), releases.end());
+  Time prev_deadline = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Job j;
+    j.id = k + 1;
+    j.release = releases[k];
+    const Time raw = releases[k] + rng.uniform(50.0, 300.0);
+    j.deadline = std::max(raw, std::max(prev_deadline, j.release + 10.0));
+    prev_deadline = j.deadline;
+    j.demand = rng.uniform(20.0, 400.0);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+/// Feasible greedy schedule: FIFO at a constant speed, truncating each
+/// job at its deadline. Used as a reference point that any optimal
+/// algorithm must dominate.
+inline std::vector<Work> fifo_constant_speed_volumes(
+    const AgreeableJobSet& set, Speed speed) {
+  std::vector<Work> vol(set.size(), 0.0);
+  Time t = set.empty() ? 0.0 : set[0].release;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    const Job& j = set[k];
+    const Time start = std::max(t, j.release);
+    if (start >= j.deadline) continue;
+    const Work can = (j.deadline - start) * speed;
+    vol[k] = std::min(j.demand, can);
+    t = start + vol[k] / speed;
+  }
+  return vol;
+}
+
+}  // namespace qes::test

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/prng.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "validation/opteron.hpp"
+#include "validation/regression.hpp"
+#include "validation/replay.hpp"
+#include "workload/generator.hpp"
+
+namespace qes {
+namespace {
+
+TEST(Regression, RecoversSyntheticModelExactly) {
+  PowerModel truth{.a = 4.2, .beta = 2.3, .b = 7.5};
+  std::vector<std::pair<Speed, Watts>> samples;
+  for (double s = 0.5; s <= 3.0; s += 0.25) {
+    samples.emplace_back(s, truth.total_power(s));
+  }
+  const auto fit = fit_power_model(samples);
+  EXPECT_NEAR(fit.model.a, truth.a, 1e-3);
+  EXPECT_NEAR(fit.model.beta, truth.beta, 1e-3);
+  EXPECT_NEAR(fit.model.b, truth.b, 1e-3);
+  EXPECT_LT(fit.rmse, 1e-6);
+}
+
+TEST(Regression, RobustToNoise) {
+  PowerModel truth{.a = 2.6, .beta = 1.8, .b = 9.3};
+  Xoshiro256 rng(11);
+  std::vector<std::pair<Speed, Watts>> samples;
+  for (double s = 0.6; s <= 2.6; s += 0.1) {
+    samples.emplace_back(s, truth.total_power(s) + rng.normal(0.0, 0.05));
+  }
+  const auto fit = fit_power_model(samples);
+  EXPECT_NEAR(fit.model.beta, truth.beta, 0.15);
+  EXPECT_NEAR(fit.model.b, truth.b, 0.8);
+  EXPECT_LT(fit.rmse, 0.1);
+}
+
+TEST(Regression, ReproducesPaperOpteronFit) {
+  // Fitting the four measured Opteron points should land close to the
+  // paper's (a, beta, b) = (2.6075, 1.791, 9.2562).
+  std::vector<std::pair<Speed, Watts>> samples;
+  for (const auto& p : kOpteron2380Measured) {
+    samples.emplace_back(p.ghz, p.watts);
+  }
+  const auto fit = fit_power_model(samples);
+  EXPECT_NEAR(fit.model.a, 2.6075, 0.15);
+  EXPECT_NEAR(fit.model.beta, 1.791, 0.1);
+  EXPECT_NEAR(fit.model.b, 9.2562, 0.3);
+  EXPECT_LT(fit.rmse, 0.2);
+}
+
+TEST(Opteron, MeasuredTableLookup) {
+  EXPECT_NEAR(opteron_measured_power(0.8), 11.06, 1e-9);
+  EXPECT_NEAR(opteron_measured_power(2.5), 22.69, 1e-9);
+  // Interpolation between 1.3 and 1.8.
+  const double mid = opteron_measured_power(1.55);
+  EXPECT_GT(mid, 13.275);
+  EXPECT_LT(mid, 16.85);
+  // Idle == static power.
+  EXPECT_NEAR(opteron_measured_power(0.0), 9.2562, 1e-6);
+  // Fitted model tracks the table within a fraction of a watt.
+  const PowerModel pm = opteron_fitted_model();
+  for (const auto& p : kOpteron2380Measured) {
+    EXPECT_NEAR(pm.total_power(p.ghz), p.watts, 0.35);
+  }
+}
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  RunResult run_validation_workload(double rate) {
+    // §V-G setup: 8 cores, Opteron fitted model, discrete levels,
+    // 152 W total budget (static + dynamic).
+    cfg_.cores = 8;
+    cfg_.power_model = opteron_fitted_model();
+    cfg_.power_budget = 152.0 - 8 * cfg_.power_model.b;  // dynamic share
+    cfg_.max_core_speed = 2.5;
+    cfg_.record_execution = true;
+    WorkloadConfig wl;
+    wl.arrival_rate = rate;
+    wl.horizon_ms = 10'000.0;
+    Engine engine(cfg_, generate_websearch_jobs(wl),
+                  make_des_policy(
+                      {.speed_levels = DiscreteSpeedSet::opteron2380()}));
+    return engine.run();
+  }
+
+  EngineConfig cfg_;
+};
+
+TEST_F(ReplayTest, MeasuredEnergyTracksModelEnergy) {
+  auto run = run_validation_workload(60.0);
+  const auto r = replay_on_real_system(run, cfg_);
+  ASSERT_GT(r.model_energy, 0.0);
+  // Fig. 11: simulation and measurement agree closely (within ~10%).
+  const double gap =
+      std::fabs(r.measured_energy - r.model_energy) / r.model_energy;
+  EXPECT_LT(gap, 0.10) << "measured=" << r.measured_energy
+                       << " model=" << r.model_energy;
+  EXPECT_GT(r.speed_transitions, 0u);
+  EXPECT_GT(r.power_samples, 0u);
+}
+
+TEST_F(ReplayTest, OverheadsIncreaseMeasuredEnergy) {
+  auto run = run_validation_workload(60.0);
+  ReplayOptions cheap;
+  cheap.dvfs_transition_ms = 0.0;
+  cheap.scheduler_overhead_ms = 0.0;
+  cheap.noise_stddev_watts = 0.0;
+  ReplayOptions costly;
+  costly.dvfs_transition_ms = 1.0;
+  costly.scheduler_overhead_ms = 1.0;
+  costly.noise_stddev_watts = 0.0;
+  const auto a = replay_on_real_system(run, cfg_, cheap);
+  const auto b = replay_on_real_system(run, cfg_, costly);
+  EXPECT_GT(b.measured_energy, a.measured_energy);
+  EXPECT_DOUBLE_EQ(a.model_energy, b.model_energy);
+}
+
+TEST_F(ReplayTest, NoiseAveragesOut) {
+  auto run = run_validation_workload(40.0);
+  ReplayOptions quiet;
+  quiet.noise_stddev_watts = 0.0;
+  ReplayOptions noisy;
+  noisy.noise_stddev_watts = 2.0;
+  const auto a = replay_on_real_system(run, cfg_, quiet);
+  const auto b = replay_on_real_system(run, cfg_, noisy);
+  // Thousands of samples: the noise contribution is tiny relative to E.
+  EXPECT_NEAR(b.measured_energy, a.measured_energy,
+              0.01 * a.measured_energy);
+}
+
+TEST_F(ReplayTest, RequiresRecordedExecution) {
+  RunResult empty;
+  EXPECT_DEATH((void)replay_on_real_system(empty, cfg_), "record_execution");
+}
+
+}  // namespace
+}  // namespace qes

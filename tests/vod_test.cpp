@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "alloc/waterfill.hpp"
+#include "core/prng.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "vod/session.hpp"
+#include "vod/allocate.hpp"
+#include "vod/video.hpp"
+
+namespace qes::vod {
+namespace {
+
+TEST(VideoModel, LayerStructure) {
+  LayeredVideoModel m;
+  ASSERT_EQ(m.layers().size(), 5u);
+  Work total = 0.0;
+  double utility = 0.0;
+  for (const Layer& l : m.layers()) {
+    EXPECT_GT(l.work, 0.0);
+    EXPECT_GT(l.utility, 0.0);
+    total += l.work;
+    utility += l.utility;
+  }
+  EXPECT_NEAR(total, 192.0, 1e-9);
+  EXPECT_NEAR(utility, 1.0, 1e-9);
+}
+
+TEST(VideoModel, UtilityDensityDecreases) {
+  // The R-D curve guarantees diminishing utility per unit work — the
+  // property that makes the envelope concave.
+  LayeredVideoModel m;
+  double prev = std::numeric_limits<double>::infinity();
+  for (const Layer& l : m.layers()) {
+    const double density = l.utility / l.work;
+    EXPECT_LE(density, prev + 1e-12);
+    prev = density;
+  }
+}
+
+TEST(VideoModel, StaircaseStepsAtLayerBoundaries) {
+  LayeredVideoModel m;
+  const Work w1 = m.layers()[0].work;
+  EXPECT_DOUBLE_EQ(m.staircase_utility(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.staircase_utility(w1 * 0.99), 0.0);  // partial layer
+  EXPECT_NEAR(m.staircase_utility(w1), m.layers()[0].utility, 1e-12);
+  EXPECT_NEAR(m.staircase_utility(m.total_work()), 1.0, 1e-12);
+  EXPECT_NEAR(m.staircase_utility(m.total_work() + 50.0), 1.0, 1e-12);
+}
+
+TEST(VideoModel, EnvelopeDominatesStaircase) {
+  LayeredVideoModel m;
+  for (Work v = 0.0; v <= m.total_work(); v += 3.7) {
+    EXPECT_GE(m.envelope_utility(v) + 1e-12, m.staircase_utility(v));
+    EXPECT_GE(m.envelope_utility(v), 0.0);
+    EXPECT_LE(m.envelope_utility(v), 1.0 + 1e-12);
+  }
+  // They agree exactly at layer boundaries.
+  Work cum = 0.0;
+  for (const Layer& l : m.layers()) {
+    cum += l.work;
+    EXPECT_NEAR(m.envelope_utility(cum), m.staircase_utility(cum), 1e-9);
+  }
+}
+
+TEST(VideoModel, EnvelopeIsConcaveAndMonotone) {
+  LayeredVideoModel m;
+  EXPECT_TRUE(m.envelope_function().check_shape(m.total_work()));
+}
+
+TEST(VideoModel, RoundToLayer) {
+  LayeredVideoModel m;
+  const Work w1 = m.layers()[0].work;
+  const Work w2 = w1 + m.layers()[1].work;
+  EXPECT_DOUBLE_EQ(m.round_to_layer(w1 * 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.round_to_layer(w1), w1);
+  EXPECT_DOUBLE_EQ(m.round_to_layer((w1 + w2) / 2.0), w1);
+  EXPECT_DOUBLE_EQ(m.round_to_layer(1e9), m.total_work());
+}
+
+TEST(LayerAware, AllocatesWholeLayersOnly) {
+  LayeredVideoModel m;
+  std::vector<double> cx = {1.0, 1.0, 2.0};
+  const auto r = layer_aware_allocate(m, cx, 250.0);
+  for (std::size_t j = 0; j < cx.size(); ++j) {
+    // Every allocation sits exactly on a (scaled) layer boundary.
+    const Work scaled = r.alloc[j] / cx[j];
+    EXPECT_NEAR(m.round_to_layer(scaled), scaled, 1e-9);
+  }
+  EXPECT_LE(r.used, 250.0 + 1e-9);
+  EXPECT_GT(r.total_utility, 0.0);
+}
+
+TEST(LayerAware, BeatsWaterfillUnderStaircaseScoring) {
+  // The point of the extension: same capacity, higher truthful quality
+  // than smooth equal-sharing scored on the staircase.
+  LayeredVideoModel m;
+  Xoshiro256 rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(8);
+    std::vector<double> cx;
+    Work total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      cx.push_back(rng.uniform(0.6, 2.2));
+      total += cx.back() * m.total_work();
+    }
+    const Work C = rng.uniform(total * 0.2, total * 0.8);
+    const auto smart = layer_aware_allocate(m, cx, C);
+    // Smooth equal sharing (the paper's allocator), scored truthfully.
+    std::vector<Work> caps;
+    for (double c : cx) caps.push_back(c * m.total_work());
+    const auto smooth = waterfill_volumes(caps, C);
+    double smooth_utility = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      smooth_utility += m.staircase_utility(smooth.alloc[j] / cx[j]);
+    }
+    EXPECT_GE(smart.total_utility, smooth_utility - 1e-9);
+  }
+}
+
+TEST(LayerAware, NearOptimalVersusBruteForce) {
+  // Exact optimum by enumerating layer prefixes per job (tiny cases).
+  LayeredVideoModel m({.layers = 3, .total_work_units = 90.0});
+  Xoshiro256 rng(9);
+  for (int rep = 0; rep < 10; ++rep) {
+    const std::size_t n = 2 + rng.uniform_index(2);  // 2..3 jobs
+    std::vector<double> cx;
+    for (std::size_t j = 0; j < n; ++j) cx.push_back(rng.uniform(0.6, 2.0));
+    const Work C = rng.uniform(40.0, 200.0);
+    const auto greedy = layer_aware_allocate(m, cx, C);
+    // Enumerate all prefix combinations (4^n).
+    double best = 0.0;
+    const std::size_t L = m.layers().size();
+    std::vector<std::size_t> pick(n, 0);
+    for (;;) {
+      Work used = 0.0;
+      double utility = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        Work w = 0.0;
+        double u = 0.0;
+        for (std::size_t l = 0; l < pick[j]; ++l) {
+          w += cx[j] * m.layers()[l].work;
+          u += m.layers()[l].utility;
+        }
+        used += w;
+        utility += u;
+      }
+      if (used <= C + 1e-9) best = std::max(best, utility);
+      std::size_t j = 0;
+      while (j < n && ++pick[j] > L) {
+        pick[j] = 0;
+        ++j;
+      }
+      if (j == n) break;
+    }
+    // Greedy is within one layer's utility of the fractional optimum.
+    double max_layer_u = 0.0;
+    for (const Layer& l : m.layers()) {
+      max_layer_u = std::max(max_layer_u, l.utility);
+    }
+    EXPECT_GE(greedy.total_utility, best - max_layer_u - 1e-9);
+    EXPECT_LE(greedy.total_utility, best + 1e-9);
+  }
+}
+
+TEST(Sessions, GeneratorProducesSchedulableTrace) {
+  LayeredVideoModel m;
+  SessionWorkloadConfig cfg;
+  cfg.session_rate = 5.0;
+  cfg.horizon_ms = 20'000.0;
+  const auto wl = generate_sessions(m, cfg);
+  ASSERT_GT(wl.sessions, 50u);
+  ASSERT_GT(wl.jobs.size(), wl.sessions);  // multiple chunks per session
+  EXPECT_TRUE(deadlines_agreeable(wl.jobs));
+  ASSERT_EQ(wl.complexity.size(), wl.jobs.size());
+  for (std::size_t k = 0; k < wl.jobs.size(); ++k) {
+    EXPECT_EQ(wl.jobs[k].id, k + 1);
+    EXPECT_NEAR(wl.jobs[k].demand,
+                wl.complexity[k] * m.total_work(), 1e-9);
+    EXPECT_GE(wl.complexity[k], 0.6);
+    EXPECT_LE(wl.complexity[k], 2.2);
+  }
+}
+
+TEST(Sessions, ScaledQualityBoundsAndFullService) {
+  LayeredVideoModel m;
+  SessionWorkloadConfig cfg;
+  cfg.session_rate = 2.0;
+  cfg.horizon_ms = 5'000.0;
+  const auto wl = generate_sessions(m, cfg);
+  ASSERT_FALSE(wl.jobs.empty());
+  // Full service => quality 1 under both curves.
+  std::vector<Work> full;
+  for (const Job& j : wl.jobs) full.push_back(j.demand);
+  EXPECT_NEAR(scaled_quality(m, wl, full, true), 1.0, 1e-9);
+  EXPECT_NEAR(scaled_quality(m, wl, full, false), 1.0, 1e-9);
+  // Half service: staircase <= envelope.
+  std::vector<Work> half;
+  for (const Job& j : wl.jobs) half.push_back(j.demand / 2.0);
+  const double stair = scaled_quality(m, wl, half, true);
+  const double env = scaled_quality(m, wl, half, false);
+  EXPECT_LE(stair, env + 1e-12);
+  EXPECT_GT(stair, 0.0);
+}
+
+TEST(Sessions, EndToEndSimulationRuns) {
+  LayeredVideoModel m;
+  SessionWorkloadConfig cfg;
+  cfg.session_rate = 8.0;
+  cfg.horizon_ms = 10'000.0;
+  const auto wl = generate_sessions(m, cfg);
+  EngineConfig ecfg;
+  ecfg.quality = m.envelope_function();
+  ecfg.record_execution = false;
+  Engine engine(ecfg, wl.jobs, make_des_policy());
+  const RunResult run = engine.run();
+  std::vector<Work> processed;
+  for (const JobState& st : run.jobs) processed.push_back(st.processed);
+  const double stair = scaled_quality(m, wl, processed, true);
+  const double env = scaled_quality(m, wl, processed, false);
+  EXPECT_LE(stair, env + 1e-12);
+  EXPECT_GT(env, 0.5);
+  EXPECT_LE(env, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace qes::vod

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "workload/arrival.hpp"
+#include "workload/demand.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace qes {
+namespace {
+
+TEST(BoundedPareto, PaperMeanIsAbout192) {
+  // §V-B: alpha=3, [130, 1000] => mean service demand ~192 units.
+  auto d = BoundedPareto::websearch();
+  EXPECT_NEAR(d.mean(), 192.0, 1.0);
+}
+
+TEST(BoundedPareto, SamplesWithinBounds) {
+  auto d = BoundedPareto::websearch();
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const Work w = d.sample(rng);
+    EXPECT_GE(w, 130.0);
+    EXPECT_LE(w, 1000.0);
+  }
+}
+
+TEST(BoundedPareto, EmpiricalMeanMatchesAnalytic) {
+  auto d = BoundedPareto::websearch();
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 1.0);
+}
+
+TEST(BoundedPareto, HeavierTailWithSmallerAlpha) {
+  BoundedPareto light(3.0, 100.0, 1000.0);
+  BoundedPareto heavy(1.5, 100.0, 1000.0);
+  EXPECT_GT(heavy.mean(), light.mean());
+}
+
+TEST(FixedAndUniformDemand, Basics) {
+  Xoshiro256 rng(1);
+  FixedDemand f(200.0);
+  EXPECT_DOUBLE_EQ(f.sample(rng), 200.0);
+  EXPECT_DOUBLE_EQ(f.mean(), 200.0);
+  UniformDemand u(100.0, 300.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 200.0);
+  for (int i = 0; i < 1000; ++i) {
+    const Work w = u.sample(rng);
+    EXPECT_GE(w, 100.0);
+    EXPECT_LE(w, 300.0);
+  }
+}
+
+TEST(PoissonArrivals, CountMatchesRate) {
+  PoissonArrivals p(120.0);
+  Xoshiro256 rng(7);
+  auto arr = generate_arrivals(p, 100'000.0, rng);  // 100 s
+  EXPECT_NEAR(static_cast<double>(arr.size()), 12000.0, 350.0);
+  for (std::size_t i = 1; i < arr.size(); ++i) {
+    EXPECT_GT(arr[i], arr[i - 1]);
+  }
+}
+
+TEST(UniformArrivals, EvenlySpaced) {
+  UniformArrivals p(100.0);
+  Xoshiro256 rng(1);
+  auto arr = generate_arrivals(p, 1000.0, rng);
+  ASSERT_EQ(arr.size(), 99u);  // 10ms spacing, first at 10ms
+  EXPECT_NEAR(arr[1] - arr[0], 10.0, 1e-9);
+}
+
+TEST(Generator, ProducesDenseIdsAndAgreeableDeadlines) {
+  WorkloadConfig cfg;
+  cfg.arrival_rate = 150.0;
+  cfg.horizon_ms = 20'000.0;
+  auto jobs = generate_websearch_jobs(cfg);
+  ASSERT_GT(jobs.size(), 1000u);
+  EXPECT_TRUE(deadlines_agreeable(jobs));
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    EXPECT_EQ(jobs[k].id, k + 1);
+    EXPECT_NEAR(jobs[k].deadline - jobs[k].release, 150.0, 1e-9);
+    EXPECT_GE(jobs[k].demand, 130.0);
+    EXPECT_LE(jobs[k].demand, 1000.0);
+    EXPECT_TRUE(jobs[k].partial_ok);
+  }
+}
+
+TEST(Generator, PartialFractionRespected) {
+  WorkloadConfig cfg;
+  cfg.arrival_rate = 200.0;
+  cfg.horizon_ms = 60'000.0;
+  cfg.partial_fraction = 0.5;
+  auto jobs = generate_websearch_jobs(cfg);
+  std::size_t partial = 0;
+  for (const Job& j : jobs) partial += j.partial_ok ? 1 : 0;
+  const double frac = static_cast<double>(partial) / static_cast<double>(jobs.size());
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(Generator, SeedReproducibility) {
+  WorkloadConfig cfg;
+  cfg.horizon_ms = 5'000.0;
+  auto a = generate_websearch_jobs(cfg);
+  auto b = generate_websearch_jobs(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a[k].release, b[k].release);
+    EXPECT_DOUBLE_EQ(a[k].demand, b[k].demand);
+  }
+  cfg.seed = 2;
+  auto c = generate_websearch_jobs(cfg);
+  EXPECT_NE(a.size(), c.size());  // overwhelmingly likely
+}
+
+TEST(Generator, OfferedLoadMatchesPaperCalibration) {
+  // §V-B: lambda=120 on 16 cores at 2 GHz average => ~72% load.
+  WorkloadConfig cfg;
+  cfg.arrival_rate = 120.0;
+  cfg.horizon_ms = 200'000.0;
+  auto jobs = generate_websearch_jobs(cfg);
+  const double load = offered_load(jobs, cfg.horizon_ms, 16, 2.0);
+  EXPECT_NEAR(load, 0.72, 0.03);
+}
+
+TEST(Generator, PremiumFractionAssignsWeights) {
+  WorkloadConfig cfg;
+  cfg.arrival_rate = 200.0;
+  cfg.horizon_ms = 30'000.0;
+  cfg.premium_fraction = 0.25;
+  cfg.premium_weight = 4.0;
+  auto jobs = generate_websearch_jobs(cfg);
+  std::size_t premium = 0;
+  for (const Job& j : jobs) {
+    EXPECT_TRUE(j.weight == 1.0 || j.weight == 4.0);
+    if (j.weight == 4.0) ++premium;
+  }
+  const double frac =
+      static_cast<double>(premium) / static_cast<double>(jobs.size());
+  EXPECT_NEAR(frac, 0.25, 0.03);
+}
+
+TEST(Diurnal, RateFollowsSinusoid) {
+  DiurnalConfig cfg;
+  cfg.base_rate = 100.0;
+  cfg.amplitude = 0.5;
+  cfg.period_ms = 10'000.0;
+  // Trough at t=0, peak at half period.
+  EXPECT_NEAR(diurnal_rate(cfg, 0.0), 50.0, 1e-9);
+  EXPECT_NEAR(diurnal_rate(cfg, 5'000.0), 150.0, 1e-9);
+  EXPECT_NEAR(diurnal_rate(cfg, 2'500.0), 100.0, 1e-9);
+}
+
+TEST(Diurnal, CountsTrackTheEnvelope) {
+  DiurnalConfig cfg;
+  cfg.base_rate = 200.0;
+  cfg.amplitude = 0.8;
+  cfg.period_ms = 20'000.0;
+  cfg.horizon_ms = 200'000.0;  // 10 periods
+  auto jobs = generate_diurnal_jobs(cfg);
+  EXPECT_TRUE(deadlines_agreeable(jobs));
+  // Total count ~ base_rate * horizon.
+  EXPECT_NEAR(static_cast<double>(jobs.size()), 200.0 * 200.0,
+              0.06 * 200.0 * 200.0);
+  // Peak-half vs trough-half counts: with amplitude 0.8 the ratio of
+  // expected arrivals (integrated over half-periods) is ~ (1+2*0.8/pi)
+  // vs (1-2*0.8/pi) ~ 3.1x.
+  std::size_t peak = 0, trough = 0;
+  for (const Job& j : jobs) {
+    const double phase = std::fmod(j.release, cfg.period_ms) /
+                         cfg.period_ms;
+    if (phase >= 0.25 && phase < 0.75) {
+      ++peak;
+    } else {
+      ++trough;
+    }
+  }
+  EXPECT_GT(static_cast<double>(peak),
+            2.2 * static_cast<double>(trough));
+  // Dense ids in arrival order.
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    EXPECT_EQ(jobs[k].id, k + 1);
+  }
+}
+
+TEST(TraceIo, RoundTrip) {
+  WorkloadConfig cfg;
+  cfg.horizon_ms = 2'000.0;
+  cfg.partial_fraction = 0.5;
+  auto jobs = generate_websearch_jobs(cfg);
+  std::stringstream ss;
+  write_job_trace(ss, jobs);
+  auto back = read_job_trace(ss);
+  ASSERT_EQ(back.size(), jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    EXPECT_EQ(back[k].id, jobs[k].id);
+    EXPECT_DOUBLE_EQ(back[k].release, jobs[k].release);
+    EXPECT_DOUBLE_EQ(back[k].deadline, jobs[k].deadline);
+    EXPECT_DOUBLE_EQ(back[k].demand, jobs[k].demand);
+    EXPECT_EQ(back[k].partial_ok, jobs[k].partial_ok);
+  }
+}
+
+TEST(TraceIo, RoundTripPreservesWeights) {
+  WorkloadConfig cfg;
+  cfg.horizon_ms = 3'000.0;
+  cfg.premium_fraction = 0.4;
+  auto jobs = generate_websearch_jobs(cfg);
+  std::stringstream ss;
+  write_job_trace(ss, jobs);
+  auto back = read_job_trace(ss);
+  ASSERT_EQ(back.size(), jobs.size());
+  bool saw_premium = false;
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    EXPECT_DOUBLE_EQ(back[k].weight, jobs[k].weight);
+    if (back[k].weight > 1.5) saw_premium = true;
+  }
+  EXPECT_TRUE(saw_premium);
+}
+
+TEST(TraceIo, ReadsLegacyV1Traces) {
+  std::stringstream ss;
+  ss << "id,release_ms,deadline_ms,demand_units,partial_ok\n";
+  ss << "1,0.0,150.0,192.0,1\n";
+  auto jobs = read_job_trace(ss);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].weight, 1.0);
+  EXPECT_TRUE(jobs[0].partial_ok);
+}
+
+TEST(TraceIo, RejectsBadHeader) {
+  std::stringstream ss("garbage\n1,2,3,4,1\n");
+  EXPECT_THROW(read_job_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream ss;
+  ss << "id,release_ms,deadline_ms,demand_units,partial_ok\n";
+  ss << "1,0.0,150.0\n";
+  EXPECT_THROW(read_job_trace(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,109 @@
+// qes_sim: command-line driver for the qesched simulator.
+//
+//   $ qes_sim --policy des --rate 180 --seconds 120
+//   $ qes_sim --policy fcfs --wf --sweep 80:260:20 --seeds 3 --json
+//   $ qes_sim --trace-out jobs.csv && qes_sim --trace-in jobs.csv
+//
+// See --help for the full option list.
+#include <cstdio>
+#include <iostream>
+
+#include "cli/options.hpp"
+#include "report/table.hpp"
+#include "sim/experiment.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using namespace qes;
+
+void print_json_stats(double rate, const RunStats& s, bool last) {
+  std::printf(
+      "  {\"arrival_rate\": %g, \"normalized_quality\": %.6f, "
+      "\"dynamic_energy_j\": %.3f, \"static_energy_j\": %.3f, "
+      "\"peak_power_w\": %.3f, \"jobs\": %zu, \"satisfied\": %zu, "
+      "\"partial\": %zu, \"unserved\": %zu, \"p95_latency_ms\": %.3f, "
+      "\"replans\": %zu}%s\n",
+      rate, s.normalized_quality, s.dynamic_energy, s.static_energy,
+      s.peak_power, s.jobs_total, s.jobs_satisfied, s.jobs_partial,
+      s.jobs_zero, s.p95_latency, s.replans, last ? "" : ",");
+}
+
+RunStats run_spec(const cli::Options& opt, const EngineConfig& cfg,
+                  double rate) {
+  WorkloadConfig wl = opt.workload;
+  wl.arrival_rate = rate;
+  if (opt.trace_in) {
+    // Trace replay: one run, fixed jobs.
+    Engine engine(cfg, load_job_trace(*opt.trace_in),
+                  cli::make_policy(opt));
+    return engine.run().stats;
+  }
+  return run_averaged(cfg, wl, [&opt] { return cli::make_policy(opt); },
+                      opt.seeds, wl.seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qes;
+  cli::Options opt;
+  try {
+    opt = cli::parse_options(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qes_sim: %s\n", e.what());
+    return 2;
+  }
+  if (opt.help) {
+    std::fputs(cli::usage().c_str(), stdout);
+    return 0;
+  }
+
+  try {
+    if (opt.trace_out) {
+      save_job_trace(*opt.trace_out,
+                     generate_websearch_jobs(opt.workload));
+      std::printf("trace written to %s\n", opt.trace_out->c_str());
+      if (!opt.trace_in && opt.sweep_rates.empty()) return 0;
+    }
+
+    const EngineConfig cfg = cli::make_engine_config(opt);
+    const std::string label = cli::policy_label(opt);
+    std::vector<double> rates = opt.sweep_rates;
+    if (rates.empty()) rates.push_back(opt.workload.arrival_rate);
+
+    std::vector<RunStats> results;
+    results.reserve(rates.size());
+    for (double r : rates) results.push_back(run_spec(opt, cfg, r));
+
+    if (opt.json) {
+      std::printf("{\n \"policy\": \"%s\", \"cores\": %d, "
+                  "\"budget_w\": %g,\n \"points\": [\n",
+                  label.c_str(), cfg.cores, cfg.power_budget);
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        print_json_stats(rates[i], results[i], i + 1 == rates.size());
+      }
+      std::printf(" ]\n}\n");
+      return 0;
+    }
+
+    std::printf("policy %s on %d cores, %.0f W budget, %d seed(s)\n\n",
+                label.c_str(), cfg.cores, cfg.power_budget, opt.seeds);
+    Table t({"rate", "quality", "dyn_energy_J", "peak_W", "satisfied",
+             "partial", "unserved", "p95_ms", "replans"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const RunStats& s = results[i];
+      t.add_row({fmt(rates[i], 0), fmt(s.normalized_quality, 4),
+                 fmt_sci(s.dynamic_energy), fmt(s.peak_power, 1),
+                 std::to_string(s.jobs_satisfied),
+                 std::to_string(s.jobs_partial),
+                 std::to_string(s.jobs_zero), fmt(s.p95_latency, 1),
+                 std::to_string(s.replans)});
+    }
+    t.print(std::cout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qes_sim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
