@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ThreadSanitizer and
+# Address+UBSanitizer (the qesd runtime is concurrent; TSan-cleanliness
+# is an acceptance criterion, not a nice-to-have).
+#
+#   $ scripts/ci_sanitize.sh              # both sanitizers
+#   $ scripts/ci_sanitize.sh thread       # just TSan
+#   $ scripts/ci_sanitize.sh address -R runtime   # extra args go to ctest
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sanitizers=("${1:-}")
+if [[ -z "${sanitizers[0]}" ]]; then
+  sanitizers=(thread address)
+else
+  shift
+fi
+
+for san in "${sanitizers[@]}"; do
+  build="build-${san}san"
+  echo "=== ${san} sanitizer -> ${build} ==="
+  cmake -B "${build}" -S . -DQES_SANITIZE="${san}" \
+    -DQES_BUILD_BENCH=OFF -DQES_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${build}" -j "$(nproc)"
+  (cd "${build}" && ctest --output-on-failure -j "$(nproc)" "$@")
+done
+echo "=== sanitizers clean ==="

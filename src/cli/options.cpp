@@ -140,6 +140,28 @@ Options parse_options(const std::vector<std::string>& args) {
       for (double r = lo; r <= hi + 1e-9; r += step) {
         opt.sweep_rates.push_back(r);
       }
+    } else if (a == "--duration-s") {
+      opt.duration_s = to_double(a, need_value(i, a));
+      if (opt.duration_s <= 0.0) fail("--duration-s: must be positive");
+    } else if (a == "--arrival-rate") {
+      // qesd spelling of --rate; both feed workload.arrival_rate.
+      opt.workload.arrival_rate = to_double(a, need_value(i, a));
+      if (opt.workload.arrival_rate <= 0.0) {
+        fail("--arrival-rate: must be positive");
+      }
+    } else if (a == "--producers") {
+      opt.producers = to_int(a, need_value(i, a));
+      if (opt.producers <= 0) fail("--producers: must be positive");
+    } else if (a == "--metrics-interval-ms") {
+      opt.metrics_interval_ms = to_double(a, need_value(i, a));
+      if (opt.metrics_interval_ms <= 0.0) {
+        fail("--metrics-interval-ms: must be positive");
+      }
+    } else if (a == "--time-scale") {
+      opt.time_scale = to_double(a, need_value(i, a));
+      if (opt.time_scale <= 0.0) fail("--time-scale: must be positive");
+    } else if (a == "--conform") {
+      opt.conform = true;
     } else if (a == "--trace-in") {
       opt.trace_in = need_value(i, a);
     } else if (a == "--trace-out") {
@@ -200,6 +222,14 @@ experiment:
   --sweep LO:HI:STEP          sweep arrival rates instead of one run
   --seeds N       (1)         replicates averaged per point
   --json                      machine-readable output
+
+qesd runtime driver (ignored by qes_sim):
+  --duration-s S  (30)        virtual seconds of admitted traffic
+  --arrival-rate R (150)      requests/virtual second (alias of --rate)
+  --producers N   (4)         producer threads
+  --metrics-interval-ms MS (1000)  wall ms between metrics snapshots
+  --time-scale K  (1)         virtual ms per wall ms (time dilation)
+  --conform                   replay sim vs runtime, report agreement
 )";
 }
 

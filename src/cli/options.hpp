@@ -46,6 +46,18 @@ struct Options {
   /// Save the generated workload to a CSV trace.
   std::optional<std::string> trace_out;
 
+  // qesd live-runtime driver (ignored by qes_sim).
+  /// Virtual seconds of admitted traffic.
+  double duration_s = 30.0;
+  /// Producer threads generating Poisson arrivals.
+  int producers = 4;
+  /// Wall milliseconds between metrics snapshots.
+  double metrics_interval_ms = 1000.0;
+  /// Virtual ms per wall ms (>1 compresses wall time).
+  double time_scale = 1.0;
+  /// Run the sim-vs-runtime conformance replay instead of serving live.
+  bool conform = false;
+
   bool json = false;
   bool help = false;
 };

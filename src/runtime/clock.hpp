@@ -1,0 +1,53 @@
+// Virtual clock for the qesd serving runtime.
+//
+// The simulator's model time is double-precision milliseconds; the live
+// runtime maps that axis onto the wall clock with a configurable dilation
+// factor ("time scale"). At scale 1 one virtual millisecond is one wall
+// millisecond, so a core running at speed s processes s * 1000 work units
+// per wall second (the paper's 1 GHz == 1000 units/s convention). Larger
+// scales compress wall time, letting tests serve a 30-virtual-second
+// workload in a couple of wall seconds without changing any model math.
+//
+// The clock is read-only shared state: the epoch and scale are fixed at
+// construction, so concurrent now() calls need no synchronization.
+#pragma once
+
+#include <chrono>
+
+#include "core/assert.hpp"
+#include "core/time.hpp"
+
+namespace qes::runtime {
+
+class VirtualClock {
+ public:
+  using WallClock = std::chrono::steady_clock;
+
+  explicit VirtualClock(double time_scale = 1.0)
+      : epoch_(WallClock::now()), scale_(time_scale) {
+    QES_ASSERT(time_scale > 0.0);
+  }
+
+  /// Current virtual time in milliseconds since construction.
+  [[nodiscard]] Time now() const {
+    const std::chrono::duration<double, std::milli> wall =
+        WallClock::now() - epoch_;
+    return wall.count() * scale_;
+  }
+
+  /// Wall-clock deadline corresponding to virtual time `t` (for
+  /// condition-variable waits, which must be interruptible).
+  [[nodiscard]] WallClock::time_point wall_deadline(Time t) const {
+    const std::chrono::duration<double, std::milli> wall{t / scale_};
+    return epoch_ + std::chrono::duration_cast<WallClock::duration>(wall);
+  }
+
+  /// Virtual milliseconds per wall millisecond.
+  [[nodiscard]] double scale() const { return scale_; }
+
+ private:
+  WallClock::time_point epoch_;
+  double scale_;
+};
+
+}  // namespace qes::runtime

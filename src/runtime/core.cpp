@@ -1,0 +1,452 @@
+#include "runtime/core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/assert.hpp"
+#include "multicore/power_waterfill.hpp"
+#include "sched/online_qe.hpp"
+#include "sched/yds.hpp"
+
+namespace qes::runtime {
+
+namespace {
+
+constexpr double kEps = kTimeEps;
+
+// Budget-free per-core YDS (DES step 2), identical to the simulator's
+// policy: remaining demands, all released now.
+struct BudgetFree {
+  Schedule plan;
+  Watts power_at_now = 0.0;
+  Speed max_speed = 0.0;
+};
+
+}  // namespace
+
+RuntimeCore::RuntimeCore(RuntimeConfig config)
+    : cfg_(std::move(config)),
+      crr_(static_cast<std::size_t>(std::max(cfg_.cores, 1))) {
+  QES_ASSERT(cfg_.cores > 0 && cfg_.power_budget > 0.0);
+  cores_.resize(static_cast<std::size_t>(cfg_.cores));
+  next_quantum_ = cfg_.quantum_ms > 0.0
+                      ? cfg_.quantum_ms
+                      : std::numeric_limits<double>::infinity();
+}
+
+JobRecord& RuntimeCore::state(JobId id) {
+  QES_ASSERT(id >= 1 && id <= jobs_.size());
+  return jobs_[id - 1];
+}
+
+const JobRecord& RuntimeCore::job(JobId id) const {
+  QES_ASSERT(id >= 1 && id <= jobs_.size());
+  return jobs_[id - 1];
+}
+
+const Schedule& RuntimeCore::plan(int core) const {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  return cores_[static_cast<std::size_t>(core)].plan;
+}
+
+void RuntimeCore::submit(const Job& job) {
+  QES_ASSERT_MSG(job.id == jobs_.size() + 1,
+                 "jobs must carry dense ids 1..n in admission order");
+  QES_ASSERT(job.demand > 0.0 && job.deadline > job.release);
+  QES_ASSERT_MSG(job.release >= now_ - 1e-5,
+                 "admission must not travel back in time");
+  if (!jobs_.empty()) {
+    const Job& prev = jobs_.back().job;
+    QES_ASSERT_MSG(job.release + kEps >= prev.release &&
+                       job.deadline + kEps >= prev.deadline,
+                   "admitted jobs must keep agreeable deadlines");
+  }
+  jobs_.push_back(JobRecord{.job = job});
+  waiting_.push_back(job.id);
+}
+
+bool RuntimeCore::core_idle(int core) const {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  const CoreState& c = cores_[static_cast<std::size_t>(core)];
+  return c.next_seg >= c.plan.size();
+}
+
+void RuntimeCore::assign_to_core(JobId id, int core) {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  JobRecord& st = state(id);
+  QES_ASSERT_MSG(st.phase == JobRecord::Phase::Waiting,
+                 "only waiting jobs can be assigned");
+  auto it = std::find(waiting_.begin(), waiting_.end(), id);
+  QES_ASSERT(it != waiting_.end());
+  waiting_.erase(it);
+  st.phase = JobRecord::Phase::Assigned;
+  st.core = core;
+  auto& q = cores_[static_cast<std::size_t>(core)].queue;
+  q.insert(std::lower_bound(q.begin(), q.end(), id), id);
+}
+
+void RuntimeCore::finalize(JobId id) {
+  JobRecord& st = state(id);
+  QES_ASSERT(st.phase != JobRecord::Phase::Finalized);
+  if (st.phase == JobRecord::Phase::Waiting) {
+    auto it = std::find(waiting_.begin(), waiting_.end(), id);
+    if (it != waiting_.end()) waiting_.erase(it);
+  } else {
+    auto& q = cores_[static_cast<std::size_t>(st.core)].queue;
+    auto it = std::find(q.begin(), q.end(), id);
+    QES_ASSERT(it != q.end());
+    q.erase(it);
+  }
+  st.processed = std::min(st.processed, st.job.demand);
+  st.satisfied = st.processed + 1e-6 * std::max(1.0, st.job.demand) >=
+                 st.job.demand;
+  if (!st.job.partial_ok) {
+    st.quality =
+        st.satisfied ? st.job.weight * cfg_.quality(st.job.demand) : 0.0;
+  } else {
+    st.quality = st.job.weight * cfg_.quality(st.processed);
+  }
+  st.phase = JobRecord::Phase::Finalized;
+  st.finalized_at = now_;
+  ++finalized_count_;
+  if (st.satisfied) ++satisfied_count_;
+  quality_sum_ += st.quality;
+}
+
+void RuntimeCore::expire_due_jobs() {
+  while (first_live_ < jobs_.size()) {
+    JobRecord& st = jobs_[first_live_];
+    if (st.phase == JobRecord::Phase::Finalized) {
+      ++first_live_;
+      continue;
+    }
+    if (st.job.deadline <= now_ + kEps) {
+      finalize(st.job.id);
+      ++first_live_;
+      continue;
+    }
+    break;
+  }
+}
+
+void RuntimeCore::set_core_plan(int core, Schedule plan) {
+  QES_ASSERT(core >= 0 && core < cfg_.cores);
+  CoreState& c = cores_[static_cast<std::size_t>(core)];
+  plan.check_well_formed();
+  for (const Segment& s : plan.segments()) {
+    QES_ASSERT_MSG(s.t0 >= now_ - 1e-5, "plan must start at or after now");
+    const JobRecord& st = job(s.job);
+    QES_ASSERT_MSG(st.phase == JobRecord::Phase::Assigned && st.core == core,
+                   "plan segment must reference a live job on this core");
+    QES_ASSERT_MSG(s.t1 <= st.job.deadline + 1e-5,
+                   "plan segment must end by the job's deadline");
+    QES_ASSERT_MSG(s.speed <= cfg_.max_core_speed + 1e-6,
+                   "plan speed exceeds the core's hardware cap");
+  }
+  c.plan = std::move(plan);
+  c.next_seg = 0;
+}
+
+void RuntimeCore::advance(Time target) {
+  QES_ASSERT(target >= now_ - kEps);
+  while (true) {
+    // Sub-step end: the earliest segment boundary across cores, capped at
+    // the target. Power is constant within the sub-step.
+    Time step_end = target;
+    for (const CoreState& c : cores_) {
+      if (c.next_seg >= c.plan.size()) continue;
+      const Segment& s = c.plan[c.next_seg];
+      step_end = std::min(step_end, s.t0 > now_ + kEps ? s.t0 : s.t1);
+    }
+
+    if (step_end > now_ + kEps) {
+      const Time dt = step_end - now_;
+      Watts total_power = 0.0;
+      for (CoreState& c : cores_) {
+        const bool active = c.next_seg < c.plan.size() &&
+                            c.plan[c.next_seg].t0 <= now_ + kEps;
+        if (!active) continue;  // DVFS-gated cores draw no dynamic power
+        const Segment& s = c.plan[c.next_seg];
+        total_power += cfg_.power_model.dynamic_power(s.speed);
+        state(s.job).processed += s.speed * dt;
+      }
+      QES_ASSERT_MSG(total_power <= cfg_.power_budget * (1.0 + 1e-6) + 1e-6,
+                     "instantaneous power exceeded the budget");
+      dynamic_energy_ += joules(total_power, dt);
+      peak_power_ = std::max(peak_power_, total_power);
+      now_ = step_end;
+    }
+
+    // Process segment completions at now_.
+    for (CoreState& c : cores_) {
+      while (c.next_seg < c.plan.size() &&
+             c.plan[c.next_seg].t1 <= now_ + kEps) {
+        const Segment done = c.plan[c.next_seg];
+        ++c.next_seg;
+        JobRecord& st = state(done.job);
+        if (st.phase == JobRecord::Phase::Finalized) continue;
+        const bool complete =
+            st.processed + 1e-6 * std::max(1.0, st.job.demand) >=
+            st.job.demand;
+        bool more_planned = false;
+        for (std::size_t k = c.next_seg; k < c.plan.size(); ++k) {
+          if (c.plan[k].job == done.job) {
+            more_planned = true;
+            break;
+          }
+        }
+        if (complete) {
+          finalize(done.job);
+        } else if (!more_planned) {
+          // The core moves past a partially executed job: discarded due
+          // to partial evaluation (paper §IV-B).
+          finalize(done.job);
+        }
+      }
+    }
+
+    if (now_ >= target - kEps) break;
+  }
+  now_ = std::max(now_, target);
+  expire_due_jobs();
+}
+
+bool RuntimeCore::check_triggers() {
+  bool replan_due = false;
+  if (cfg_.quantum_ms > 0.0 && now_ >= next_quantum_ - kEps) {
+    while (next_quantum_ <= now_ + kEps) next_quantum_ += cfg_.quantum_ms;
+    replan_due = true;
+  }
+  if (cfg_.counter_trigger > 0 &&
+      waiting_.size() >= static_cast<std::size_t>(cfg_.counter_trigger)) {
+    replan_due = true;
+  }
+  if (cfg_.idle_trigger && !waiting_.empty()) {
+    for (int i = 0; i < cfg_.cores; ++i) {
+      if (core_idle(i)) {
+        replan_due = true;
+        break;
+      }
+    }
+  }
+  return replan_due;
+}
+
+void RuntimeCore::install_with_rigid_check(int core, Speed max_speed) {
+  // Collect the core's live jobs as the single-core algorithms see them
+  // (mirrors the simulator policy's ready snapshot).
+  auto snapshot = [&] {
+    std::vector<ReadyJob> ready;
+    bool first = true;
+    for (JobId id : cores_[static_cast<std::size_t>(core)].queue) {
+      const JobRecord& st = job(id);
+      QES_ASSERT(st.job.deadline > now_ + kEps);
+      ReadyJob rj;
+      rj.id = id;
+      rj.deadline = st.job.deadline;
+      rj.demand = st.job.demand;
+      rj.processed = st.processed;
+      rj.running = first && st.processed > kEps;
+      first = false;
+      ready.push_back(rj);
+    }
+    return ready;
+  };
+
+  // Discard rigid (non-partial) jobs the plan cannot complete and
+  // recompute until stable (§V-D), then drop partially executed jobs the
+  // plan passes over — Online-QE already met their fair share and the
+  // paper's execution model never resumes them.
+  for (;;) {
+    OnlineQeResult r;
+    if (max_speed > kEps) r = online_qe(now_, snapshot(), max_speed);
+    JobId to_discard = 0;
+    for (JobId id : cores_[static_cast<std::size_t>(core)].queue) {
+      const JobRecord& st = job(id);
+      if (st.job.partial_ok) continue;
+      const auto it = r.planned.find(id);
+      const Work planned = it == r.planned.end() ? 0.0 : it->second;
+      if (st.processed + planned + 1e-6 < st.job.demand) {
+        to_discard = id;
+        break;
+      }
+    }
+    if (to_discard == 0) {
+      std::vector<JobId> drop;
+      for (JobId id : cores_[static_cast<std::size_t>(core)].queue) {
+        if (job(id).processed > kEps && !r.planned.count(id)) {
+          drop.push_back(id);
+        }
+      }
+      for (JobId id : drop) finalize(id);
+      set_core_plan(core, std::move(r.schedule));
+      return;
+    }
+    finalize(to_discard);
+  }
+}
+
+void RuntimeCore::replan() {
+  ++replans_;
+  const int m = cfg_.cores;
+
+  // Step 1: ready-job distribution (C-RR with the persistent cursor).
+  const std::vector<JobId> waiting(waiting_.begin(), waiting_.end());
+  const auto targets = crr_.distribute(waiting.size());
+  for (std::size_t k = 0; k < waiting.size(); ++k) {
+    assign_to_core(waiting[k], static_cast<int>(targets[k]));
+  }
+
+  // Step 2: budget-free per-core YDS.
+  std::vector<BudgetFree> free_plans;
+  free_plans.reserve(static_cast<std::size_t>(m));
+  Watts total_request = 0.0;
+  Speed top_speed = 0.0;
+  for (int i = 0; i < m; ++i) {
+    BudgetFree f;
+    std::vector<Job> jobs;
+    for (JobId id : cores_[static_cast<std::size_t>(i)].queue) {
+      const JobRecord& st = job(id);
+      const Work remaining = st.job.demand - st.processed;
+      if (remaining <= kEps) continue;
+      jobs.push_back(Job{.id = id,
+                         .release = now_,
+                         .deadline = st.job.deadline,
+                         .demand = remaining});
+    }
+    if (!jobs.empty()) {
+      YdsResult y = yds_schedule(AgreeableJobSet(std::move(jobs)));
+      f.max_speed = y.critical_speed;
+      f.power_at_now =
+          cfg_.power_model.dynamic_power(y.schedule.speed_at(now_));
+      f.plan = std::move(y.schedule);
+    }
+    total_request += f.power_at_now;
+    top_speed = std::max(top_speed, f.max_speed);
+    free_plans.push_back(std::move(f));
+  }
+
+  if (total_request <= cfg_.power_budget + kEps &&
+      top_speed <= cfg_.max_core_speed + kEps) {
+    // The optimistic schedules fit the budget: everyone completes.
+    for (int i = 0; i < m; ++i) {
+      set_core_plan(i, std::move(free_plans[static_cast<std::size_t>(i)].plan));
+    }
+    return;
+  }
+
+  // Step 3: WF power distribution.
+  std::vector<Watts> requests;
+  requests.reserve(static_cast<std::size_t>(m));
+  for (const BudgetFree& f : free_plans) requests.push_back(f.power_at_now);
+  const std::vector<Watts> budgets =
+      waterfill_power(requests, cfg_.power_budget);
+
+  // Step 4: budget-bounded per-core Online-QE planning.
+  for (int i = 0; i < m; ++i) {
+    const Speed cap = std::min(
+        cfg_.power_model.speed_for_power(budgets[static_cast<std::size_t>(i)]),
+        cfg_.max_core_speed);
+    install_with_rigid_check(i, cap);
+  }
+}
+
+Time RuntimeCore::earliest_live_deadline() const {
+  for (std::size_t k = first_live_; k < jobs_.size(); ++k) {
+    if (jobs_[k].phase != JobRecord::Phase::Finalized) {
+      return jobs_[k].job.deadline;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Time RuntimeCore::next_plan_event() const {
+  Time t = std::numeric_limits<double>::infinity();
+  for (const CoreState& c : cores_) {
+    if (c.next_seg >= c.plan.size()) continue;
+    const Segment& s = c.plan[c.next_seg];
+    t = std::min(t, s.t0 > now_ + kEps ? s.t0 : s.t1);
+  }
+  return t;
+}
+
+Time RuntimeCore::horizon() const {
+  return jobs_.empty() ? now_ : jobs_.back().job.deadline;
+}
+
+Watts RuntimeCore::planned_power_now() const {
+  Watts total = 0.0;
+  for (const CoreState& c : cores_) {
+    if (c.next_seg >= c.plan.size()) continue;
+    const Segment& s = c.plan[c.next_seg];
+    if (s.t0 <= now_ + kEps) total += cfg_.power_model.dynamic_power(s.speed);
+  }
+  return total;
+}
+
+CoreCounters RuntimeCore::counters() const {
+  CoreCounters c;
+  c.now = now_;
+  c.admitted = jobs_.size();
+  c.waiting = waiting_.size();
+  for (const CoreState& cs : cores_) c.assigned += cs.queue.size();
+  c.finalized = finalized_count_;
+  c.satisfied = satisfied_count_;
+  c.quality_sum = quality_sum_;
+  c.dynamic_energy = dynamic_energy_;
+  c.planned_power = planned_power_now();
+  c.peak_power = peak_power_;
+  c.replans = replans_;
+  return c;
+}
+
+RunStats RuntimeCore::finish(Time end_time) {
+  QES_ASSERT_MSG(all_finalized(), "finish() requires every job finalized");
+  advance(std::max(end_time, now_));
+
+  RunStats s;
+  s.jobs_total = jobs_.size();
+  for (const JobRecord& st : jobs_) {
+    s.total_quality += st.quality;
+    s.max_quality += st.job.weight * cfg_.quality(st.job.demand);
+    if (st.satisfied) {
+      ++s.jobs_satisfied;
+    } else if (st.processed > kEps) {
+      ++s.jobs_partial;
+    } else {
+      ++s.jobs_zero;
+    }
+    if (!st.job.partial_ok && !st.satisfied) ++s.jobs_discarded_rigid;
+  }
+  s.normalized_quality =
+      s.max_quality > 0.0 ? s.total_quality / s.max_quality : 0.0;
+  std::vector<Time> latencies;
+  latencies.reserve(s.jobs_satisfied);
+  for (const JobRecord& st : jobs_) {
+    if (st.satisfied) latencies.push_back(st.finalized_at - st.job.release);
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    Time sum = 0.0;
+    for (Time l : latencies) sum += l;
+    s.mean_latency = sum / static_cast<double>(latencies.size());
+    auto pct = [&](double p) {
+      const std::size_t idx = std::min(
+          latencies.size() - 1,
+          static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
+      return latencies[idx];
+    };
+    s.p50_latency = pct(0.50);
+    s.p95_latency = pct(0.95);
+    s.p99_latency = pct(0.99);
+  }
+  s.dynamic_energy = dynamic_energy_;
+  s.static_energy = cfg_.cores * cfg_.power_model.b * now_ / 1000.0;
+  s.peak_power = peak_power_;
+  s.end_time = now_;
+  s.replans = replans_;
+  return s;
+}
+
+}  // namespace qes::runtime

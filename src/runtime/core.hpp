@@ -1,0 +1,172 @@
+// RuntimeCore: the deterministic heart of the qesd serving runtime.
+//
+// The live runtime must make the SAME decisions as the discrete-event
+// simulator (DES = C-RR + WF + Online-QE on continuous C-DVFS, paper
+// §IV-D) — that is what makes it trustworthy. To get there, everything
+// that affects quality or energy lives in this single-threaded state
+// machine: job admission, plan integration (volume + energy accounting),
+// deadline expiry, the §IV-E triggers, and the replanning pipeline. The
+// threaded server (server.hpp) drives it under one mutex from wall-clock
+// time; the conformance harness (conformance.hpp) drives it in lockstep
+// with the exact event sequence of sim::Engine and checks that quality
+// and energy agree. Worker threads only *pace* execution against the
+// published plans — they never touch this state, so the live and
+// simulated runs share every arithmetic operation.
+//
+// Supported policy surface: the paper's default DES on homogeneous
+// continuous C-DVFS cores (no discrete levels, ablations, or service
+// classes — the simulator remains the tool for those studies).
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/power.hpp"
+#include "core/quality.hpp"
+#include "core/schedule.hpp"
+#include "multicore/crr.hpp"
+#include "sim/metrics.hpp"
+
+namespace qes::runtime {
+
+struct RuntimeConfig {
+  int cores = 16;
+  /// Total dynamic power budget H in watts (paper §V-B: 320 W).
+  Watts power_budget = 320.0;
+  PowerModel power_model = default_power_model();
+  QualityFunction quality = QualityFunction::exponential(0.003);
+  /// Grouped-scheduling triggers (§IV-E); semantics match EngineConfig.
+  Time quantum_ms = 500.0;
+  int counter_trigger = 8;
+  bool idle_trigger = true;
+  /// Hardware cap on any core's speed (GHz).
+  Speed max_core_speed = std::numeric_limits<double>::infinity();
+};
+
+/// Runtime-side view of one admitted job (mirrors sim::JobState).
+struct JobRecord {
+  Job job;
+  enum class Phase { Waiting, Assigned, Finalized } phase = Phase::Waiting;
+  int core = -1;
+  Work processed = 0.0;
+  double quality = 0.0;
+  bool satisfied = false;
+  Time finalized_at = -1.0;
+};
+
+/// Aggregate counters cheap enough to copy under a lock every metrics
+/// tick. planned_power is the instantaneous dynamic power implied by the
+/// installed plans at the current virtual time; WF guarantees it never
+/// exceeds the budget H.
+struct CoreCounters {
+  Time now = 0.0;
+  std::size_t admitted = 0;
+  std::size_t waiting = 0;
+  std::size_t assigned = 0;
+  std::size_t finalized = 0;
+  std::size_t satisfied = 0;
+  double quality_sum = 0.0;
+  Joules dynamic_energy = 0.0;
+  Watts planned_power = 0.0;
+  Watts peak_power = 0.0;
+  std::size_t replans = 0;
+};
+
+class RuntimeCore {
+ public:
+  explicit RuntimeCore(RuntimeConfig config);
+
+  // ---- admission ----
+
+  /// Admits a job. Ids must be dense 1..n in admission order and
+  /// (release, deadline) must be agreeable with previously admitted jobs
+  /// — both hold automatically when the server stamps release/deadline
+  /// at admission time.
+  void submit(const Job& job);
+
+  // ---- time (every mutation below expects monotone timestamps) ----
+
+  /// Integrates all core plans from the current time to `t`, charging
+  /// processed volume and dynamic energy segment by segment (power is
+  /// constant between consecutive plan boundaries), finalizing jobs whose
+  /// segments complete, and asserting the instantaneous power budget.
+  /// Then finalizes jobs whose deadline has passed.
+  void advance(Time t);
+
+  /// Evaluates the §IV-E triggers at the current time: quantum (advances
+  /// the quantum phase), counter (waiting >= threshold), and idle core.
+  /// Returns true when a replan is due.
+  [[nodiscard]] bool check_triggers();
+
+  /// Runs the DES pipeline at the current time: C-RR distribution,
+  /// budget-free per-core YDS, WF power split, and budget-bounded
+  /// Online-QE planning with the rigid-job discard loop (§V-D).
+  void replan();
+
+  /// Final accounting: integrates idle time out to `end_time` (the last
+  /// deadline) and returns the run statistics, matching sim::Engine's
+  /// RunStats field for field. All jobs must be finalized.
+  [[nodiscard]] RunStats finish(Time end_time);
+
+  // ---- observers ----
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t admitted() const { return jobs_.size(); }
+  [[nodiscard]] bool all_finalized() const {
+    return finalized_count_ == jobs_.size();
+  }
+  [[nodiscard]] const JobRecord& job(JobId id) const;
+  [[nodiscard]] const Schedule& plan(int core) const;
+
+  /// Earliest deadline among admitted, unfinalized jobs (infinity when
+  /// none) — the next expiry event.
+  [[nodiscard]] Time earliest_live_deadline() const;
+
+  /// Next plan-segment boundary across cores (infinity when all idle).
+  [[nodiscard]] Time next_plan_event() const;
+
+  /// Next quantum-trigger firing time (infinity when disabled).
+  [[nodiscard]] Time next_quantum() const { return next_quantum_; }
+
+  /// Deadline (== finalization bound) of the last admitted job, or the
+  /// current time when nothing was admitted. Used as finish()'s horizon.
+  [[nodiscard]] Time horizon() const;
+
+  [[nodiscard]] CoreCounters counters() const;
+
+ private:
+  struct CoreState {
+    Schedule plan;
+    std::size_t next_seg = 0;
+    std::deque<JobId> queue;  // live assigned jobs, arrival order
+  };
+
+  JobRecord& state(JobId id);
+  void assign_to_core(JobId id, int core);
+  void finalize(JobId id);
+  void expire_due_jobs();
+  void set_core_plan(int core, Schedule plan);
+  void install_with_rigid_check(int core, Speed max_speed);
+  [[nodiscard]] bool core_idle(int core) const;
+  [[nodiscard]] Watts planned_power_now() const;
+
+  RuntimeConfig cfg_;
+  CumulativeRoundRobin crr_;
+  std::vector<JobRecord> jobs_;  // index = id - 1
+  std::vector<CoreState> cores_;
+  std::vector<JobId> waiting_;   // arrived, unassigned, arrival order
+  std::size_t first_live_ = 0;
+  std::size_t finalized_count_ = 0;
+  std::size_t satisfied_count_ = 0;
+  double quality_sum_ = 0.0;
+  Time now_ = 0.0;
+  Time next_quantum_;
+  Joules dynamic_energy_ = 0.0;
+  Watts peak_power_ = 0.0;
+  std::size_t replans_ = 0;
+};
+
+}  // namespace qes::runtime

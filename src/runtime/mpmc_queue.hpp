@@ -1,0 +1,120 @@
+// Bounded multi-producer/multi-consumer queue for request admission.
+//
+// Producers block (with an optional timeout) when the queue is full —
+// that is the runtime's backpressure signal — and the consumer side can
+// drain everything in one lock acquisition, which is what the trigger
+// thread does once per tick. close() wakes every waiter; pushes after
+// close fail, pops keep draining what is already buffered.
+//
+// A mutex + two condition variables is deliberately chosen over a
+// lock-free ring: admission is touched a few thousand times per second
+// at most, far below the contention level where lock-free buys anything,
+// and the simple version is easy to prove TSan-clean.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace qes::runtime {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    QES_ASSERT(capacity > 0);
+  }
+
+  /// Blocks until there is room, the timeout expires, or the queue is
+  /// closed. Returns false (dropping `item`) in the latter two cases.
+  template <typename Rep, typename Period>
+  bool push(T item, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_for(lock, timeout, [this] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return out;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Moves every buffered item into `out` (appending) in FIFO order.
+  void drain(std::vector<T>& out) {
+    bool woke_producers = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      woke_producers = !items_.empty();
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (woke_producers) not_full_.notify_all();
+  }
+
+  /// Fails all pending and future pushes; buffered items stay poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace qes::runtime

@@ -1,0 +1,288 @@
+#include "runtime/server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/assert.hpp"
+
+namespace qes::runtime {
+
+namespace {
+
+std::chrono::duration<double, std::milli> wall_ms(double ms) {
+  return std::chrono::duration<double, std::milli>(ms);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"t_ms\": %.3f, \"admitted\": %zu, \"waiting\": %zu, "
+      "\"assigned\": %zu, \"finalized\": %zu, \"satisfied\": %zu, "
+      "\"shed\": %zu, \"quality_sum\": %.6f, \"dynamic_energy_j\": %.3f, "
+      "\"planned_power_w\": %.3f, \"peak_power_w\": %.3f, "
+      "\"replans\": %zu, \"busy_workers\": %d}",
+      t_virtual_ms, admitted, waiting, assigned, finalized, satisfied, shed,
+      quality_sum, dynamic_energy_j, planned_power_w, peak_power_w, replans,
+      busy_workers);
+  return buf;
+}
+
+Server::Server(ServerConfig config)
+    : cfg_(std::move(config)),
+      clock_(cfg_.time_scale),
+      admission_(cfg_.admission_capacity),
+      core_(cfg_.model),
+      plans_(static_cast<std::size_t>(cfg_.model.cores)),
+      current_job_(static_cast<std::size_t>(cfg_.model.cores)),
+      worker_stats_(static_cast<std::size_t>(cfg_.model.cores)) {
+  QES_ASSERT(cfg_.deadline_ms > 0.0 && cfg_.tick_wall_ms > 0.0 &&
+             cfg_.metrics_interval_ms > 0.0 && cfg_.worker_slice_wall_ms > 0.0);
+  for (auto& j : current_job_) j.store(0, std::memory_order_relaxed);
+}
+
+Server::~Server() {
+  if (started_ && !stopped_) (void)drain_and_stop();
+}
+
+void Server::start() {
+  QES_ASSERT_MSG(!started_, "start() may be called once");
+  started_ = true;
+  threads_.reserve(static_cast<std::size_t>(cfg_.model.cores) + 2);
+  threads_.emplace_back([this] { trigger_loop(); });
+  threads_.emplace_back([this] { metrics_loop(); });
+  for (int i = 0; i < cfg_.model.cores; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+bool Server::submit(const Request& request,
+                    std::chrono::milliseconds timeout) {
+  QES_ASSERT(request.demand > 0.0 && request.weight > 0.0);
+  if (admission_.push(request, timeout)) return true;
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void Server::poke_trigger() {
+  {
+    std::lock_guard<std::mutex> lock(trig_mu_);
+    poked_ = true;
+  }
+  trig_cv_.notify_one();
+}
+
+void Server::publish_plans() {
+  const std::uint64_t gen = plan_gen_.fetch_add(1) + 1;
+  for (int i = 0; i < cfg_.model.cores; ++i) {
+    auto snap = std::make_shared<const PlanSnapshot>(
+        PlanSnapshot{core_.plan(i), gen});
+    PlanSlot& slot = plans_[static_cast<std::size_t>(i)];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.snap = std::move(snap);
+  }
+  // Publish under the wake mutex so a worker between its predicate check
+  // and its wait cannot miss the notification.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_all();
+}
+
+void Server::process_tick() {
+  std::vector<Request> batch;
+  const Time vnow = clock_.now();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drained under mu_ so drain_and_stop() can never observe an empty
+  // queue while a batch is still waiting to be admitted.
+  admission_.drain(batch);
+  core_.advance(std::max(vnow, core_.now()));
+  for (const Request& r : batch) {
+    Job j;
+    j.id = core_.admitted() + 1;
+    j.release = core_.now();
+    j.deadline = core_.now() + cfg_.deadline_ms;
+    j.demand = r.demand;
+    j.partial_ok = r.partial_ok;
+    j.weight = r.weight;
+    core_.submit(j);
+  }
+  if (core_.check_triggers()) {
+    core_.replan();
+    publish_plans();
+  }
+}
+
+void Server::trigger_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(trig_mu_);
+      trig_cv_.wait_for(lock, wall_ms(cfg_.tick_wall_ms), [this] {
+        return stop_.load(std::memory_order_acquire) || poked_;
+      });
+      poked_ = false;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    process_tick();
+  }
+}
+
+void Server::wait_wall(VirtualClock::WallClock::time_point tp,
+                       std::uint64_t seen_gen) {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  wake_cv_.wait_until(lock, tp, [&] {
+    return stop_.load(std::memory_order_acquire) ||
+           plan_gen_.load(std::memory_order_acquire) != seen_gen;
+  });
+}
+
+void Server::worker_loop(int core) {
+  const std::size_t idx = static_cast<std::size_t>(core);
+  WorkerStats& ws = worker_stats_[idx];
+  const Time slice_virtual = cfg_.worker_slice_wall_ms * clock_.scale();
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::shared_ptr<const PlanSnapshot> snap;
+    {
+      PlanSlot& slot = plans_[idx];
+      std::lock_guard<std::mutex> lock(slot.mu);
+      snap = slot.snap;
+    }
+    const std::uint64_t seen_gen =
+        snap ? snap->gen : plan_gen_.load(std::memory_order_acquire);
+    const Time vnow = clock_.now();
+    const Segment* seg = nullptr;
+    if (snap) {
+      for (const Segment& s : snap->plan.segments()) {
+        if (s.t1 > vnow + kTimeEps) {
+          seg = &s;
+          break;
+        }
+      }
+    }
+    if (seg == nullptr) {
+      // Plan exhausted: this is the idle-core trigger's signal. Poke the
+      // trigger thread and sleep until a new plan is published.
+      current_job_[idx].store(0, std::memory_order_relaxed);
+      poke_trigger();
+      wait_wall(VirtualClock::WallClock::now() +
+                    std::chrono::duration_cast<VirtualClock::WallClock::duration>(
+                        wall_ms(5.0 * cfg_.tick_wall_ms)),
+                seen_gen);
+      continue;
+    }
+    if (seg->t0 > vnow + kTimeEps) {
+      // Planned but not started yet (DVFS idle gap): sleep to the start.
+      current_job_[idx].store(0, std::memory_order_relaxed);
+      wait_wall(clock_.wall_deadline(seg->t0), seen_gen);
+      continue;
+    }
+    // Execute one time-dilated slice of the active segment: the worker
+    // "runs" the job by holding it as current for the slice's wall-time
+    // extent — speed seg->speed means seg->speed * 1000 / time_scale
+    // units per wall second.
+    current_job_[idx].store(seg->job, std::memory_order_relaxed);
+    const Time slice_end = std::min(seg->t1, vnow + slice_virtual);
+    wait_wall(clock_.wall_deadline(slice_end), seen_gen);
+    const Time done = std::min(clock_.now(), seg->t1);
+    if (done > vnow) {
+      ws.busy_virtual_ms += done - vnow;
+      ++ws.slices;
+    }
+    if (clock_.now() + kTimeEps >= seg->t1) {
+      // Segment boundary: completion processing (and possibly the idle
+      // trigger) is due on the model state.
+      poke_trigger();
+    }
+  }
+  current_job_[idx].store(0, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Server::snapshot() const {
+  CoreCounters c;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    c = core_.counters();
+  }
+  MetricsSnapshot s;
+  s.t_virtual_ms = c.now;
+  s.admitted = c.admitted;
+  s.waiting = c.waiting;
+  s.assigned = c.assigned;
+  s.finalized = c.finalized;
+  s.satisfied = c.satisfied;
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.quality_sum = c.quality_sum;
+  s.dynamic_energy_j = c.dynamic_energy;
+  s.planned_power_w = c.planned_power;
+  s.peak_power_w = c.peak_power;
+  s.replans = c.replans;
+  for (const auto& j : current_job_) {
+    if (j.load(std::memory_order_relaxed) != 0) ++s.busy_workers;
+  }
+  return s;
+}
+
+void Server::take_snapshot() {
+  const MetricsSnapshot s = snapshot();
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  snapshots_.push_back(s);
+}
+
+void Server::metrics_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock, wall_ms(cfg_.metrics_interval_ms), [this] {
+        return stop_.load(std::memory_order_acquire);
+      });
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    take_snapshot();
+  }
+}
+
+RunStats Server::drain_and_stop() {
+  QES_ASSERT_MSG(started_, "drain_and_stop() requires start()");
+  if (stopped_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return core_.finish(core_.horizon());
+  }
+  admission_.close();
+  // Serve out the tail: the trigger thread keeps advancing virtual time,
+  // so every admitted job finalizes within deadline_ms virtual ms of the
+  // last admission.
+  for (;;) {
+    poke_trigger();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (admission_.size() == 0 && core_.all_finalized()) break;
+    }
+    std::this_thread::sleep_for(wall_ms(2.0 * cfg_.tick_wall_ms));
+  }
+  take_snapshot();  // final observation before the threads stop
+  stop_.store(true, std::memory_order_release);
+  poke_trigger();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  stopped_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.finish(core_.horizon());
+}
+
+const std::vector<MetricsSnapshot>& Server::snapshots() const {
+  QES_ASSERT_MSG(stopped_, "snapshots() is valid after drain_and_stop()");
+  return snapshots_;
+}
+
+const std::vector<WorkerStats>& Server::worker_stats() const {
+  QES_ASSERT_MSG(stopped_, "worker_stats() is valid after drain_and_stop()");
+  return worker_stats_;
+}
+
+}  // namespace qes::runtime

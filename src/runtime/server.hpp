@@ -1,0 +1,183 @@
+// qesd server: the concurrent shell around RuntimeCore.
+//
+// Thread/ownership model (see src/runtime/README.md for the full story):
+//
+//   producers (N)  --Request-->  BoundedMpmcQueue (admission, bounded =
+//                                backpressure; failed pushes are "shed")
+//   trigger (1)    every tick: drains admission, advances RuntimeCore to
+//                  the current virtual time, evaluates the paper's
+//                  triggers, replans, and publishes per-core plans as
+//                  immutable shared_ptr snapshots swapped under a
+//                  per-core mutex held for nanoseconds
+//   workers (m)    one per core: grab the published plan snapshot,
+//                  sleep/yield through each segment at the time-dilated
+//                  virtual speed (a worker at speed s advances its job at
+//                  s * 1000 units per wall second / time_scale), poke the
+//                  trigger at segment boundaries and when their plan runs
+//                  dry (the idle-core trigger)
+//   metrics (1)    periodic JSON snapshots of the live counters
+//
+// All model state (RuntimeCore) is guarded by one mutex, mutated only by
+// the trigger thread and read by the metrics thread; workers touch
+// nothing but the immutable plan snapshots and per-worker atomics. That
+// split keeps the hot paths lock-free, makes the whole server trivially
+// TSan-clean, and — because every quality/energy number is computed by
+// the same deterministic RuntimeCore the conformance harness drives in
+// lockstep against sim::Engine — keeps the live runtime's accounting
+// anchored to the simulator.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/clock.hpp"
+#include "runtime/core.hpp"
+#include "runtime/mpmc_queue.hpp"
+
+namespace qes::runtime {
+
+/// A client request; release/deadline/id are stamped at admission.
+struct Request {
+  Work demand = 0.0;
+  bool partial_ok = true;
+  double weight = 1.0;
+};
+
+struct ServerConfig {
+  RuntimeConfig model;
+  /// Virtual milliseconds per wall millisecond (>1 compresses wall time).
+  double time_scale = 1.0;
+  /// Relative deadline stamped at admission (virtual ms).
+  Time deadline_ms = 150.0;
+  /// Admission queue bound; pushes beyond it block, then shed.
+  std::size_t admission_capacity = 4096;
+  /// Trigger-thread cadence (wall ms).
+  double tick_wall_ms = 2.0;
+  /// Metrics snapshot cadence (wall ms).
+  double metrics_interval_ms = 1000.0;
+  /// Worker pacing granularity (wall ms).
+  double worker_slice_wall_ms = 1.0;
+};
+
+/// One periodic observation of the live system.
+struct MetricsSnapshot {
+  Time t_virtual_ms = 0.0;
+  std::size_t admitted = 0;
+  std::size_t waiting = 0;
+  std::size_t assigned = 0;
+  std::size_t finalized = 0;
+  std::size_t satisfied = 0;
+  std::size_t shed = 0;
+  double quality_sum = 0.0;
+  Joules dynamic_energy_j = 0.0;
+  Watts planned_power_w = 0.0;
+  Watts peak_power_w = 0.0;
+  std::size_t replans = 0;
+  int busy_workers = 0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Per-worker execution counters (written only by the owning worker
+/// thread; read after the workers have been joined).
+struct WorkerStats {
+  std::uint64_t slices = 0;
+  Time busy_virtual_ms = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launches the worker, trigger, and metrics threads.
+  void start();
+
+  /// Producer-facing admission. Blocks up to `timeout` for queue space;
+  /// returns false (and counts the request as shed) when the queue stays
+  /// full or the server is draining.
+  bool submit(const Request& request, std::chrono::milliseconds timeout);
+
+  /// Closes admission, serves every admitted request to finalization
+  /// (the last deadline passes at most deadline_ms virtual ms after the
+  /// final admission), stops all threads, and returns the final run
+  /// statistics. Idempotent.
+  RunStats drain_and_stop();
+
+  [[nodiscard]] const VirtualClock& clock() const { return clock_; }
+  [[nodiscard]] Time now() const { return clock_.now(); }
+  [[nodiscard]] std::size_t shed() const { return shed_.load(); }
+
+  /// Live counters (thread-safe at any point in the server's life).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Collected periodic snapshots / per-worker stats; call after
+  /// drain_and_stop().
+  [[nodiscard]] const std::vector<MetricsSnapshot>& snapshots() const;
+  [[nodiscard]] const std::vector<WorkerStats>& worker_stats() const;
+
+ private:
+  struct PlanSnapshot {
+    Schedule plan;
+    std::uint64_t gen = 0;
+  };
+  // One published plan per core, swapped under a per-core mutex. The
+  // mutex guards only the shared_ptr swap (the snapshot itself is
+  // immutable), so it is held for nanoseconds by one worker and the
+  // trigger thread; std::atomic<shared_ptr> would do the same job but
+  // libstdc++ 12's _Sp_atomic trips ThreadSanitizer.
+  struct PlanSlot {
+    mutable std::mutex mu;
+    std::shared_ptr<const PlanSnapshot> snap;
+  };
+
+  void trigger_loop();
+  void worker_loop(int core);
+  void metrics_loop();
+  void process_tick();
+  void publish_plans();  // requires mu_
+  void poke_trigger();
+  void take_snapshot();
+  /// Waits until `tp`, a plan generation other than `seen_gen`, or stop.
+  void wait_wall(VirtualClock::WallClock::time_point tp,
+                 std::uint64_t seen_gen);
+
+  ServerConfig cfg_;
+  VirtualClock clock_;
+  BoundedMpmcQueue<Request> admission_;
+
+  mutable std::mutex mu_;  // guards core_
+  RuntimeCore core_;
+
+  std::vector<PlanSlot> plans_;
+  std::atomic<std::uint64_t> plan_gen_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> shed_{0};
+
+  std::mutex wake_mu_;  // workers' sleep/wake
+  std::condition_variable wake_cv_;
+  std::mutex trig_mu_;  // trigger thread's tick/poke
+  std::condition_variable trig_cv_;
+  bool poked_ = false;
+
+  std::vector<std::atomic<JobId>> current_job_;
+  std::vector<WorkerStats> worker_stats_;
+
+  mutable std::mutex snap_mu_;  // guards snapshots_
+  std::vector<MetricsSnapshot> snapshots_;
+
+  std::vector<std::thread> threads_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace qes::runtime

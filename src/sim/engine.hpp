@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/assert.hpp"
 #include "core/job.hpp"
 #include "core/power.hpp"
 #include "core/quality.hpp"
@@ -53,7 +54,11 @@ struct EngineConfig {
 
   /// Effective hardware speed cap of core `i`.
   [[nodiscard]] Speed core_speed_cap(int i) const {
+    QES_ASSERT_MSG(i >= 0 && i < cores, "core index out of range");
     if (per_core_max_speed.empty()) return max_core_speed;
+    QES_ASSERT_MSG(
+        per_core_max_speed.size() == static_cast<std::size_t>(cores),
+        "per_core_max_speed must have one entry per core");
     return per_core_max_speed[static_cast<std::size_t>(i)];
   }
   /// Keep partially executed, passed-over jobs alive for re-planning

@@ -1,6 +1,7 @@
 #include "sim/metrics.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 namespace qes {
 
@@ -9,6 +10,28 @@ bool lex_better(const QualityEnergy& a, const QualityEnergy& b,
   if (a.quality > b.quality + quality_tol) return true;
   if (a.quality < b.quality - quality_tol) return false;
   return a.energy < b.energy;
+}
+
+std::string stats_to_json(const RunStats& s) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"total_quality\": %.6f, \"max_quality\": %.6f, "
+      "\"normalized_quality\": %.6f, \"dynamic_energy_j\": %.3f, "
+      "\"static_energy_j\": %.3f, \"total_energy_j\": %.3f, "
+      "\"peak_power_w\": %.3f, \"end_time_ms\": %.3f, "
+      "\"jobs_total\": %zu, \"jobs_satisfied\": %zu, "
+      "\"jobs_partial\": %zu, \"jobs_zero\": %zu, "
+      "\"jobs_discarded_rigid\": %zu, "
+      "\"mean_latency_ms\": %.3f, \"p50_latency_ms\": %.3f, "
+      "\"p95_latency_ms\": %.3f, \"p99_latency_ms\": %.3f, "
+      "\"replans\": %zu}",
+      s.total_quality, s.max_quality, s.normalized_quality, s.dynamic_energy,
+      s.static_energy, s.total_energy(), s.peak_power, s.end_time,
+      s.jobs_total, s.jobs_satisfied, s.jobs_partial, s.jobs_zero,
+      s.jobs_discarded_rigid, s.mean_latency, s.p50_latency, s.p95_latency,
+      s.p99_latency, s.replans);
+  return buf;
 }
 
 }  // namespace qes

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "core/time.hpp"
 
@@ -55,5 +56,9 @@ struct RunStats {
     return {normalized_quality, dynamic_energy + static_energy};
   }
 };
+
+/// One-line JSON rendering of a RunStats (used by qes_sim --json and the
+/// qesd runtime's final report).
+[[nodiscard]] std::string stats_to_json(const RunStats& s);
 
 }  // namespace qes

@@ -133,10 +133,42 @@ TEST(CliOptions, BigLittleFlags) {
   EXPECT_THROW(parse({"--little-cap", "0"}), std::invalid_argument);
 }
 
+TEST(CliOptions, RuntimeDriverDefaults) {
+  const Options o = parse({});
+  EXPECT_DOUBLE_EQ(o.duration_s, 30.0);
+  EXPECT_EQ(o.producers, 4);
+  EXPECT_DOUBLE_EQ(o.metrics_interval_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(o.time_scale, 1.0);
+  EXPECT_FALSE(o.conform);
+}
+
+TEST(CliOptions, RuntimeDriverFlags) {
+  const Options o =
+      parse({"--duration-s", "12", "--arrival-rate", "90", "--producers", "6",
+             "--metrics-interval-ms", "250", "--time-scale", "8"});
+  EXPECT_DOUBLE_EQ(o.duration_s, 12.0);
+  EXPECT_DOUBLE_EQ(o.workload.arrival_rate, 90.0);
+  EXPECT_EQ(o.producers, 6);
+  EXPECT_DOUBLE_EQ(o.metrics_interval_ms, 250.0);
+  EXPECT_DOUBLE_EQ(o.time_scale, 8.0);
+  EXPECT_TRUE(parse({"--conform"}).conform);
+}
+
+TEST(CliOptions, RuntimeDriverRejectsBadValues) {
+  EXPECT_THROW(parse({"--duration-s", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--arrival-rate", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--producers", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--metrics-interval-ms", "-5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--time-scale", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--producers"}), std::invalid_argument);
+}
+
 TEST(CliOptions, HelpAndUsage) {
   EXPECT_TRUE(parse({"--help"}).help);
   EXPECT_NE(usage().find("--policy"), std::string::npos);
   EXPECT_NE(usage().find("--sweep"), std::string::npos);
+  EXPECT_NE(usage().find("--duration-s"), std::string::npos);
+  EXPECT_NE(usage().find("--time-scale"), std::string::npos);
 }
 
 }  // namespace

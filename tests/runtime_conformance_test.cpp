@@ -1,0 +1,118 @@
+// Conformance of the qesd runtime core against sim::Engine: the same
+// trace driven through both must agree on quality exactly and on energy
+// within the acceptance bound (5%); in practice the lockstep replay
+// reproduces the engine's arithmetic to floating-point noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/conformance.hpp"
+#include "workload/generator.hpp"
+
+namespace qes::runtime {
+namespace {
+
+RuntimeConfig small_runtime_config() {
+  RuntimeConfig rc;
+  rc.cores = 8;
+  rc.power_budget = 160.0;
+  return rc;
+}
+
+std::vector<Job> trace(double rate, Time horizon_ms, std::uint64_t seed,
+                       double partial_fraction = 1.0) {
+  WorkloadConfig wl;
+  wl.arrival_rate = rate;
+  wl.horizon_ms = horizon_ms;
+  wl.partial_fraction = partial_fraction;
+  wl.seed = seed;
+  return generate_websearch_jobs(wl);
+}
+
+void expect_conformant(const ConformanceResult& r) {
+  // Acceptance bound: quality equal, energy within 5%.
+  EXPECT_LE(r.quality_abs_diff(), 1e-6 * std::max(1.0, r.sim.total_quality));
+  EXPECT_LE(r.energy_rel_diff(), 0.05);
+  // The replay shares every arithmetic operation with the engine, so the
+  // agreement is actually much tighter than the acceptance bound...
+  EXPECT_NEAR(r.runtime.total_quality, r.sim.total_quality,
+              1e-9 * std::max(1.0, r.sim.total_quality));
+  EXPECT_NEAR(r.runtime.dynamic_energy, r.sim.dynamic_energy,
+              1e-9 * std::max(1.0, r.sim.dynamic_energy));
+  // ...and extends to every decision-derived statistic.
+  EXPECT_EQ(r.runtime.jobs_total, r.sim.jobs_total);
+  EXPECT_EQ(r.runtime.jobs_satisfied, r.sim.jobs_satisfied);
+  EXPECT_EQ(r.runtime.jobs_partial, r.sim.jobs_partial);
+  EXPECT_EQ(r.runtime.jobs_zero, r.sim.jobs_zero);
+  EXPECT_EQ(r.runtime.replans, r.sim.replans);
+  EXPECT_DOUBLE_EQ(r.runtime.end_time, r.sim.end_time);
+  EXPECT_NEAR(r.runtime.peak_power, r.sim.peak_power,
+              1e-9 * std::max(1.0, r.sim.peak_power));
+  EXPECT_NEAR(r.runtime.p95_latency, r.sim.p95_latency, 1e-9);
+}
+
+TEST(Conformance, DeterministicModerateLoad) {
+  const ConformanceResult r =
+      run_conformance(small_runtime_config(), trace(150.0, 3'000.0, 7));
+  ASSERT_GT(r.sim.jobs_total, 100u);
+  EXPECT_GT(r.sim.total_quality, 0.0);
+  expect_conformant(r);
+}
+
+TEST(Conformance, OverloadWithRigidJobs) {
+  RuntimeConfig rc;
+  rc.cores = 4;
+  rc.power_budget = 60.0;  // scarce power forces WF + rigid discards
+  const ConformanceResult r =
+      run_conformance(rc, trace(300.0, 2'000.0, 11, /*partial_fraction=*/0.6));
+  ASSERT_GT(r.sim.jobs_total, 100u);
+  expect_conformant(r);
+}
+
+TEST(Conformance, AggressiveTriggers) {
+  RuntimeConfig rc = small_runtime_config();
+  rc.quantum_ms = 100.0;
+  rc.counter_trigger = 3;
+  const ConformanceResult r = run_conformance(rc, trace(200.0, 2'000.0, 5));
+  EXPECT_GT(r.sim.replans, 10u);
+  expect_conformant(r);
+}
+
+TEST(Conformance, SpeedCappedCores) {
+  RuntimeConfig rc = small_runtime_config();
+  rc.max_core_speed = 1.5;
+  const ConformanceResult r = run_conformance(rc, trace(150.0, 2'000.0, 9));
+  expect_conformant(r);
+}
+
+TEST(Conformance, EmptyTrace) {
+  const ConformanceResult r = run_conformance(small_runtime_config(), {});
+  EXPECT_EQ(r.sim.jobs_total, 0u);
+  EXPECT_EQ(r.runtime.jobs_total, 0u);
+  EXPECT_DOUBLE_EQ(r.runtime.total_quality, 0.0);
+  EXPECT_DOUBLE_EQ(r.runtime.dynamic_energy, 0.0);
+}
+
+TEST(Conformance, SingleJob) {
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 150.0, .demand = 300.0}};
+  const ConformanceResult r = run_conformance(small_runtime_config(), jobs);
+  EXPECT_EQ(r.sim.jobs_total, 1u);
+  EXPECT_EQ(r.sim.jobs_satisfied, 1u);
+  expect_conformant(r);
+}
+
+TEST(Lockstep, FinishRequiresAllFinalized) {
+  // finish() before the last deadline would under-account idle energy;
+  // the lockstep driver always runs to the final deadline, so stats
+  // cover the full [0, d_n] window.
+  const std::vector<Job> jobs = {
+      {.id = 1, .release = 0.0, .deadline = 100.0, .demand = 50.0},
+      {.id = 2, .release = 40.0, .deadline = 140.0, .demand = 50.0}};
+  const RunStats s = run_lockstep(small_runtime_config(), jobs);
+  EXPECT_EQ(s.jobs_total, 2u);
+  EXPECT_DOUBLE_EQ(s.end_time, 140.0);
+}
+
+}  // namespace
+}  // namespace qes::runtime

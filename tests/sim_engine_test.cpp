@@ -167,6 +167,21 @@ TEST(Engine, AssigningNonWaitingJobDies) {
   EXPECT_DEATH(engine.run(), "waiting");
 }
 
+TEST(EngineConfig, CoreSpeedCapValidatesItsArguments) {
+  EngineConfig cfg;
+  cfg.cores = 4;
+  cfg.max_core_speed = 2.5;
+  EXPECT_DOUBLE_EQ(cfg.core_speed_cap(0), 2.5);
+  cfg.per_core_max_speed = {2.0, 2.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(cfg.core_speed_cap(3), 1.0);
+  EXPECT_DEATH((void)cfg.core_speed_cap(4), "out of range");
+  EXPECT_DEATH((void)cfg.core_speed_cap(-1), "out of range");
+  // A partially filled per-core vector must die, not silently index.
+  cfg.per_core_max_speed = {2.0, 2.0};
+  EXPECT_DEATH((void)cfg.core_speed_cap(3), "one entry per core");
+  EXPECT_DEATH((void)cfg.core_speed_cap(0), "one entry per core");
+}
+
 TEST(Engine, PerCoreCapSizeMismatchDies) {
   EngineConfig cfg = small_config(2);
   cfg.per_core_max_speed = {2.0};  // 2 cores, 1 entry

@@ -232,6 +232,53 @@ TEST(TraceIo, ReadsLegacyV1Traces) {
   EXPECT_TRUE(jobs[0].partial_ok);
 }
 
+TEST(TraceIo, RoundTripsEmptyTrace) {
+  std::stringstream ss;
+  write_job_trace(ss, std::vector<Job>{});
+  const auto back = read_job_trace(ss);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(TraceIo, RoundTripsSingleJobExactly) {
+  // setprecision(17) must reproduce doubles bit for bit.
+  std::vector<Job> jobs = {{.id = 1,
+                            .release = 0.1,
+                            .deadline = 150.1 + 1e-13,
+                            .demand = 192.00000000000003,
+                            .partial_ok = false,
+                            .weight = 4.0}};
+  std::stringstream ss;
+  write_job_trace(ss, jobs);
+  const auto back = read_job_trace(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].id, 1u);
+  EXPECT_EQ(back[0].release, jobs[0].release);
+  EXPECT_EQ(back[0].deadline, jobs[0].deadline);
+  EXPECT_EQ(back[0].demand, jobs[0].demand);
+  EXPECT_FALSE(back[0].partial_ok);
+  EXPECT_DOUBLE_EQ(back[0].weight, 4.0);
+}
+
+TEST(TraceIo, RoundTripsEqualReleaseTimes) {
+  // Simultaneous arrivals (a burst) are legal: agreeable only requires
+  // non-decreasing deadlines as ids increase.
+  std::vector<Job> jobs = {
+      {.id = 1, .release = 10.0, .deadline = 160.0, .demand = 100.0},
+      {.id = 2, .release = 10.0, .deadline = 160.0, .demand = 200.0},
+      {.id = 3, .release = 10.0, .deadline = 160.0, .demand = 300.0}};
+  std::stringstream ss;
+  write_job_trace(ss, jobs);
+  const auto back = read_job_trace(ss);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(back[k].id, jobs[k].id);
+    EXPECT_DOUBLE_EQ(back[k].release, 10.0);
+    EXPECT_DOUBLE_EQ(back[k].deadline, 160.0);
+    EXPECT_DOUBLE_EQ(back[k].demand, jobs[k].demand);
+  }
+  EXPECT_TRUE(deadlines_agreeable(back));
+}
+
 TEST(TraceIo, RejectsBadHeader) {
   std::stringstream ss("garbage\n1,2,3,4,1\n");
   EXPECT_THROW(read_job_trace(ss), std::runtime_error);

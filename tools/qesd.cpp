@@ -1,0 +1,148 @@
+// qesd: real-time serving daemon driver for the qes runtime.
+//
+//   $ qesd --duration-s 30 --arrival-rate 150 --producers 4
+//   $ qesd --duration-s 5 --time-scale 20 --metrics-interval-ms 100
+//   $ qesd --conform --duration-s 10 --seed 3
+//
+// Live mode spins up N producer threads feeding Poisson traffic into the
+// server for --duration-s virtual seconds, then drains and prints the
+// collected metrics snapshots plus the final run report. --conform mode
+// replays one generated trace through sim::Engine and through the
+// runtime core in lockstep and reports how closely they agree (exit 1
+// when they do not).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "runtime/conformance.hpp"
+#include "runtime/server.hpp"
+#include "workload/demand.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using namespace qes;
+
+runtime::RuntimeConfig make_runtime_config(const cli::Options& opt) {
+  runtime::RuntimeConfig rc;
+  rc.cores = opt.engine.cores;
+  rc.power_budget = opt.engine.power_budget;
+  rc.power_model = opt.engine.power_model;
+  rc.quality = QualityFunction::exponential(opt.quality_c);
+  rc.quantum_ms = opt.engine.quantum_ms;
+  rc.counter_trigger = opt.engine.counter_trigger;
+  rc.idle_trigger = opt.engine.idle_trigger;
+  rc.max_core_speed = opt.engine.max_core_speed;
+  return rc;
+}
+
+int run_conform(const cli::Options& opt) {
+  std::vector<Job> jobs;
+  if (opt.trace_in) {
+    jobs = load_job_trace(*opt.trace_in);
+  } else {
+    WorkloadConfig wl = opt.workload;
+    wl.horizon_ms = opt.duration_s * 1000.0;
+    jobs = generate_websearch_jobs(wl);
+  }
+  const runtime::ConformanceResult r =
+      runtime::run_conformance(make_runtime_config(opt), std::move(jobs));
+  std::printf("sim     %s\n", stats_to_json(r.sim).c_str());
+  std::printf("runtime %s\n", stats_to_json(r.runtime).c_str());
+  std::printf(
+      "conform {\"quality_abs_diff\": %.9f, \"energy_rel_diff\": %.9f}\n",
+      r.quality_abs_diff(), r.energy_rel_diff());
+  const double quality_tol = 1e-6 * std::max(1.0, r.sim.total_quality);
+  const bool ok =
+      r.quality_abs_diff() <= quality_tol && r.energy_rel_diff() <= 0.05;
+  if (!ok) std::fprintf(stderr, "qesd: conformance FAILED\n");
+  return ok ? 0 : 1;
+}
+
+void produce(runtime::Server& server, const cli::Options& opt, int producer,
+             Time duration_ms) {
+  // Splitting the Poisson process across producers keeps the aggregate
+  // arrival rate at --arrival-rate (superposition of Poisson streams).
+  Xoshiro256 rng(opt.workload.seed + 1000003ULL *
+                                        static_cast<std::uint64_t>(producer + 1));
+  const BoundedPareto demand(opt.workload.pareto_alpha,
+                             opt.workload.demand_min, opt.workload.demand_max);
+  const double rate_per_ms =
+      opt.workload.arrival_rate / static_cast<double>(opt.producers) / 1000.0;
+  while (server.now() < duration_ms) {
+    const double gap_virtual_ms = rng.exponential(rate_per_ms);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        gap_virtual_ms / opt.time_scale));
+    if (server.now() >= duration_ms) break;
+    runtime::Request r;
+    r.demand = demand.sample(rng);
+    r.partial_ok = rng.bernoulli(opt.workload.partial_fraction);
+    r.weight = rng.bernoulli(opt.workload.premium_fraction)
+                   ? opt.workload.premium_weight
+                   : 1.0;
+    (void)server.submit(r, std::chrono::milliseconds(100));
+  }
+}
+
+int run_live(const cli::Options& opt) {
+  runtime::ServerConfig sc;
+  sc.model = make_runtime_config(opt);
+  sc.time_scale = opt.time_scale;
+  sc.deadline_ms = opt.workload.deadline_ms;
+  sc.metrics_interval_ms = opt.metrics_interval_ms;
+  runtime::Server server(sc);
+  server.start();
+
+  const Time duration_ms = opt.duration_s * 1000.0;
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<std::size_t>(opt.producers));
+  for (int p = 0; p < opt.producers; ++p) {
+    producers.emplace_back(
+        [&server, &opt, p, duration_ms] { produce(server, opt, p, duration_ms); });
+  }
+  for (std::thread& t : producers) t.join();
+  const RunStats stats = server.drain_and_stop();
+
+  for (const runtime::MetricsSnapshot& s : server.snapshots()) {
+    std::printf("snapshot %s\n", s.to_json().c_str());
+  }
+  std::printf("final %s\n", stats_to_json(stats).c_str());
+  double busy_ms = 0.0;
+  std::uint64_t slices = 0;
+  for (const runtime::WorkerStats& w : server.worker_stats()) {
+    busy_ms += w.busy_virtual_ms;
+    slices += w.slices;
+  }
+  std::printf(
+      "server {\"shed\": %zu, \"producers\": %d, \"time_scale\": %g, "
+      "\"worker_busy_virtual_ms\": %.3f, \"worker_slices\": %llu}\n",
+      server.shed(), opt.producers, opt.time_scale, busy_ms,
+      static_cast<unsigned long long>(slices));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qes;
+  cli::Options opt;
+  try {
+    opt = cli::parse_options(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qesd: %s\n", e.what());
+    return 2;
+  }
+  if (opt.help) {
+    std::fputs(cli::usage().c_str(), stdout);
+    return 0;
+  }
+  try {
+    return opt.conform ? run_conform(opt) : run_live(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qesd: %s\n", e.what());
+    return 1;
+  }
+}
