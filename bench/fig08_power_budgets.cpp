@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "obs/registry.hpp"
 
 int main() {
   using namespace qes;
@@ -47,5 +48,31 @@ int main() {
     std::printf("  H = %3.0f W: %.0f req/s\n", budgets[i],
                 throughput_at_quality(sweeps[i], 0.9));
   }
-  return 0;
+
+  // Self-validation of the obs plumbing: rerun one point with a metrics
+  // registry attached and check the emitted histograms reconcile exactly
+  // with the RunStats aggregates of the same run.
+  obs::Registry registry;
+  EngineConfig vcfg = paper_engine();
+  vcfg.power_budget = 320.0;
+  vcfg.registry = &registry;
+  WorkloadConfig vwl = wl;
+  vwl.arrival_rate = 150.0;
+  const RunStats vs =
+      run_once(vcfg, vwl, [] { return make_des_policy(); });
+  const obs::Histogram* hq = registry.find_histogram("qes_sim_job_quality");
+  const obs::Histogram* hl =
+      registry.find_histogram("qes_sim_job_latency_ms");
+  const bool ok = hq != nullptr && hl != nullptr &&
+                  hq->count() == vs.jobs_total &&
+                  hq->sum() == vs.total_quality &&
+                  hl->count() == vs.jobs_satisfied;
+  std::printf(
+      "\nobs histogram validation (H=320, rate=150): quality "
+      "count=%llu/%zu sum=%.9g/%.9g, latency count=%llu/%zu -> %s\n",
+      static_cast<unsigned long long>(hq ? hq->count() : 0), vs.jobs_total,
+      hq ? hq->sum() : 0.0, vs.total_quality,
+      static_cast<unsigned long long>(hl ? hl->count() : 0),
+      vs.jobs_satisfied, ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
 }

@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
-# Builds and runs the test suite under ThreadSanitizer and
-# Address+UBSanitizer (the qesd runtime is concurrent; TSan-cleanliness
-# is an acceptance criterion, not a nice-to-have).
+# Builds and runs the test suite under BOTH ThreadSanitizer and
+# Address+UBSanitizer in one invocation (the qesd runtime and the obs
+# layer are concurrent; sanitizer-cleanliness is an acceptance
+# criterion, not a nice-to-have).
 #
-#   $ scripts/ci_sanitize.sh              # both sanitizers
-#   $ scripts/ci_sanitize.sh thread       # just TSan
-#   $ scripts/ci_sanitize.sh address -R runtime   # extra args go to ctest
+#   $ scripts/ci_sanitize.sh                     # both sanitizers, all tests
+#   $ scripts/ci_sanitize.sh -L obs              # both, obs+runtime suite only
+#   $ scripts/ci_sanitize.sh thread              # just TSan
+#   $ scripts/ci_sanitize.sh address -R runtime  # one sanitizer + ctest args
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-sanitizers=("${1:-}")
-if [[ -z "${sanitizers[0]}" ]]; then
-  sanitizers=(thread address)
-else
-  shift
-fi
+# A leading `thread` or `address` selects a single sanitizer; any other
+# first argument (or none) runs both, and every remaining argument is
+# forwarded to ctest verbatim.
+case "${1:-}" in
+  thread|address) sanitizers=("$1"); shift ;;
+  *) sanitizers=(thread address) ;;
+esac
 
 for san in "${sanitizers[@]}"; do
   build="build-${san}san"

@@ -162,6 +162,12 @@ Options parse_options(const std::vector<std::string>& args) {
       if (opt.time_scale <= 0.0) fail("--time-scale: must be positive");
     } else if (a == "--conform") {
       opt.conform = true;
+    } else if (a == "--metrics-format") {
+      opt.metrics_format = need_value(i, a);
+      if (opt.metrics_format != "json" && opt.metrics_format != "prom") {
+        fail("--metrics-format: expected json or prom, got '" +
+             opt.metrics_format + "'");
+      }
     } else if (a == "--trace-in") {
       opt.trace_in = need_value(i, a);
     } else if (a == "--trace-out") {
@@ -230,6 +236,11 @@ qesd runtime driver (ignored by qes_sim):
   --metrics-interval-ms MS (1000)  wall ms between metrics snapshots
   --time-scale K  (1)         virtual ms per wall ms (time dilation)
   --conform                   replay sim vs runtime, report agreement
+  --metrics-format json|prom  final metrics exposition (default json);
+                              prom additionally dumps the obs registry in
+                              Prometheus text format
+  --trace-out FILE            (qesd) write the job lifecycle trace as
+                              JSONL instead of saving a workload CSV
 )";
 }
 

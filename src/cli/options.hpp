@@ -57,6 +57,9 @@ struct Options {
   double time_scale = 1.0;
   /// Run the sim-vs-runtime conformance replay instead of serving live.
   bool conform = false;
+  /// Final-metrics exposition: "json" (legacy shape) or "prom"
+  /// (Prometheus text, qesd only).
+  std::string metrics_format = "json";
 
   bool json = false;
   bool help = false;

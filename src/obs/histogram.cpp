@@ -1,0 +1,104 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace qes::obs {
+
+Histogram::Histogram(double lo, double growth, std::size_t buckets) {
+  QES_ASSERT(lo > 0.0 && growth > 1.0 && buckets > 0);
+  upper_bounds_.reserve(buckets);
+  double bound = lo;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    upper_bounds_.push_back(bound);
+    bound *= growth;
+  }
+  counts_.assign(buckets + 1, 0);
+}
+
+Histogram::Histogram(Histogram&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  upper_bounds_ = std::move(other.upper_bounds_);
+  counts_ = std::move(other.counts_);
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
+Histogram Histogram::latency_ms() { return Histogram(1.0, 1.5, 24); }
+
+Histogram Histogram::quality() { return Histogram(0.01, 1.4, 20); }
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(),
+                                   value);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - upper_bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[idx];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.upper_bounds = upper_bounds_;
+  std::lock_guard<std::mutex> lock(mu_);
+  s.counts = counts_;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  QES_ASSERT(q >= 0.0 && q <= 1.0);
+  if (count == 0) return 0.0;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] < rank) {
+      seen += counts[i];
+      continue;
+    }
+    // The rank-th observation lies in bucket i: interpolate on a log
+    // scale between the bucket's bounds (the overflow bucket and bucket
+    // 0 fall back to the observed extremes on their open side).
+    const double hi = i < upper_bounds.size() ? upper_bounds[i] : max;
+    const double lo = i > 0 ? upper_bounds[i - 1] : std::max(min, 1e-12);
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(counts[i]);
+    double v;
+    if (hi <= lo) {
+      v = hi;
+    } else {
+      v = lo * std::pow(hi / lo, frac);
+    }
+    return std::clamp(v, min, max);
+  }
+  return max;
+}
+
+}  // namespace qes::obs

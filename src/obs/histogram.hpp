@@ -1,0 +1,80 @@
+// Log-bucketed histogram for latency/quality/size distributions.
+//
+// Buckets are geometric: upper bounds b_i = lo * growth^i for
+// i = 0..n-1, plus a final +infinity overflow bucket. A value v lands in
+// the first bucket whose upper bound is >= v (so everything in [0, lo]
+// lands in bucket 0, and values beyond the last finite bound land in the
+// overflow). Geometric bounds give constant *relative* resolution —
+// the right shape for response times, whose interesting range spans
+// orders of magnitude — at a fixed, small memory cost.
+//
+// Alongside the bucket counts the histogram keeps exact count/sum/min/
+// max accumulated in recording order, which is what lets the obs layer
+// reconcile bit-for-bit against the legacy RunStats aggregates computed
+// from the same observation stream. Quantiles are estimated by
+// log-linear interpolation inside the owning bucket and clamped to the
+// observed [min, max].
+//
+// Thread safety: record() and all readers take an internal mutex, so a
+// single Histogram may be shared between the runtime's trigger thread
+// and the metrics thread. The lock is uncontended in the common case
+// and held for a handful of arithmetic operations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace qes::obs {
+
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;  ///< finite bounds; overflow is implicit
+  std::vector<std::uint64_t> counts; ///< size = upper_bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty
+  double max = 0.0;  ///< 0 when empty
+
+  /// Quantile estimate (q in [0,1]): log-interpolated within the bucket
+  /// holding the ceil(q * count)-th observation, clamped to [min, max].
+  [[nodiscard]] double quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  /// `lo` is the first upper bound, `growth` > 1 the geometric ratio,
+  /// `buckets` the number of finite buckets (the +Inf overflow bucket is
+  /// added on top).
+  Histogram(double lo, double growth, std::size_t buckets);
+
+  /// Movable so bucket-scheme prototypes can be passed into
+  /// Registry::histogram(); the mutex is freshly constructed.
+  Histogram(Histogram&& other) noexcept;
+  Histogram& operator=(Histogram&&) = delete;
+
+  /// Default latency scheme: 1 ms .. ~8.9 s in 24 buckets (growth 1.5),
+  /// i.e. constant ~50% relative resolution.
+  [[nodiscard]] static Histogram latency_ms();
+
+  /// Default per-job quality scheme: 0.01 .. ~8.3 in 20 buckets
+  /// (growth 1.4); per-job quality is weight * f(p), typically <= weight.
+  [[nodiscard]] static Histogram quality();
+
+  void record(double value);
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> counts_;  // finite buckets + overflow
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace qes::obs

@@ -1,0 +1,238 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/assert.hpp"
+
+namespace qes::obs {
+
+namespace {
+
+// Shortest round-trip-safe rendering of a double (Prometheus and JSON
+// both accept plain decimal/exponent notation).
+std::string fmt_num(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that still round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char trial[64];
+    std::snprintf(trial, sizeof(trial), "%.*g", prec, v);
+    if (std::strtod(trial, nullptr) == v) return trial;
+  }
+  return buf;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Histogram bucket series needs the instrument labels merged with `le`.
+std::string label_block_with_le(const Labels& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) out += k + "=\"" + v + "\",";
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+}  // namespace
+
+Registry::Entry* Registry::find_entry(const std::string& name,
+                                      const Labels& labels, Kind kind) const {
+  for (const auto& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      QES_ASSERT_MSG(e->kind == kind,
+                     "metric re-registered with a different kind");
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_entry(name, labels, Kind::Counter)) return *e->counter;
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->labels = std::move(labels);
+  e->help = help;
+  e->kind = Kind::Counter;
+  e->counter = std::make_unique<Counter>();
+  Counter& out = *e->counter;
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_entry(name, labels, Kind::Gauge)) return *e->gauge;
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->labels = std::move(labels);
+  e->help = help;
+  e->kind = Kind::Gauge;
+  e->gauge = std::make_unique<Gauge>();
+  Gauge& out = *e->gauge;
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help, Labels labels,
+                               Histogram prototype) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_entry(name, labels, Kind::Histogram)) {
+    return *e->histogram;
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->labels = std::move(labels);
+  e->help = help;
+  e->kind = Kind::Histogram;
+  e->histogram = std::make_unique<Histogram>(std::move(prototype));
+  Histogram& out = *e->histogram;
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+const Counter* Registry::find_counter(const std::string& name,
+                                      const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = find_entry(name, labels, Kind::Counter);
+  return e ? e->counter.get() : nullptr;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name,
+                                  const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = find_entry(name, labels, Kind::Gauge);
+  return e ? e->gauge.get() : nullptr;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name,
+                                          const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = find_entry(name, labels, Kind::Histogram);
+  return e ? e->histogram.get() : nullptr;
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  // The exposition format requires every series of a family in one
+  // contiguous group, but labeled series register lazily in observation
+  // order — so walk families in first-seen order and gather their
+  // entries.
+  std::vector<std::string> families;
+  for (const auto& e : entries_) {
+    if (std::find(families.begin(), families.end(), e->name) ==
+        families.end()) {
+      families.push_back(e->name);
+    }
+  }
+  for (const std::string& family : families) {
+    bool first_of_family = true;
+    for (const auto& e : entries_) {
+      if (e->name != family) continue;
+      if (first_of_family) {
+        first_of_family = false;
+        if (!e->help.empty()) {
+          out += "# HELP " + e->name + " " + e->help + "\n";
+        }
+        out += "# TYPE " + e->name + " ";
+        out += e->kind == Kind::Counter ? "counter"
+               : e->kind == Kind::Gauge ? "gauge"
+                                        : "histogram";
+        out += "\n";
+      }
+      switch (e->kind) {
+      case Kind::Counter:
+        out += e->name + label_block(e->labels) + " " +
+               fmt_num(e->counter->value()) + "\n";
+        break;
+      case Kind::Gauge:
+        out += e->name + label_block(e->labels) + " " +
+               fmt_num(e->gauge->value()) + "\n";
+        break;
+      case Kind::Histogram: {
+        const HistogramSnapshot s = e->histogram->snapshot();
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < s.upper_bounds.size(); ++i) {
+          cum += s.counts[i];
+          out += e->name + "_bucket" +
+                 label_block_with_le(e->labels, fmt_num(s.upper_bounds[i])) +
+                 " " + std::to_string(cum) + "\n";
+        }
+        cum += s.counts.back();
+        out += e->name + "_bucket" + label_block_with_le(e->labels, "+Inf") +
+               " " + std::to_string(cum) + "\n";
+        out += e->name + "_sum" + label_block(e->labels) + " " +
+               fmt_num(s.sum) + "\n";
+        out += e->name + "_count" + label_block(e->labels) + " " +
+               std::to_string(s.count) + "\n";
+        break;
+      }
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& e : entries_) {
+    const std::string key =
+        "\"" + e->name +
+        (e->labels.empty() ? std::string()
+                           : label_block(e->labels)) +
+        "\"";
+    switch (e->kind) {
+      case Kind::Counter:
+        if (!counters.empty()) counters += ", ";
+        counters += key + ": " + fmt_num(e->counter->value());
+        break;
+      case Kind::Gauge:
+        if (!gauges.empty()) gauges += ", ";
+        gauges += key + ": " + fmt_num(e->gauge->value());
+        break;
+      case Kind::Histogram: {
+        const HistogramSnapshot s = e->histogram->snapshot();
+        if (!histograms.empty()) histograms += ", ";
+        std::string buckets;
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < s.upper_bounds.size(); ++i) {
+          cum += s.counts[i];
+          if (!buckets.empty()) buckets += ", ";
+          buckets += "[" + fmt_num(s.upper_bounds[i]) + ", " +
+                     std::to_string(cum) + "]";
+        }
+        histograms += key + ": {\"count\": " + std::to_string(s.count) +
+                      ", \"sum\": " + fmt_num(s.sum) +
+                      ", \"min\": " + fmt_num(s.min) +
+                      ", \"max\": " + fmt_num(s.max) +
+                      ", \"p50\": " + fmt_num(s.quantile(0.50)) +
+                      ", \"p95\": " + fmt_num(s.quantile(0.95)) +
+                      ", \"p99\": " + fmt_num(s.quantile(0.99)) +
+                      ", \"buckets\": [" + buckets + "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+}  // namespace qes::obs

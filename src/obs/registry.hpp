@@ -1,0 +1,119 @@
+// Metrics registry: named counters, gauges, and log-bucketed histograms
+// with text exposition in Prometheus format and JSON.
+//
+// Instruments are created once (typically at construction of the owning
+// component) and then recorded into from hot paths. Creation takes the
+// registry mutex; recording touches only the instrument itself — plain
+// atomics for counters/gauges, a short per-histogram mutex — so the
+// registry is cheap enough to leave enabled in production runs. Returned
+// instrument references stay valid for the registry's lifetime
+// (instruments are heap-allocated and never removed).
+//
+// Naming follows Prometheus conventions: snake_case with a unit suffix
+// (`qes_job_latency_ms`, `qesd_shed_total`). An instrument may carry a
+// fixed label set ({{"outcome","satisfied"}}); instruments sharing a
+// name must share a kind and are emitted as one metric family.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace qes::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(double delta) {
+    // fetch_add on atomic<double> needs C++20 + hardware support;
+    // a CAS loop is portable and the counter is nearly uncontended.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void inc() { add(1.0); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the instrument registered under (name, labels), creating it
+  /// on first use. Re-registering an existing (name, labels) pair with a
+  /// different kind aborts.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   Labels labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               Labels labels = {});
+  /// `prototype` supplies the bucket scheme on first registration (its
+  /// recorded state is ignored).
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       Labels labels = {},
+                       Histogram prototype = Histogram::latency_ms());
+
+  /// Looks up an existing instrument; nullptr when absent. Used by tests
+  /// and exposition consumers that must not create instruments.
+  [[nodiscard]] const Counter* find_counter(const std::string& name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name,
+                                        const Labels& labels = {}) const;
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name, const Labels& labels = {}) const;
+
+  /// Prometheus text exposition (HELP/TYPE lines, histogram buckets as
+  /// cumulative `le` series with a `+Inf` terminator, `_sum`/`_count`).
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// JSON exposition: {"counters": {...}, "gauges": {...},
+  /// "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
+  /// "p50":..,"p95":..,"p99":..,"buckets":[[le,count],...]}}}.
+  /// Label sets are folded into the key as name{k="v",...}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* find_entry(const std::string& name, const Labels& labels,
+                    Kind kind) const;
+
+  mutable std::mutex mu_;  // guards entries_ layout, not instrument state
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+}  // namespace qes::obs

@@ -1,0 +1,135 @@
+#include "obs/run_accumulator.hpp"
+
+#include <algorithm>
+
+#include "obs/registry.hpp"
+
+namespace qes::obs {
+
+RunAccumulator::RunAccumulator(Registry* registry, std::string prefix)
+    : registry_(registry), prefix_(std::move(prefix)) {
+  if (registry_ == nullptr) return;
+  // Register every instrument up front so the exposition carries the full
+  // schema (and a deterministic series order) even for outcomes that never
+  // occur in a given run — e.g. the latency histogram when no job is
+  // satisfied.
+  for (const char* outcome : {"satisfied", "partial", "zero"}) {
+    registry_->counter(prefix_ + "_jobs_total", "finalized jobs by outcome",
+                       {{"outcome", outcome}});
+  }
+  registry_->counter(prefix_ + "_jobs_discarded_rigid_total",
+                     "rigid (non-partial) jobs that missed their demand");
+  registry_->counter(prefix_ + "_quality_total",
+                     "sum of achieved job quality");
+  registry_->counter(prefix_ + "_quality_max_total",
+                     "sum of attainable job quality");
+  registry_->histogram(prefix_ + "_job_quality", "per-job achieved quality",
+                       {}, Histogram::quality());
+  registry_->histogram(prefix_ + "_job_latency_ms",
+                       "response time of satisfied jobs (ms)", {},
+                       Histogram::latency_ms());
+}
+
+void RunAccumulator::on_job(double quality, double max_quality,
+                            bool satisfied, bool got_volume,
+                            bool rigid_failed, Time latency_ms) {
+  ++stats_.jobs_total;
+  stats_.total_quality += quality;
+  stats_.max_quality += max_quality;
+  const char* outcome;
+  if (satisfied) {
+    ++stats_.jobs_satisfied;
+    outcome = "satisfied";
+    latency_sum_ += latency_ms;
+    latencies_.push_back(latency_ms);
+  } else if (got_volume) {
+    ++stats_.jobs_partial;
+    outcome = "partial";
+  } else {
+    ++stats_.jobs_zero;
+    outcome = "zero";
+  }
+  if (rigid_failed) ++stats_.jobs_discarded_rigid;
+
+  if (registry_ == nullptr) return;
+  registry_
+      ->counter(prefix_ + "_jobs_total", "finalized jobs by outcome",
+                {{"outcome", outcome}})
+      .inc();
+  if (rigid_failed) {
+    registry_
+        ->counter(prefix_ + "_jobs_discarded_rigid_total",
+                  "rigid (non-partial) jobs that missed their demand")
+        .inc();
+  }
+  registry_
+      ->counter(prefix_ + "_quality_total", "sum of achieved job quality")
+      .add(quality);
+  registry_
+      ->counter(prefix_ + "_quality_max_total",
+                "sum of attainable job quality")
+      .add(max_quality);
+  registry_
+      ->histogram(prefix_ + "_job_quality", "per-job achieved quality", {},
+                  Histogram::quality())
+      .record(quality);
+  if (satisfied) {
+    registry_
+        ->histogram(prefix_ + "_job_latency_ms",
+                    "response time of satisfied jobs (ms)", {},
+                    Histogram::latency_ms())
+        .record(latency_ms);
+  }
+}
+
+RunStats RunAccumulator::finish(Joules dynamic_energy, Joules static_energy,
+                                Watts peak_power, Time end_time,
+                                std::size_t replans) {
+  stats_.normalized_quality = stats_.max_quality > 0.0
+                                  ? stats_.total_quality / stats_.max_quality
+                                  : 0.0;
+  if (!latencies_.empty()) {
+    std::sort(latencies_.begin(), latencies_.end());
+    stats_.mean_latency =
+        latency_sum_ / static_cast<double>(latencies_.size());
+    // Nearest-rank percentiles, matching the engine's historical formula.
+    auto pct = [&](double p) {
+      const std::size_t idx = std::min(
+          latencies_.size() - 1,
+          static_cast<std::size_t>(p *
+                                   static_cast<double>(latencies_.size())));
+      return latencies_[idx];
+    };
+    stats_.p50_latency = pct(0.50);
+    stats_.p95_latency = pct(0.95);
+    stats_.p99_latency = pct(0.99);
+  }
+  stats_.dynamic_energy = dynamic_energy;
+  stats_.static_energy = static_energy;
+  stats_.peak_power = peak_power;
+  stats_.end_time = end_time;
+  stats_.replans = replans;
+
+  if (registry_ != nullptr) {
+    registry_
+        ->gauge(prefix_ + "_dynamic_energy_joules",
+                "integrated dynamic energy over the run")
+        .set(dynamic_energy);
+    registry_
+        ->gauge(prefix_ + "_static_energy_joules",
+                "static energy over the run")
+        .set(static_energy);
+    registry_
+        ->gauge(prefix_ + "_peak_power_watts",
+                "maximum instantaneous total power")
+        .set(peak_power);
+    registry_->gauge(prefix_ + "_end_time_ms", "end of the accounted window")
+        .set(end_time);
+    registry_
+        ->counter(prefix_ + "_replans_total", "scheduler invocations")
+        .add(static_cast<double>(replans));
+  }
+  return stats_;
+}
+
+}  // namespace qes::obs

@@ -1,0 +1,98 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "core/assert.hpp"
+
+namespace qes::obs {
+
+const char* to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::Release: return "release";
+    case TraceEvent::Kind::Shed: return "shed";
+    case TraceEvent::Kind::Assign: return "assign";
+    case TraceEvent::Kind::Exec: return "exec";
+    case TraceEvent::Kind::Finalize: return "finalize";
+    case TraceEvent::Kind::Replan: return "replan";
+  }
+  return "unknown";
+}
+
+std::string to_json(const TraceEvent& e) {
+  char buf[256];
+  switch (e.kind) {
+    case TraceEvent::Kind::Exec:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\": \"exec\", \"t\": %.3f, \"job\": %llu, "
+                    "\"core\": %d, \"t0\": %.3f, \"t1\": %.3f, "
+                    "\"speed\": %.6f}",
+                    e.t, static_cast<unsigned long long>(e.job), e.core,
+                    e.t0, e.t1, e.speed);
+      break;
+    case TraceEvent::Kind::Assign:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\": \"assign\", \"t\": %.3f, \"job\": %llu, "
+                    "\"core\": %d}",
+                    e.t, static_cast<unsigned long long>(e.job), e.core);
+      break;
+    case TraceEvent::Kind::Finalize:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\": \"finalize\", \"t\": %.3f, \"job\": %llu, "
+                    "\"quality\": %.6f}",
+                    e.t, static_cast<unsigned long long>(e.job), e.value);
+      break;
+    case TraceEvent::Kind::Replan:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\": \"replan\", \"t\": %.3f, \"waiting\": %.0f}",
+                    e.t, e.value);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf),
+                    "{\"kind\": \"%s\", \"t\": %.3f, \"job\": %llu}",
+                    to_string(e.kind), e.t,
+                    static_cast<unsigned long long>(e.job));
+      break;
+  }
+  return buf;
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  QES_ASSERT(capacity > 0);
+}
+
+void TraceRing::push(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRing::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out(events_.begin(), events_.end());
+  events_.clear();
+  return out;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRing::drain_jsonl() {
+  std::string out;
+  for (const TraceEvent& e : drain()) {
+    out += to_json(e);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qes::obs

@@ -1,0 +1,79 @@
+// Bounded per-job lifecycle trace ring.
+//
+// Both execution stacks emit the same event stream: a job is released
+// (sim arrival) or admitted/shed (runtime), assigned to a core, executed
+// in per-quantum (speed, [t0, t1]) slices, and finalized at its deadline
+// or completion; replans mark trigger firings. The ring is bounded — when
+// full, the oldest events are overwritten and counted as dropped — so
+// tracing is safe to leave on under heavy traffic. drain() empties the
+// ring in arrival order; to_jsonl() renders events one JSON object per
+// line (the schema is documented in docs/USAGE.md).
+//
+// Thread safety: push/drain/dropped take an internal mutex; producers
+// are the single-threaded engine or the runtime's trigger thread, so the
+// lock is effectively uncontended.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/time.hpp"
+
+namespace qes::obs {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    Release,   ///< job entered the system (sim arrival / runtime admit)
+    Shed,      ///< request rejected at admission (runtime only; job = 0)
+    Assign,    ///< job placed on a core
+    Exec,      ///< execution slice [t0, t1] at `speed` on `core`
+    Finalize,  ///< job left the system; value = quality
+    Replan,    ///< trigger fired; value = waiting-queue depth
+  };
+
+  Kind kind = Kind::Release;
+  Time t = 0.0;       ///< virtual/model time of the event
+  JobId job = 0;      ///< 0 when not job-scoped
+  int core = -1;      ///< -1 when not core-scoped
+  Time t0 = 0.0;      ///< Exec slice start
+  Time t1 = 0.0;      ///< Exec slice end
+  double speed = 0.0; ///< Exec slice speed (GHz)
+  double value = 0.0; ///< kind-specific payload (see Kind comments)
+};
+
+[[nodiscard]] const char* to_string(TraceEvent::Kind kind);
+
+/// One JSON object (single line, no trailing newline).
+[[nodiscard]] std::string to_json(const TraceEvent& e);
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void push(const TraceEvent& event);
+
+  /// Removes and returns all buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Drains the ring and renders one JSON object per line.
+  [[nodiscard]] std::string drain_jsonl();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace qes::obs

@@ -6,6 +6,8 @@
 
 #include "core/assert.hpp"
 #include "multicore/power_waterfill.hpp"
+#include "obs/run_accumulator.hpp"
+#include "obs/trace.hpp"
 #include "sched/online_qe.hpp"
 #include "sched/yds.hpp"
 
@@ -64,6 +66,11 @@ void RuntimeCore::submit(const Job& job) {
   }
   jobs_.push_back(JobRecord{.job = job});
   waiting_.push_back(job.id);
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->push({.kind = obs::TraceEvent::Kind::Release,
+                      .t = job.release,
+                      .job = job.id});
+  }
 }
 
 bool RuntimeCore::core_idle(int core) const {
@@ -84,6 +91,12 @@ void RuntimeCore::assign_to_core(JobId id, int core) {
   st.core = core;
   auto& q = cores_[static_cast<std::size_t>(core)].queue;
   q.insert(std::lower_bound(q.begin(), q.end(), id), id);
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->push({.kind = obs::TraceEvent::Kind::Assign,
+                      .t = now_,
+                      .job = id,
+                      .core = core});
+  }
 }
 
 void RuntimeCore::finalize(JobId id) {
@@ -112,6 +125,12 @@ void RuntimeCore::finalize(JobId id) {
   ++finalized_count_;
   if (st.satisfied) ++satisfied_count_;
   quality_sum_ += st.quality;
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->push({.kind = obs::TraceEvent::Kind::Finalize,
+                      .t = now_,
+                      .job = id,
+                      .value = st.quality});
+  }
 }
 
 void RuntimeCore::expire_due_jobs() {
@@ -170,6 +189,16 @@ void RuntimeCore::advance(Time target) {
         const Segment& s = c.plan[c.next_seg];
         total_power += cfg_.power_model.dynamic_power(s.speed);
         state(s.job).processed += s.speed * dt;
+        if (cfg_.trace != nullptr) {
+          cfg_.trace->push(
+              {.kind = obs::TraceEvent::Kind::Exec,
+               .t = now_,
+               .job = s.job,
+               .core = static_cast<int>(&c - cores_.data()),
+               .t0 = now_,
+               .t1 = step_end,
+               .speed = s.speed});
+        }
       }
       QES_ASSERT_MSG(total_power <= cfg_.power_budget * (1.0 + 1e-6) + 1e-6,
                      "instantaneous power exceeded the budget");
@@ -289,6 +318,11 @@ void RuntimeCore::install_with_rigid_check(int core, Speed max_speed) {
 
 void RuntimeCore::replan() {
   ++replans_;
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->push({.kind = obs::TraceEvent::Kind::Replan,
+                      .t = now_,
+                      .value = static_cast<double>(waiting_.size())});
+  }
   const int m = cfg_.cores;
 
   // Step 1: ready-job distribution (C-RR with the persistent cursor).
@@ -405,48 +439,18 @@ RunStats RuntimeCore::finish(Time end_time) {
   QES_ASSERT_MSG(all_finalized(), "finish() requires every job finalized");
   advance(std::max(end_time, now_));
 
-  RunStats s;
-  s.jobs_total = jobs_.size();
+  // Same shared accumulator as sim::Engine (src/obs/run_accumulator.hpp),
+  // under the runtime's "qesd" metric prefix.
+  obs::RunAccumulator acc(cfg_.registry, "qesd");
   for (const JobRecord& st : jobs_) {
-    s.total_quality += st.quality;
-    s.max_quality += st.job.weight * cfg_.quality(st.job.demand);
-    if (st.satisfied) {
-      ++s.jobs_satisfied;
-    } else if (st.processed > kEps) {
-      ++s.jobs_partial;
-    } else {
-      ++s.jobs_zero;
-    }
-    if (!st.job.partial_ok && !st.satisfied) ++s.jobs_discarded_rigid;
+    acc.on_job(st.quality, st.job.weight * cfg_.quality(st.job.demand),
+               st.satisfied, st.processed > kEps,
+               !st.job.partial_ok && !st.satisfied,
+               st.finalized_at - st.job.release);
   }
-  s.normalized_quality =
-      s.max_quality > 0.0 ? s.total_quality / s.max_quality : 0.0;
-  std::vector<Time> latencies;
-  latencies.reserve(s.jobs_satisfied);
-  for (const JobRecord& st : jobs_) {
-    if (st.satisfied) latencies.push_back(st.finalized_at - st.job.release);
-  }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    Time sum = 0.0;
-    for (Time l : latencies) sum += l;
-    s.mean_latency = sum / static_cast<double>(latencies.size());
-    auto pct = [&](double p) {
-      const std::size_t idx = std::min(
-          latencies.size() - 1,
-          static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
-      return latencies[idx];
-    };
-    s.p50_latency = pct(0.50);
-    s.p95_latency = pct(0.95);
-    s.p99_latency = pct(0.99);
-  }
-  s.dynamic_energy = dynamic_energy_;
-  s.static_energy = cfg_.cores * cfg_.power_model.b * now_ / 1000.0;
-  s.peak_power = peak_power_;
-  s.end_time = now_;
-  s.replans = replans_;
-  return s;
+  return acc.finish(dynamic_energy_,
+                    cfg_.cores * cfg_.power_model.b * now_ / 1000.0,
+                    peak_power_, now_, replans_);
 }
 
 }  // namespace qes::runtime

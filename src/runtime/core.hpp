@@ -29,6 +29,11 @@
 #include "multicore/crr.hpp"
 #include "sim/metrics.hpp"
 
+namespace qes::obs {
+class Registry;
+class TraceRing;
+}  // namespace qes::obs
+
 namespace qes::runtime {
 
 struct RuntimeConfig {
@@ -43,6 +48,11 @@ struct RuntimeConfig {
   bool idle_trigger = true;
   /// Hardware cap on any core's speed (GHz).
   Speed max_core_speed = std::numeric_limits<double>::infinity();
+  /// Optional observability hooks (not owned). When set, finish()
+  /// mirrors the run aggregates into `registry` under the "qesd" prefix
+  /// and lifecycle events are pushed into `trace` (see src/obs/).
+  obs::Registry* registry = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
 /// Runtime-side view of one admitted job (mirrors sim::JobState).

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace qes::runtime {
 
@@ -34,7 +35,9 @@ Server::Server(ServerConfig config)
     : cfg_(std::move(config)),
       clock_(cfg_.time_scale),
       admission_(cfg_.admission_capacity),
-      core_(cfg_.model),
+      // Point the model at the server-owned registry before RuntimeCore
+      // copies its config (registry_ is declared ahead of core_).
+      core_((cfg_.model.registry = &registry_, cfg_.model)),
       plans_(static_cast<std::size_t>(cfg_.model.cores)),
       current_job_(static_cast<std::size_t>(cfg_.model.cores)),
       worker_stats_(static_cast<std::size_t>(cfg_.model.cores)) {
@@ -63,6 +66,14 @@ bool Server::submit(const Request& request,
   QES_ASSERT(request.demand > 0.0 && request.weight > 0.0);
   if (admission_.push(request, timeout)) return true;
   shed_.fetch_add(1, std::memory_order_relaxed);
+  registry_
+      .counter("qesd_shed_total",
+               "requests rejected at admission (queue full or draining)")
+      .inc();
+  if (cfg_.model.trace != nullptr) {
+    cfg_.model.trace->push(
+        {.kind = obs::TraceEvent::Kind::Shed, .t = clock_.now()});
+  }
   return false;
 }
 
@@ -94,6 +105,10 @@ void Server::publish_plans() {
 void Server::process_tick() {
   std::vector<Request> batch;
   const Time vnow = clock_.now();
+  registry_
+      .gauge("qesd_admission_queue_depth",
+             "admission queue occupancy at the last trigger tick")
+      .set(static_cast<double>(admission_.size()));
   std::lock_guard<std::mutex> lock(mu_);
   // Drained under mu_ so drain_and_stop() can never observe an empty
   // queue while a batch is still waiting to be admitted.
@@ -110,8 +125,16 @@ void Server::process_tick() {
     core_.submit(j);
   }
   if (core_.check_triggers()) {
+    const auto t0 = VirtualClock::WallClock::now();
     core_.replan();
     publish_plans();
+    const std::chrono::duration<double, std::milli> dt =
+        VirtualClock::WallClock::now() - t0;
+    registry_
+        .histogram("qesd_replan_publish_ms",
+                   "wall time to replan and publish all core plans (ms)", {},
+                   obs::Histogram(0.001, 2.0, 24))
+        .record(dt.count());
   }
 }
 
@@ -226,6 +249,18 @@ MetricsSnapshot Server::snapshot() const {
 
 void Server::take_snapshot() {
   const MetricsSnapshot s = snapshot();
+  registry_.gauge("qesd_virtual_time_ms", "current virtual time")
+      .set(s.t_virtual_ms);
+  registry_
+      .gauge("qesd_planned_power_watts",
+             "instantaneous dynamic power implied by the installed plans")
+      .set(s.planned_power_w);
+  registry_
+      .gauge("qesd_live_dynamic_energy_joules",
+             "dynamic energy integrated so far")
+      .set(s.dynamic_energy_j);
+  registry_.gauge("qesd_busy_workers", "workers holding an active job")
+      .set(static_cast<double>(s.busy_workers));
   std::lock_guard<std::mutex> lock(snap_mu_);
   snapshots_.push_back(s);
 }
@@ -246,8 +281,8 @@ void Server::metrics_loop() {
 RunStats Server::drain_and_stop() {
   QES_ASSERT_MSG(started_, "drain_and_stop() requires start()");
   if (stopped_) {
-    std::lock_guard<std::mutex> lock(mu_);
-    return core_.finish(core_.horizon());
+    QES_ASSERT(final_stats_valid_);
+    return final_stats_;
   }
   admission_.close();
   // Serve out the tail: the trigger thread keeps advancing virtual time,
@@ -272,7 +307,9 @@ RunStats Server::drain_and_stop() {
   threads_.clear();
   stopped_ = true;
   std::lock_guard<std::mutex> lock(mu_);
-  return core_.finish(core_.horizon());
+  final_stats_ = core_.finish(core_.horizon());
+  final_stats_valid_ = true;
+  return final_stats_;
 }
 
 const std::vector<MetricsSnapshot>& Server::snapshots() const {

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/core.hpp"
 #include "runtime/mpmc_queue.hpp"
@@ -125,6 +126,13 @@ class Server {
   [[nodiscard]] const std::vector<MetricsSnapshot>& snapshots() const;
   [[nodiscard]] const std::vector<WorkerStats>& worker_stats() const;
 
+  /// The server-owned metrics registry ("qesd" prefix): live server
+  /// instruments (queue depth, shed, replan-publish latency, power and
+  /// energy gauges) plus RuntimeCore's end-of-run aggregates. Safe to
+  /// render (to_prometheus()/to_json()) from any thread at any time.
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+
  private:
   struct PlanSnapshot {
     Schedule plan;
@@ -155,8 +163,16 @@ class Server {
   VirtualClock clock_;
   BoundedMpmcQueue<Request> admission_;
 
+  // Declared before core_: the constructor points cfg_.model.registry at
+  // it so RuntimeCore::finish() mirrors its aggregates here.
+  obs::Registry registry_;
+
   mutable std::mutex mu_;  // guards core_
   RuntimeCore core_;
+  // finish() records into the registry, so it must run exactly once;
+  // drain_and_stop() caches its result for repeat callers.
+  bool final_stats_valid_ = false;
+  RunStats final_stats_;
 
   std::vector<PlanSlot> plans_;
   std::atomic<std::uint64_t> plan_gen_{0};

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/run_accumulator.hpp"
+#include "obs/trace.hpp"
+
 namespace qes {
 
 namespace {
@@ -63,6 +66,12 @@ void Engine::assign_to_core(JobId id, int core) {
   waiting_.erase(it);
   st.phase = JobState::Phase::Assigned;
   st.core = core;
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->push({.kind = obs::TraceEvent::Kind::Assign,
+                      .t = now_,
+                      .job = id,
+                      .core = core});
+  }
   // Keep the queue in id (== arrival == deadline) order; rebalanced jobs
   // may slot in ahead of later arrivals.
   auto& q = cores_[static_cast<std::size_t>(core)].queue;
@@ -140,6 +149,12 @@ void Engine::finalize(JobId id, bool force_zero_quality) {
   st.phase = JobState::Phase::Finalized;
   st.finalized_at = now_;
   ++finalized_count_;
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->push({.kind = obs::TraceEvent::Kind::Finalize,
+                      .t = now_,
+                      .job = id,
+                      .value = st.quality});
+  }
 }
 
 void Engine::expire_due_jobs() {
@@ -184,6 +199,15 @@ void Engine::advance_to(Time target) {
           state(s.job).processed += s.speed * dt;
           if (cfg_.record_execution) {
             result_.executed[i].push({now_, step_end, s.job, s.speed});
+          }
+          if (cfg_.trace != nullptr) {
+            cfg_.trace->push({.kind = obs::TraceEvent::Kind::Exec,
+                              .t = now_,
+                              .job = s.job,
+                              .core = static_cast<int>(i),
+                              .t0 = now_,
+                              .t1 = step_end,
+                              .speed = s.speed});
           }
         } else {
           total_power += c.idle_power;
@@ -264,6 +288,11 @@ RunResult Engine::run() {
     while (next_arrival_ < n &&
            jobs_[next_arrival_].job.release <= now_ + kEps) {
       waiting_.push_back(jobs_[next_arrival_].job.id);
+      if (cfg_.trace != nullptr) {
+        cfg_.trace->push({.kind = obs::TraceEvent::Kind::Release,
+                          .t = now_,
+                          .job = jobs_[next_arrival_].job.id});
+      }
       ++next_arrival_;
     }
 
@@ -290,6 +319,11 @@ RunResult Engine::run() {
 
     if (replan) {
       result_.replan_times.push_back(now_);
+      if (cfg_.trace != nullptr) {
+        cfg_.trace->push({.kind = obs::TraceEvent::Kind::Replan,
+                          .t = now_,
+                          .value = static_cast<double>(waiting_.size())});
+      }
       policy_->replan(*this);
     }
   }
@@ -298,50 +332,20 @@ RunResult Engine::run() {
   // runs from r_1 to d_n (matters for No-DVFS, whose cores never sleep).
   advance_to(final_deadline);
 
-  RunStats& s = result_.stats;
-  s.jobs_total = n;
+  // End-of-run aggregation, shared with the runtime (src/obs/). Jobs are
+  // fed in id order so registry-mirrored histogram totals reconcile
+  // exactly with the RunStats aggregates.
+  obs::RunAccumulator acc(cfg_.registry, "qes_sim");
   for (const JobState& st : jobs_) {
-    s.total_quality += st.quality;
-    s.max_quality += st.job.weight * cfg_.quality(st.job.demand);
-    if (st.satisfied) {
-      ++s.jobs_satisfied;
-    } else if (st.processed > kEps) {
-      ++s.jobs_partial;
-    } else {
-      ++s.jobs_zero;
-    }
-    if (!st.job.partial_ok && !st.satisfied) ++s.jobs_discarded_rigid;
+    acc.on_job(st.quality, st.job.weight * cfg_.quality(st.job.demand),
+               st.satisfied, st.processed > kEps,
+               !st.job.partial_ok && !st.satisfied,
+               st.finalized_at - st.job.release);
   }
-  s.normalized_quality = s.max_quality > 0.0
-                             ? s.total_quality / s.max_quality
-                             : 0.0;
-  // Tail latency over satisfied jobs.
-  std::vector<Time> latencies;
-  latencies.reserve(s.jobs_satisfied);
-  for (const JobState& st : jobs_) {
-    if (st.satisfied) latencies.push_back(st.finalized_at - st.job.release);
-  }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    Time sum = 0.0;
-    for (Time l : latencies) sum += l;
-    s.mean_latency = sum / static_cast<double>(latencies.size());
-    auto pct = [&](double p) {
-      const std::size_t idx = std::min(
-          latencies.size() - 1,
-          static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
-      return latencies[idx];
-    };
-    s.p50_latency = pct(0.50);
-    s.p95_latency = pct(0.95);
-    s.p99_latency = pct(0.99);
-  }
-  s.dynamic_energy = dynamic_energy_;
-  s.static_energy =
-      cfg_.cores * cfg_.power_model.b * final_deadline / 1000.0;
-  s.peak_power = peak_power_;
-  s.end_time = final_deadline;
-  s.replans = result_.replan_times.size();
+  result_.stats = acc.finish(
+      dynamic_energy_,
+      cfg_.cores * cfg_.power_model.b * final_deadline / 1000.0,
+      peak_power_, final_deadline, result_.replan_times.size());
   result_.jobs = jobs_;
   return std::move(result_);
 }

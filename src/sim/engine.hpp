@@ -33,6 +33,11 @@
 #include "core/schedule.hpp"
 #include "sim/metrics.hpp"
 
+namespace qes::obs {
+class Registry;
+class TraceRing;
+}  // namespace qes::obs
+
 namespace qes {
 
 struct EngineConfig {
@@ -67,6 +72,11 @@ struct EngineConfig {
   /// Record the executed per-core schedules in the RunResult (needed by
   /// the validation replay; costs memory on long runs).
   bool record_execution = true;
+  /// Optional observability hooks (not owned). When set, end-of-run
+  /// aggregates are mirrored into `registry` under the "qes_sim" prefix
+  /// and lifecycle events are pushed into `trace` (see src/obs/).
+  obs::Registry* registry = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
 class Engine;

@@ -221,6 +221,54 @@ TEST_P(WaterfillPropertyTest, MonotoneInCapacity) {
   }
 }
 
+TEST_P(WaterfillPropertyTest, SumNeverExceedsBudget) {
+  // The defining budget property: allocations sum to at most C on every
+  // random instance, including with baselines and zero/tiny budgets.
+  Xoshiro256 rng(GetParam() ^ 0xB0D6E7ULL);
+  for (int rep = 0; rep < 50; ++rep) {
+    const std::size_t n = 1 + rng.uniform_index(20);
+    std::vector<Work> caps, base;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Work w = rng.uniform(0.5, 250.0);
+      caps.push_back(w);
+      base.push_back(rng.bernoulli(0.5) ? rng.uniform(0.0, w) : 0.0);
+    }
+    const Work C = rng.bernoulli(0.1) ? 0.0 : rng.uniform(0.0, 800.0);
+    auto r = waterfill_volumes(caps, base, C);
+    const Work used =
+        std::accumulate(r.alloc.begin(), r.alloc.end(), Work{0.0});
+    EXPECT_LE(used, C + 1e-6);
+    EXPECT_NEAR(used, r.used, 1e-6);
+  }
+}
+
+TEST_P(WaterfillPropertyTest, PerItemAllocationMonotoneInBudget) {
+  // Raising the budget never takes volume away from any single item —
+  // stronger than the aggregate monotonicity of `used` above: the DES
+  // power distribution relies on it so that a larger H can only speed
+  // cores up.
+  Xoshiro256 rng(GetParam() ^ 0xCAFEULL);
+  for (int rep = 0; rep < 20; ++rep) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    std::vector<Work> caps;
+    Work total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      caps.push_back(rng.uniform(5.0, 150.0));
+      total += caps.back();
+    }
+    std::vector<Work> prev(n, 0.0);
+    for (double frac = 0.0; frac <= 1.25; frac += 0.05) {
+      auto r = waterfill_volumes(caps, total * frac);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_GE(r.alloc[i], prev[i] - 1e-7)
+            << "item " << i << " lost volume when C grew to "
+            << total * frac;
+        prev[i] = r.alloc[i];
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, WaterfillPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 

@@ -54,6 +54,49 @@ TEST(Crr, LongRunBalanceIsPerfect) {
   EXPECT_LE(hi - lo, 1);
 }
 
+TEST(Crr, CountImbalanceStaysWithinOneAfterEveryCall) {
+  // The invariant must hold at every prefix of the call sequence, not
+  // just in the long run: after any batch, per-core assignment counts
+  // differ by at most 1 for any core count and any batch-size pattern.
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t cores = 1 + rng.uniform_index(12);
+    CumulativeRoundRobin crr(cores);
+    std::vector<int> counts(cores, 0);
+    for (int call = 0; call < 80; ++call) {
+      for (std::size_t core : crr.distribute(rng.uniform_index(9))) {
+        ASSERT_LT(core, cores);
+        ++counts[core];
+      }
+      const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+      ASSERT_LE(*hi - *lo, 1)
+          << "cores=" << cores << " after call " << call;
+    }
+  }
+}
+
+TEST(Crr, EqualDemandLoadImbalanceBoundedByOneJobDemand) {
+  // With equal-demand jobs the count invariant translates directly into
+  // a load bound: cumulative per-core load never differs by more than
+  // the demand of a single job — the paper's argument for why C-RR keeps
+  // queues balanced under trickling arrivals.
+  Xoshiro256 rng(78);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t cores = 2 + rng.uniform_index(6);
+    const double demand = rng.uniform(10.0, 500.0);
+    CumulativeRoundRobin crr(cores);
+    std::vector<double> load(cores, 0.0);
+    for (int call = 0; call < 120; ++call) {
+      for (std::size_t core : crr.distribute(rng.uniform_index(5))) {
+        load[core] += demand;
+      }
+      const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+      ASSERT_LE(*hi - *lo, demand + 1e-9)
+          << "cores=" << cores << " after call " << call;
+    }
+  }
+}
+
 TEST(Crr, PlainRoundRobinIsImbalancedUnderSmallBatches) {
   // Plain RR restarts at core 0 every call: batches of 1 all land on
   // core 0, the pathology C-RR fixes.

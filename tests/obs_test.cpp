@@ -1,0 +1,268 @@
+// Unit tests of the observability layer: log-bucketed histograms, the
+// metrics registry with its two expositions, and the bounded trace ring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prng.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace qes::obs {
+namespace {
+
+// ---- Histogram ----
+
+TEST(Histogram, GeometricBoundsAndBucketPlacement) {
+  Histogram h(1.0, 2.0, 4);  // bounds 1, 2, 4, 8 (+Inf overflow)
+  h.record(0.5);   // <= 1 -> bucket 0
+  h.record(1.0);   // == bound -> bucket 0 (le semantics)
+  h.record(3.0);   // bucket 2
+  h.record(100.0); // overflow
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.upper_bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.upper_bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.upper_bounds[3], 8.0);
+  ASSERT_EQ(s.counts.size(), 5u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 0u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 0u);
+  EXPECT_EQ(s.counts[4], 1u);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 104.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(Histogram, ExactCountAndSumMatchRecordingOrder) {
+  Histogram h = Histogram::latency_ms();
+  double expect_sum = 0.0;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.exponential(0.02);
+    expect_sum += v;
+    h.record(v);
+  }
+  // Bitwise equality: the histogram accumulates its sum in the same
+  // order as the reference loop above.
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), expect_sum);
+}
+
+TEST(Histogram, QuantilesMonotoneAndWithinObservedRange) {
+  Histogram h = Histogram::latency_ms();
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 5000; ++i) h.record(1.0 + rng.exponential(0.01));
+  const HistogramSnapshot s = h.snapshot();
+  double prev = s.min;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = s.quantile(q);
+    EXPECT_GE(v, s.min);
+    EXPECT_LE(v, s.max);
+    EXPECT_GE(v, prev - 1e-12) << "quantile not monotone at q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, QuantileDegenerateCases) {
+  Histogram empty(1.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(empty.snapshot().quantile(0.5), 0.0);
+
+  Histogram one(1.0, 2.0, 4);
+  one.record(3.0);
+  const HistogramSnapshot s = one.snapshot();
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileApproximatesTrueRankOnGeometricGrid) {
+  // With many samples the log-interpolated quantile should land within
+  // one bucket (50% relative error) of the empirical quantile.
+  Histogram h = Histogram::latency_ms();
+  std::vector<double> vals;
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = 1.0 + rng.exponential(0.005);
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  const HistogramSnapshot s = h.snapshot();
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double truth = vals[static_cast<std::size_t>(
+        q * static_cast<double>(vals.size() - 1))];
+    const double est = s.quantile(q);
+    EXPECT_GT(est, truth / 1.6) << "q=" << q;
+    EXPECT_LT(est, truth * 1.6) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  Histogram h(1.0, 2.0, 8);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(2.0);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h.sum(), 2.0 * kThreads * kPerThread);
+}
+
+// ---- Registry ----
+
+TEST(Registry, CounterGaugeRoundTrip) {
+  Registry reg;
+  Counter& c = reg.counter("qes_test_total", "help text");
+  c.inc();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Same (name, labels) returns the same instrument.
+  EXPECT_EQ(&reg.counter("qes_test_total"), &c);
+
+  Gauge& g = reg.gauge("qes_test_gauge");
+  g.set(-7.0);
+  EXPECT_DOUBLE_EQ(g.value(), -7.0);
+
+  EXPECT_EQ(reg.find_counter("qes_test_total"), &c);
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_gauge("qes_test_gauge"), &g);
+}
+
+TEST(Registry, LabeledSeriesAreDistinct) {
+  Registry reg;
+  Counter& a = reg.counter("jobs_total", "", {{"outcome", "satisfied"}});
+  Counter& b = reg.counter("jobs_total", "", {{"outcome", "zero"}});
+  EXPECT_NE(&a, &b);
+  a.add(3);
+  b.add(1);
+  EXPECT_DOUBLE_EQ(
+      reg.find_counter("jobs_total", {{"outcome", "satisfied"}})->value(),
+      3.0);
+}
+
+TEST(Registry, PrometheusExpositionShapeAndFamilyGrouping) {
+  Registry reg;
+  reg.counter("f_total", "a family", {{"k", "x"}}).inc();
+  reg.gauge("g", "a gauge").set(1.5);
+  // Interleave registration so grouping is actually exercised.
+  reg.counter("f_total", "a family", {{"k", "y"}}).add(2);
+  Histogram& h =
+      reg.histogram("lat_ms", "latency", {}, Histogram(1.0, 2.0, 2));
+  h.record(0.5);
+  h.record(3.0);
+
+  const std::string text = reg.to_prometheus();
+  // HELP/TYPE emitted once per family, series contiguous.
+  EXPECT_NE(text.find("# HELP f_total a family\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE f_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("f_total{k=\"x\"} 1\nf_total{k=\"y\"} 2\n"),
+            std::string::npos)
+      << text;
+  // Histogram: cumulative buckets, +Inf terminator, _sum and _count.
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 2\n"), std::string::npos);
+  // Exactly one TYPE line per family.
+  std::size_t type_lines = 0;
+  for (std::size_t p = text.find("# TYPE f_total");
+       p != std::string::npos; p = text.find("# TYPE f_total", p + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(Registry, JsonExpositionShape) {
+  Registry reg;
+  reg.counter("c_total").add(4);
+  reg.gauge("g").set(0.25);
+  Histogram& h = reg.histogram("h_ms", "", {}, Histogram(1.0, 2.0, 2));
+  h.record(1.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\": {\"c_total\": 4}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"g\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"h_ms\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [[1, 0], [2, 1]]"), std::string::npos)
+      << json;
+}
+
+TEST(Registry, NumbersRoundTripThroughExposition) {
+  Registry reg;
+  const double v = 312.54195082281461;  // needs 17 significant digits? no:
+  reg.gauge("g").set(v);
+  const std::string text = reg.to_prometheus();
+  const std::size_t pos = text.find("\ng ");
+  ASSERT_NE(pos, std::string::npos);
+  const double parsed = std::stod(text.substr(pos + 3));
+  EXPECT_EQ(parsed, v);  // shortest round-trip formatting is lossless
+}
+
+// ---- TraceRing ----
+
+TEST(TraceRing, BoundedWithDropAccounting) {
+  TraceRing ring(3);
+  for (int i = 1; i <= 5; ++i) {
+    ring.push({.kind = TraceEvent::Kind::Release,
+               .t = static_cast<double>(i),
+               .job = static_cast<JobId>(i)});
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const std::vector<TraceEvent> evs = ring.drain();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs.front().job, 3u);  // oldest two were overwritten
+  EXPECT_EQ(evs.back().job, 5u);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(TraceRing, JsonlRendersOneObjectPerLine) {
+  TraceRing ring(16);
+  ring.push({.kind = TraceEvent::Kind::Release, .t = 1.0, .job = 1});
+  ring.push({.kind = TraceEvent::Kind::Assign, .t = 2.0, .job = 1, .core = 3});
+  ring.push({.kind = TraceEvent::Kind::Exec,
+             .t = 2.0,
+             .job = 1,
+             .core = 3,
+             .t0 = 2.0,
+             .t1 = 4.5,
+             .speed = 1.25});
+  ring.push({.kind = TraceEvent::Kind::Finalize,
+             .t = 4.5,
+             .job = 1,
+             .value = 0.75});
+  ring.push({.kind = TraceEvent::Kind::Replan, .t = 5.0, .value = 4.0});
+  const std::string jsonl = ring.drain_jsonl();
+  std::istringstream in(jsonl);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "{\"kind\": \"release\", \"t\": 1.000, \"job\": 1}");
+  EXPECT_EQ(lines[1],
+            "{\"kind\": \"assign\", \"t\": 2.000, \"job\": 1, \"core\": 3}");
+  EXPECT_NE(lines[2].find("\"kind\": \"exec\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"speed\": 1.250000"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"quality\": 0.750000"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"waiting\": 4"), std::string::npos);
+  // Every line is a braced object.
+  for (const std::string& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+  }
+}
+
+}  // namespace
+}  // namespace qes::obs

@@ -13,8 +13,12 @@
 
 #include "core/prng.hpp"
 #include "core/quality.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "obs/registry.hpp"
+#include "sched/qe_opt.hpp"
 #include "sched/quality_opt.hpp"
 #include "sched/yds.hpp"
+#include "sim/engine.hpp"
 #include "test_util.hpp"
 
 namespace qes {
@@ -153,6 +157,73 @@ TEST_P(OptimalityTest, YdsNoPairwiseSpeedSwapReducesEnergy) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityTest,
                          ::testing::Values(71u, 72u, 73u, 74u));
+
+// ---- Online vs offline differential ----------------------------------
+//
+// The engine driving Online-QE on a single core is an *online* feasible
+// schedule at the budget-supported speed, so its executed volume vector
+// lies inside the feasibility polytope above; QE-OPT maximizes the
+// concave quality sum over that polytope. Hence on every trace:
+// online quality <= offline-optimal quality, and the instantaneous power
+// cap bounds the integrated energy by H * T. With a registry attached
+// the mirrored histograms must reconcile exactly with the RunStats of
+// the same run (the obs layer is a pure observer).
+
+class OnlineOfflineDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineOfflineDifferentialTest,
+       OnlineQeBoundedByQeOptOnRandomTraces) {
+  // 60 traces per seed instance, 4 instances => 240 random traces.
+  Xoshiro256 rng(GetParam() ^ 0xD1FFULL);
+  for (int rep = 0; rep < 60; ++rep) {
+    const std::size_t n = 4 + rng.uniform_index(12);
+    const Time horizon = rng.uniform(300.0, 900.0);
+    const Time window = rng.uniform(80.0, 250.0);
+    std::vector<Job> jobs =
+        test::random_agreeable_jobs(rng, n, horizon, window);
+    // The engine wants dense ids 1..n in arrival order; the generator
+    // numbers before sorting by release.
+    for (std::size_t k = 0; k < jobs.size(); ++k) jobs[k].id = k + 1;
+    const Watts H = rng.uniform(10.0, 60.0);
+
+    EngineConfig cfg;
+    cfg.cores = 1;
+    cfg.power_budget = H;
+    cfg.record_execution = false;
+    obs::Registry reg;
+    cfg.registry = &reg;
+    Engine engine(cfg, jobs, make_des_policy());
+    const RunStats s = engine.run().stats;
+    ASSERT_EQ(s.jobs_total, jobs.size());
+
+    const Speed smax = cfg.power_model.speed_for_power(H);
+    const auto opt = qe_opt_schedule(AgreeableJobSet(jobs), smax);
+    const double opt_q = total_quality(opt.volumes, cfg.quality);
+    EXPECT_LE(s.total_quality, opt_q + 1e-6)
+        << "online beat the offline optimum (seed=" << GetParam()
+        << " rep=" << rep << ")";
+
+    // Energy within the budget over the accounted window, and the cap
+    // held instant by instant.
+    EXPECT_LE(s.peak_power, H * (1.0 + 1e-9) + 1e-9);
+    EXPECT_LE(s.dynamic_energy,
+              H * s.end_time / 1000.0 * (1.0 + 1e-9) + 1e-9);
+
+    // Obs reconciliation: histogram totals match the aggregates exactly.
+    const obs::Histogram* hq = reg.find_histogram("qes_sim_job_quality");
+    const obs::Histogram* hl =
+        reg.find_histogram("qes_sim_job_latency_ms");
+    ASSERT_NE(hq, nullptr);
+    ASSERT_NE(hl, nullptr);
+    EXPECT_EQ(hq->count(), s.jobs_total);
+    EXPECT_EQ(hq->sum(), s.total_quality);  // bitwise
+    EXPECT_EQ(hl->count(), s.jobs_satisfied);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineOfflineDifferentialTest,
+                         ::testing::Values(211u, 212u, 213u, 214u));
 
 }  // namespace
 }  // namespace qes

@@ -5,6 +5,7 @@
 #include "core/prng.hpp"
 #include "multicore/baseline_scheduler.hpp"
 #include "multicore/des_scheduler.hpp"
+#include "obs/registry.hpp"
 #include "sim/experiment.hpp"
 
 namespace qes {
@@ -89,8 +90,10 @@ class EngineFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(EngineFuzzTest, InvariantsHoldOnRandomConfigurations) {
   Xoshiro256 rng(GetParam());
   for (int rep = 0; rep < 8; ++rep) {
-    const FuzzCase fc = random_case(rng);
+    FuzzCase fc = random_case(rng);
     SCOPED_TRACE(fc.label);
+    obs::Registry reg;
+    fc.cfg.registry = &reg;
     const RunStats s = run_once(fc.cfg, fc.wl, fc.factory);
     // Quality bounded and jobs conserved.
     EXPECT_GE(s.normalized_quality, 0.0);
@@ -106,6 +109,25 @@ TEST_P(EngineFuzzTest, InvariantsHoldOnRandomConfigurations) {
     // Something actually happened.
     EXPECT_GT(s.jobs_total, 0u);
     EXPECT_GT(s.replans, 0u);
+    // The mirrored obs instruments reconcile exactly with the run's
+    // aggregates on every random configuration, not just happy paths.
+    const obs::Histogram* hq = reg.find_histogram("qes_sim_job_quality");
+    const obs::Histogram* hl = reg.find_histogram("qes_sim_job_latency_ms");
+    ASSERT_NE(hq, nullptr);
+    ASSERT_NE(hl, nullptr);
+    EXPECT_EQ(hq->count(), s.jobs_total);
+    EXPECT_EQ(hq->sum(), s.total_quality);  // bitwise: same order
+    EXPECT_EQ(hl->count(), s.jobs_satisfied);
+    auto outcome = [&](const char* o) {
+      const obs::Counter* c =
+          reg.find_counter("qes_sim_jobs_total", {{"outcome", o}});
+      return c == nullptr ? 0.0 : c->value();
+    };
+    EXPECT_DOUBLE_EQ(outcome("satisfied") + outcome("partial") +
+                         outcome("zero"),
+                     static_cast<double>(s.jobs_total));
+    EXPECT_DOUBLE_EQ(reg.find_counter("qes_sim_replans_total")->value(),
+                     static_cast<double>(s.replans));
   }
 }
 

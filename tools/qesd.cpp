@@ -11,12 +11,16 @@
 // runtime core in lockstep and reports how closely they agree (exit 1
 // when they do not).
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "cli/options.hpp"
+#include "obs/trace.hpp"
 #include "runtime/conformance.hpp"
 #include "runtime/server.hpp"
 #include "workload/demand.hpp"
@@ -25,6 +29,14 @@
 namespace {
 
 using namespace qes;
+
+// SIGUSR1 requests a /metrics-style dump of the obs registry; the
+// handler only flips a flag, a watcher thread does the printing.
+std::atomic<bool> g_dump_requested{false};
+
+extern "C" void handle_dump_signal(int) {
+  g_dump_requested.store(true, std::memory_order_relaxed);
+}
 
 runtime::RuntimeConfig make_runtime_config(const cli::Options& opt) {
   runtime::RuntimeConfig rc;
@@ -93,8 +105,26 @@ int run_live(const cli::Options& opt) {
   sc.time_scale = opt.time_scale;
   sc.deadline_ms = opt.workload.deadline_ms;
   sc.metrics_interval_ms = opt.metrics_interval_ms;
+  std::unique_ptr<obs::TraceRing> trace;
+  if (opt.trace_out) {
+    trace = std::make_unique<obs::TraceRing>(1u << 20);
+    sc.model.trace = trace.get();
+  }
   runtime::Server server(sc);
   server.start();
+
+  // kill -USR1 <pid> dumps the registry in Prometheus text at any time.
+  std::signal(SIGUSR1, handle_dump_signal);
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher([&server, &watcher_stop] {
+    while (!watcher_stop.load(std::memory_order_acquire)) {
+      if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
+        std::fputs(server.registry().to_prometheus().c_str(), stdout);
+        std::fflush(stdout);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
 
   const Time duration_ms = opt.duration_s * 1000.0;
   std::vector<std::thread> producers;
@@ -105,11 +135,30 @@ int run_live(const cli::Options& opt) {
   }
   for (std::thread& t : producers) t.join();
   const RunStats stats = server.drain_and_stop();
+  watcher_stop.store(true, std::memory_order_release);
+  watcher.join();
 
   for (const runtime::MetricsSnapshot& s : server.snapshots()) {
     std::printf("snapshot %s\n", s.to_json().c_str());
   }
   std::printf("final %s\n", stats_to_json(stats).c_str());
+  if (opt.metrics_format == "prom") {
+    std::fputs(server.registry().to_prometheus().c_str(), stdout);
+  }
+  if (trace) {
+    std::FILE* f = std::fopen(opt.trace_out->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "qesd: cannot open %s\n", opt.trace_out->c_str());
+      return 1;
+    }
+    const std::uint64_t dropped = trace->dropped();
+    std::fputs(trace->drain_jsonl().c_str(), f);
+    std::fclose(f);
+    if (dropped > 0) {
+      std::fprintf(stderr, "qesd: trace ring dropped %llu events\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+  }
   double busy_ms = 0.0;
   std::uint64_t slices = 0;
   for (const runtime::WorkerStats& w : server.worker_stats()) {
