@@ -6,6 +6,7 @@
 #
 #   $ scripts/ci_sanitize.sh                     # both sanitizers, all tests
 #   $ scripts/ci_sanitize.sh -L obs              # both, obs+runtime suite only
+#   $ scripts/ci_sanitize.sh -L cluster          # both, multi-node cluster suite
 #   $ scripts/ci_sanitize.sh thread              # just TSan
 #   $ scripts/ci_sanitize.sh address -R runtime  # one sanitizer + ctest args
 set -euo pipefail

@@ -168,6 +168,32 @@ Options parse_options(const std::vector<std::string>& args) {
         fail("--metrics-format: expected json or prom, got '" +
              opt.metrics_format + "'");
       }
+    } else if (a == "--nodes") {
+      opt.nodes = to_int(a, need_value(i, a));
+      if (opt.nodes <= 0) fail("--nodes: must be positive");
+    } else if (a == "--total-budget") {
+      opt.total_budget = to_double(a, need_value(i, a));
+      if (opt.total_budget <= 0.0) fail("--total-budget: must be positive");
+    } else if (a == "--dispatch") {
+      opt.dispatch = need_value(i, a);
+      if (opt.dispatch != "crr" && opt.dispatch != "jsq" &&
+          opt.dispatch != "p2c") {
+        fail("--dispatch: expected crr, jsq, or p2c, got '" + opt.dispatch +
+             "'");
+      }
+    } else if (a == "--broker-period-ms") {
+      opt.broker_period_ms = to_double(a, need_value(i, a));
+      if (opt.broker_period_ms <= 0.0) {
+        fail("--broker-period-ms: must be positive");
+      }
+    } else if (a == "--kill-node") {
+      opt.kill_node = to_int(a, need_value(i, a));
+      if (opt.kill_node < 0) fail("--kill-node: must be >= 0");
+    } else if (a == "--kill-at-s") {
+      opt.kill_at_s = to_double(a, need_value(i, a));
+      if (opt.kill_at_s <= 0.0) fail("--kill-at-s: must be positive");
+    } else if (a == "--compare-dispatch") {
+      opt.compare_dispatch = true;
     } else if (a == "--trace-in") {
       opt.trace_in = need_value(i, a);
     } else if (a == "--trace-out") {
@@ -188,6 +214,12 @@ Options parse_options(const std::vector<std::string>& args) {
   }
   if (opt.little_cores > opt.engine.cores) {
     fail("--little: more little cores than cores");
+  }
+  if ((opt.kill_node >= 0) != (opt.kill_at_s > 0.0)) {
+    fail("--kill-node and --kill-at-s must be given together");
+  }
+  if (opt.kill_node >= opt.nodes) {
+    fail("--kill-node: node index out of range");
   }
   return opt;
 }
@@ -241,6 +273,21 @@ qesd runtime driver (ignored by qes_sim):
                               Prometheus text format
   --trace-out FILE            (qesd) write the job lifecycle trace as
                               JSONL instead of saving a workload CSV
+  --seed N        (1)         also seeds the qesd/qes_cluster Poisson
+                              producers (producer p draws from stream
+                              seed + 1000003*(p+1)); same seed + rate
+                              + duration => same offered traffic
+
+qes_cluster driver (ignored by qes_sim and qesd):
+  --nodes N       (2)         in-process server shards
+  --total-budget W            global budget H water-filled across nodes
+                              (default: nodes * --budget)
+  --dispatch crr|jsq|p2c      routing policy (cluster C-RR default)
+  --broker-period-ms MS (20)  budget re-water-fill cadence
+  --kill-node I --kill-at-s S fault injection: node I dies at S virtual
+                              seconds (both flags required together)
+  --compare-dispatch          run crr, jsq, and p2c on identical traffic
+                              and print a comparison table
 )";
 }
 

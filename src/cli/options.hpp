@@ -61,6 +61,22 @@ struct Options {
   /// (Prometheus text, qesd only).
   std::string metrics_format = "json";
 
+  // qes_cluster driver (ignored by qes_sim and qesd).
+  /// Number of in-process server shards.
+  int nodes = 2;
+  /// Global power budget H water-filled across the nodes; <= 0 means
+  /// nodes * engine.power_budget.
+  double total_budget = -1.0;
+  /// Dispatch policy: "crr", "jsq", or "p2c".
+  std::string dispatch = "crr";
+  /// Broker re-water-fill cadence (wall ms live, virtual ms in replay).
+  double broker_period_ms = 20.0;
+  /// Fault injection: kill this node at --kill-at-s (both or neither).
+  int kill_node = -1;
+  double kill_at_s = -1.0;
+  /// Run every dispatch policy on the same traffic and print a table.
+  bool compare_dispatch = false;
+
   bool json = false;
   bool help = false;
 };

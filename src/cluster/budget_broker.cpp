@@ -1,0 +1,57 @@
+#include "cluster/budget_broker.hpp"
+
+#include <span>
+
+#include "alloc/waterfill.hpp"
+#include "core/assert.hpp"
+
+namespace qes::cluster {
+
+BudgetBroker::BudgetBroker(Watts total_budget, Time period_ms)
+    : total_budget_(total_budget), period_ms_(period_ms) {
+  QES_ASSERT(total_budget > 0.0 && period_ms > 0.0);
+}
+
+BrokerSplit broker_split(const std::vector<Watts>& demands,
+                         Watts total_budget) {
+  QES_ASSERT(total_budget > 0.0 && !demands.empty());
+  const std::size_t n = demands.size();
+
+  std::vector<std::size_t> live;
+  std::vector<Work> caps;
+  live.reserve(n);
+  caps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (demands[i] < 0.0) continue;  // dead node
+    live.push_back(i);
+    caps.push_back(demands[i]);
+  }
+  QES_ASSERT_MSG(!live.empty(), "broker_split needs at least one live node");
+
+  // Level 1 of the hierarchy: water-fill H across the live nodes'
+  // demands — the same primitive the per-node replan uses across cores.
+  const WaterfillResult wf =
+      waterfill_volumes(std::span<const Work>(caps), total_budget);
+
+  BrokerSplit out;
+  out.filled.assign(n, 0.0);
+  out.budgets.assign(n, 0.0);
+  Watts used = 0.0;
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    out.filled[live[k]] = wf.alloc[k];
+    used += wf.alloc[k];
+  }
+  // Unclaimed headroom goes back in equal shares so Σ budgets == H:
+  // slack stays usable between broker periods, and an N=1 cluster runs
+  // at exactly H. Equal shares keep the split monotone in each node's
+  // own demand (WF share is monotone; the surplus term only shrinks by
+  // the amount every node's shrinks).
+  const Watts surplus =
+      (total_budget - used) / static_cast<double>(live.size());
+  for (std::size_t i : live) {
+    out.budgets[i] = out.filled[i] + std::max(surplus, 0.0);
+  }
+  return out;
+}
+
+}  // namespace qes::cluster

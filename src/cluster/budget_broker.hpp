@@ -1,0 +1,72 @@
+// BudgetBroker: hierarchical water-filling of the global power budget.
+//
+// The paper splits one server's budget H across its cores by
+// water-filling the per-core power requests (§IV-C); Vaze & Nair show
+// the same structure is optimal for splitting a *sum* power constraint
+// across servers. So the cluster runs WF twice: the broker water-fills
+// H across nodes from their reported budget-free power requests
+// (RuntimeCore::power_request()), and each node's own replan
+// water-fills its slice across cores. The node demand is the exact
+// quantity its next replan would compute as `total_request`, so a node
+// whose slice covers its demand plans exactly as it would standalone.
+//
+// Two invariants the property tests pin down (tests/cluster_broker_test):
+//
+//   conservation  Σ filled == min(H, Σ demand)   (from alloc/waterfill)
+//   monotonicity  a node's budget never decreases when only its own
+//                 demand grows (fairness: reporting more load never
+//                 costs you power)
+//
+// The headroom H − Σ filled is handed back in equal shares, so the live
+// budgets always sum to exactly H: a node hit by a load spike between
+// broker periods can use slack the others did not claim, and an N=1
+// cluster always runs at budget H — which is what makes the N=1
+// lockstep conformance against a standalone server *exact*.
+//
+// A saturated split (zero headroom) can hand an idle live node exactly
+// 0 W; the owners floor the *applied* budget at a negligible positive
+// trickle, because a live RuntimeCore requires budget > 0 and may be
+// routed work before the next decision. The split itself stays pure.
+#pragma once
+
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace qes::cluster {
+
+/// One broker decision. `filled` is the raw water-fill allocation
+/// (Σ == min(H, Σ demand)); `budgets` adds the equal-share headroom
+/// (Σ == H across live nodes). Dead nodes (negative demand) get zero in
+/// both.
+struct BrokerSplit {
+  std::vector<Watts> filled;
+  std::vector<Watts> budgets;
+};
+
+/// Splits `total_budget` across nodes from their reported demands.
+/// demands[i] < 0 marks node i dead (allocated zero); at least one node
+/// must be live.
+[[nodiscard]] BrokerSplit broker_split(const std::vector<Watts>& demands,
+                                       Watts total_budget);
+
+/// The periodic re-water-filling policy: holds the global budget H and
+/// the cadence; the owner (cluster::Cluster live, cluster lockstep in
+/// sim) supplies the clock and the demand reports.
+class BudgetBroker {
+ public:
+  BudgetBroker(Watts total_budget, Time period_ms);
+
+  [[nodiscard]] BrokerSplit split(const std::vector<Watts>& demands) const {
+    return broker_split(demands, total_budget_);
+  }
+
+  [[nodiscard]] Watts total_budget() const { return total_budget_; }
+  [[nodiscard]] Time period_ms() const { return period_ms_; }
+
+ private:
+  Watts total_budget_;
+  Time period_ms_;
+};
+
+}  // namespace qes::cluster

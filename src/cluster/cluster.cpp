@@ -1,0 +1,254 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/assert.hpp"
+
+namespace qes::cluster {
+
+namespace {
+
+// Budget pushes below this are skipped (no forced replan on the node);
+// absorbs the broker's surplus-arithmetic fp noise.
+constexpr double kBudgetTol = 1e-9;
+
+// A saturated split can hand an idle live node exactly 0 W, but a live
+// node must keep a positive budget (RuntimeCore requires it, and the
+// node may receive work before the next broker period). The applied
+// budget is floored at a negligible trickle; the logged decision stays
+// the pure water-fill split.
+constexpr Watts kMinLiveBudget = 1e-9;
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : cfg_(std::move(config)),
+      broker_(cfg_.total_budget, cfg_.broker_period_wall_ms),
+      dispatcher_(static_cast<std::size_t>(std::max(cfg_.nodes, 1)),
+                  cfg_.dispatch, cfg_.dispatch_seed) {
+  QES_ASSERT(cfg_.nodes >= 1 && cfg_.total_budget > 0.0 &&
+             cfg_.broker_period_wall_ms > 0.0);
+  const Watts share = cfg_.total_budget / static_cast<double>(cfg_.nodes);
+  nodes_.resize(static_cast<std::size_t>(cfg_.nodes));
+  killed_stats_.resize(nodes_.size());
+  killed_.assign(nodes_.size(), false);
+  for (Node& n : nodes_) {
+    runtime::ServerConfig sc = cfg_.node;
+    sc.model.power_budget = share;
+    n.server = std::make_unique<runtime::Server>(std::move(sc));
+    n.budget = share;
+  }
+}
+
+Cluster::~Cluster() {
+  if (started_ && !stopped_) (void)drain_and_stop();
+}
+
+void Cluster::start() {
+  QES_ASSERT_MSG(!started_, "start() may be called once");
+  started_ = true;
+  for (Node& n : nodes_) n.server->start();
+  broker_thread_ = std::thread([this] { broker_loop(); });
+}
+
+std::vector<double> Cluster::depths_locked() const {
+  std::vector<double> d(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].state != NodeState::Live) {
+      d[i] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    // The routing signal the nodes already export: the admission
+    // queue-depth gauge, refreshed by each node's trigger tick.
+    const obs::Gauge* g = nodes_[i].server->registry().find_gauge(
+        "qesd_admission_queue_depth");
+    d[i] = g != nullptr ? g->value() : 0.0;
+  }
+  return d;
+}
+
+bool Cluster::submit(const runtime::Request& request) {
+  int target = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = dispatcher_.route(depths_locked());
+    if (target < 0) {
+      route_shed_.fetch_add(1, std::memory_order_relaxed);
+      registry_
+          .counter("qes_cluster_route_shed_total",
+                   "requests with no routable node")
+          .inc();
+      return false;
+    }
+  }
+  // Push outside the cluster mutex: the node's own backpressure (and
+  // shed accounting) applies. A node killed between route and push just
+  // sheds the request at its closed admission queue.
+  return nodes_[static_cast<std::size_t>(target)].server->submit(
+      request, cfg_.submit_timeout);
+}
+
+void Cluster::drain_node(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QES_ASSERT(node >= 0 && node < cfg_.nodes);
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.state == NodeState::Live) n.state = NodeState::Draining;
+}
+
+void Cluster::kill_node(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QES_ASSERT(node >= 0 && node < cfg_.nodes);
+  const std::size_t k = static_cast<std::size_t>(node);
+  Node& victim = nodes_[k];
+  if (victim.state == NodeState::Dead) return;
+  victim.state = NodeState::Dead;
+  runtime::Server::KillReport report = victim.server->kill();
+  killed_[k] = true;
+  killed_stats_[k] = report.stats;
+
+  // Re-dispatch the orphans: abandoned jobs re-enter as fresh requests
+  // with their remaining demand (the destination stamps a fresh
+  // deadline at admission), never-admitted queued requests go verbatim.
+  auto redispatch = [&](const runtime::Request& r) {
+    const int j = dispatcher_.route(depths_locked());
+    if (j < 0) {
+      ++redistribute_shed_;
+      registry_
+          .counter("qes_cluster_redistribute_shed_total",
+                   "kill-orphaned work with no surviving node")
+          .inc();
+      return;
+    }
+    ++redistributed_;
+    registry_
+        .counter("qes_cluster_redistributed_total",
+                 "kill-orphaned work re-dispatched to a survivor")
+        .inc();
+    // A full destination queue sheds at the destination (its counter).
+    (void)nodes_[static_cast<std::size_t>(j)].server->submit(
+        r, cfg_.submit_timeout);
+  };
+  for (const runtime::AbandonedJob& ab : report.abandoned) {
+    redispatch(runtime::Request{.demand = ab.remaining,
+                                .partial_ok = ab.partial_ok,
+                                .weight = ab.weight});
+  }
+  for (const runtime::Request& r : report.pending) redispatch(r);
+
+  // The dead node's budget share is re-water-filled immediately — the
+  // cluster reconverges within one broker period of the fault.
+  broker_tick_locked();
+}
+
+void Cluster::broker_tick_locked() {
+  const std::size_t nn = nodes_.size();
+  std::vector<Watts> demands(nn);
+  std::size_t live = 0;
+  Time t = 0.0;
+  for (std::size_t i = 0; i < nn; ++i) {
+    if (nodes_[i].state == NodeState::Dead) {
+      demands[i] = -1.0;
+      continue;
+    }
+    demands[i] = nodes_[i].server->power_request();
+    t = std::max(t, nodes_[i].server->now());
+    ++live;
+  }
+  if (live == 0) return;
+  const BrokerSplit split = broker_.split(demands);
+
+  for (std::size_t i = 0; i < nn; ++i) {
+    const obs::Labels label{{"node", std::to_string(i)}};
+    registry_
+        .gauge("qes_cluster_node_demand_watts",
+               "budget-free power request reported by the node", label)
+        .set(std::max(demands[i], 0.0));
+    registry_
+        .gauge("qes_cluster_node_budget_watts",
+               "power budget the broker granted the node", label)
+        .set(split.budgets[i]);
+    if (nodes_[i].state == NodeState::Dead) continue;
+    const Watts granted = std::max(split.budgets[i], kMinLiveBudget);
+    if (std::fabs(granted - nodes_[i].budget) > kBudgetTol) {
+      nodes_[i].budget = granted;
+      nodes_[i].server->set_power_budget(granted);
+    }
+  }
+  // Sample only after every node holds its new budget: Σ budgets == H
+  // and each node plans within its own budget, so Σ planned <= H.
+  Watts planned = 0.0;
+  for (std::size_t i = 0; i < nn; ++i) {
+    if (nodes_[i].state == NodeState::Dead) continue;
+    planned += nodes_[i].server->snapshot().planned_power_w;
+  }
+  max_cluster_power_ = std::max(max_cluster_power_, planned);
+  registry_
+      .gauge("qes_cluster_planned_power_watts",
+             "instantaneous planned power summed over live nodes")
+      .set(planned);
+  registry_.gauge("qes_cluster_live_nodes", "nodes accepting budget")
+      .set(static_cast<double>(live));
+  broker_log_.push_back({t, split.budgets});
+}
+
+void Cluster::broker_loop() {
+  const auto period = std::chrono::duration<double, std::milli>(
+      cfg_.broker_period_wall_ms);
+  while (!stop_broker_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(broker_wake_mu_);
+      broker_wake_cv_.wait_for(lock, period, [this] {
+        return stop_broker_.load(std::memory_order_acquire);
+      });
+    }
+    if (stop_broker_.load(std::memory_order_acquire)) break;
+    std::lock_guard<std::mutex> lock(mu_);
+    broker_tick_locked();
+  }
+}
+
+ClusterRunStats Cluster::drain_and_stop() {
+  QES_ASSERT_MSG(started_, "drain_and_stop() requires start()");
+  if (stopped_) return final_;
+  {
+    std::lock_guard<std::mutex> lock(broker_wake_mu_);
+    stop_broker_.store(true, std::memory_order_release);
+  }
+  broker_wake_cv_.notify_all();
+  if (broker_thread_.joinable()) broker_thread_.join();
+
+  ClusterRunStats out;
+  out.node_stats.resize(nodes_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out.node_stats[i] = killed_[i] ? killed_stats_[i]
+                                   : nodes_[i].server->drain_and_stop();
+    out.node_shed += nodes_[i].server->shed();
+  }
+  out.killed = killed_;
+  out.route_shed = route_shed_.load(std::memory_order_relaxed);
+  out.redistributed = redistributed_;
+  out.redistribute_shed = redistribute_shed_;
+  out.max_cluster_power = max_cluster_power_;
+  out.broker_log = broker_log_;
+  finalize_aggregates(out);
+  stopped_ = true;
+  final_ = out;
+  return out;
+}
+
+Time Cluster::now() const {
+  Time t = 0.0;
+  for (const Node& n : nodes_) t = std::max(t, n.server->now());
+  return t;
+}
+
+const runtime::Server& Cluster::node_server(int node) const {
+  QES_ASSERT(node >= 0 && node < cfg_.nodes);
+  return *nodes_[static_cast<std::size_t>(node)].server;
+}
+
+}  // namespace qes::cluster

@@ -1,0 +1,233 @@
+#include "cluster/lockstep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/assert.hpp"
+
+namespace qes::cluster {
+
+namespace {
+
+constexpr double kEps = kTimeEps;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Budget changes below this are ignored (no forced replan): it absorbs
+// the fp noise of the broker's surplus arithmetic, so an N=1 cluster —
+// whose split is exactly H every tick — never replans off-schedule.
+constexpr double kBudgetTol = 1e-9;
+
+// Applied-budget floor for live nodes: a saturated split gives an idle
+// node 0 W, but RuntimeCore requires a positive budget (and the node
+// may be routed work before the next broker decision). Never active for
+// N=1, where the split is always exactly H.
+constexpr Watts kMinLiveBudget = 1e-9;
+
+}  // namespace
+
+ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
+                                     std::vector<Job> jobs,
+                                     std::vector<NodeKill> kills) {
+  QES_ASSERT(config.nodes >= 1 && config.total_budget > 0.0 &&
+             config.broker_period_ms > 0.0 &&
+             config.redispatch_deadline_ms > 0.0);
+  const std::size_t nn = static_cast<std::size_t>(config.nodes);
+  sort_by_release(jobs);
+  QES_ASSERT_MSG(deadlines_agreeable(jobs),
+                 "cluster replay requires agreeable deadlines");
+  QES_ASSERT(std::is_sorted(
+      kills.begin(), kills.end(),
+      [](const NodeKill& a, const NodeKill& b) { return a.t < b.t; }));
+
+  // Every node starts at the broker's zero-demand split: an equal share
+  // of H (== H exactly for N=1, matching a standalone run_lockstep).
+  runtime::RuntimeConfig node_cfg = config.node;
+  node_cfg.power_budget = config.total_budget / static_cast<double>(nn);
+  std::vector<runtime::RuntimeCore> cores;
+  cores.reserve(nn);
+  for (std::size_t i = 0; i < nn; ++i) cores.emplace_back(node_cfg);
+
+  std::vector<bool> dead(nn, false);
+  std::vector<Watts> budget(nn, node_cfg.power_budget);
+  Dispatcher dispatcher(nn, config.dispatch, config.dispatch_seed);
+  BudgetBroker broker(config.total_budget, config.broker_period_ms);
+
+  ClusterRunStats out;
+  out.node_stats.resize(nn);
+  out.killed.assign(nn, false);
+
+  // Routing signal: live jobs on the node (what the obs queue-depth
+  // gauges report live); infinite depth marks a dead node unroutable.
+  auto depths = [&] {
+    std::vector<double> d(nn);
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (dead[i]) {
+        d[i] = kInf;
+      } else {
+        const runtime::CoreCounters c = cores[i].counters();
+        d[i] = static_cast<double>(c.waiting + c.assigned);
+      }
+    }
+    return d;
+  };
+
+  auto sample_cluster_power = [&] {
+    Watts total = 0.0;
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (!dead[i]) total += cores[i].counters().planned_power;
+    }
+    out.max_cluster_power = std::max(out.max_cluster_power, total);
+  };
+
+  // One broker decision: re-water-fill H from the nodes' budget-free
+  // power requests. Budget-only — never advances a node's clock. A node
+  // whose budget changed replans immediately (mandatory on decrease so
+  // installed plans never exceed the new bound).
+  auto apply_broker = [&](Time t) {
+    std::vector<Watts> demands(nn);
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < nn; ++i) {
+      demands[i] = dead[i] ? -1.0 : cores[i].power_request();
+      if (!dead[i]) ++live;
+    }
+    if (live == 0) return;
+    const BrokerSplit split = broker.split(demands);
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (dead[i]) continue;
+      const Watts granted = std::max(split.budgets[i], kMinLiveBudget);
+      if (std::fabs(granted - budget[i]) > kBudgetTol) {
+        budget[i] = granted;
+        cores[i].set_power_budget(granted);
+        cores[i].replan();
+      }
+    }
+    out.broker_log.push_back({t, split.budgets});
+    sample_cluster_power();
+  };
+
+  auto all_done = [&] {
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (!dead[i] && !cores[i].all_finalized()) return false;
+    }
+    return true;
+  };
+
+  // A live node's own event menu — identical to run_lockstep's.
+  auto node_event = [&](std::size_t i) {
+    Time ev = kInf;
+    if (node_cfg.quantum_ms > 0.0) ev = std::min(ev, cores[i].next_quantum());
+    ev = std::min(ev, cores[i].earliest_live_deadline());
+    ev = std::min(ev, cores[i].next_plan_event());
+    return ev;
+  };
+
+  const std::size_t n = jobs.size();
+  const Time final_deadline = jobs.empty() ? 0.0 : jobs.back().deadline;
+  std::size_t next = 0;
+  std::size_t kill_idx = 0;
+  Time next_broker = config.broker_period_ms;
+  apply_broker(0.0);  // log the initial equal split
+
+  while (next < n || !all_done()) {
+    Time t_nodes = kInf;
+    if (next < n) t_nodes = std::min(t_nodes, jobs[next].release);
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (!dead[i]) t_nodes = std::min(t_nodes, node_event(i));
+    }
+    const Time t_kill = kill_idx < kills.size() ? kills[kill_idx].t : kInf;
+    const Time t = std::min({t_nodes, t_kill, next_broker});
+    QES_ASSERT_MSG(std::isfinite(t), "cluster event loop stalled");
+
+    if (t_kill <= t + kEps) {
+      const int k = kills[kill_idx].node;
+      ++kill_idx;
+      QES_ASSERT(k >= 0 && static_cast<std::size_t>(k) < nn);
+      if (dead[static_cast<std::size_t>(k)]) continue;
+      const std::size_t ks = static_cast<std::size_t>(k);
+      runtime::RuntimeCore& victim = cores[ks];
+      victim.advance(std::max(t_kill, victim.now()));
+      const std::vector<runtime::AbandonedJob> orphans =
+          victim.abandon_unfinalized();
+      out.node_stats[ks] = victim.finish(victim.now());
+      dead[ks] = true;
+      out.killed[ks] = true;
+      // Orphans become fresh admissions on the survivors: release now,
+      // deadline pushed out by the redispatch window (bumped up to the
+      // destination's last deadline to stay agreeable).
+      std::vector<bool> touched(nn, false);
+      for (const runtime::AbandonedJob& ab : orphans) {
+        const int j = dispatcher.route(depths());
+        if (j < 0) {
+          ++out.redistribute_shed;
+          continue;
+        }
+        ++out.redistributed;
+        runtime::RuntimeCore& dst = cores[static_cast<std::size_t>(j)];
+        dst.advance(std::max(t_kill, dst.now()));
+        Job nj;
+        nj.id = dst.admitted() + 1;
+        nj.release = dst.now();
+        nj.deadline =
+            std::max(t_kill + config.redispatch_deadline_ms, dst.horizon());
+        nj.demand = ab.remaining;
+        nj.partial_ok = ab.partial_ok;
+        nj.weight = ab.weight;
+        dst.submit(nj);
+        touched[static_cast<std::size_t>(j)] = true;
+      }
+      for (std::size_t i = 0; i < nn; ++i) {
+        if (touched[i] && cores[i].check_triggers()) cores[i].replan();
+      }
+      // The dead node's budget is redistributed immediately — the
+      // broker reconverges within one period by construction.
+      apply_broker(t_kill);
+      continue;
+    }
+
+    if (next_broker <= t + kEps) {
+      apply_broker(next_broker);
+      next_broker += config.broker_period_ms;
+      continue;
+    }
+
+    // Normal node event(s) and/or arrivals at t — each involved node
+    // performs exactly run_lockstep's advance/submit/trigger sequence.
+    std::vector<bool> touched(nn, false);
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (!dead[i] && node_event(i) <= t + kEps) {
+        cores[i].advance(std::max(t, cores[i].now()));
+        touched[i] = true;
+      }
+    }
+    while (next < n && jobs[next].release <= t + kEps) {
+      const int j = dispatcher.route(depths());
+      if (j < 0) {
+        ++out.route_shed;
+        ++next;
+        continue;
+      }
+      runtime::RuntimeCore& dst = cores[static_cast<std::size_t>(j)];
+      dst.advance(std::max(t, dst.now()));
+      touched[static_cast<std::size_t>(j)] = true;
+      Job nj = jobs[next];
+      nj.id = dst.admitted() + 1;
+      dst.submit(nj);
+      ++next;
+    }
+    for (std::size_t i = 0; i < nn; ++i) {
+      if (touched[i] && cores[i].check_triggers()) cores[i].replan();
+    }
+  }
+
+  for (std::size_t i = 0; i < nn; ++i) {
+    if (dead[i]) continue;
+    out.node_stats[i] =
+        cores[i].finish(std::max(final_deadline, cores[i].horizon()));
+  }
+
+  finalize_aggregates(out);
+  return out;
+}
+
+}  // namespace qes::cluster

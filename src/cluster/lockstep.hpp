@@ -1,0 +1,63 @@
+// Deterministic cluster replay: N RuntimeCores, one Dispatcher, one
+// BudgetBroker, driven by a single merged event loop — the cluster
+// analogue of runtime::run_lockstep (PR-1's conformance harness).
+//
+// The event menu per node is exactly the single-node one (arrivals
+// routed to it, quantum firings, deadline expiries, plan-segment
+// boundaries); the cluster adds broker ticks and kill events. Broker
+// ticks are budget-only: they never advance a node's clock, so they
+// cannot split a node's energy integral. Combined with the broker
+// handing an N=1 cluster exactly H every period (no budget change → no
+// forced replan), an N=1 cluster performs the *bitwise identical*
+// sequence of advance/submit/replan operations as run_lockstep — which
+// is what the cluster conformance test pins down.
+//
+// A kill at time t advances the victim to t, freezes its accounting
+// (work finalized there stays there), re-dispatches the abandoned
+// remainders to the survivors as fresh admissions (release t, deadline
+// at least t + redispatch_deadline_ms, bumped to keep per-node
+// deadlines agreeable), and immediately re-water-fills H across the
+// survivors — so the budget reconverges within one broker period by
+// construction, and Σ live budgets == H at every instant, which is what
+// bounds total cluster power by H (each RuntimeCore asserts its own
+// budget at every advance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/budget_broker.hpp"
+#include "cluster/dispatch.hpp"
+#include "cluster/stats.hpp"
+#include "core/job.hpp"
+#include "runtime/core.hpp"
+
+namespace qes::cluster {
+
+struct LockstepClusterConfig {
+  /// Per-node model; power_budget is ignored (the broker owns it).
+  runtime::RuntimeConfig node;
+  int nodes = 2;
+  /// Global power budget H split across nodes by the broker.
+  Watts total_budget = 640.0;
+  Time broker_period_ms = 20.0;
+  /// Relative deadline stamped on re-dispatched (kill-orphaned) jobs.
+  Time redispatch_deadline_ms = 150.0;
+  DispatchPolicy dispatch = DispatchPolicy::CRR;
+  std::uint64_t dispatch_seed = 1;
+};
+
+/// Fault injection: node `node` dies at virtual time `t`.
+struct NodeKill {
+  Time t = 0.0;
+  int node = 0;
+};
+
+/// Replays `jobs` (dense ids 1..n in arrival order, agreeable deadlines)
+/// through the cluster. `kills` must be sorted by time; a kill after the
+/// run drains is a no-op. Killing every node sheds the remaining work.
+[[nodiscard]] ClusterRunStats run_cluster_lockstep(
+    const LockstepClusterConfig& config, std::vector<Job> jobs,
+    std::vector<NodeKill> kills = {});
+
+}  // namespace qes::cluster

@@ -1,0 +1,65 @@
+// Cluster-level run statistics: per-node RunStats plus the aggregates
+// and cluster-only accounting (routing sheds, kill redistribution, the
+// broker decision log). Shared by the deterministic lockstep replay
+// (lockstep.hpp) and the live multi-threaded cluster (cluster.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "sim/metrics.hpp"
+
+namespace qes::cluster {
+
+struct ClusterRunStats {
+  std::vector<RunStats> node_stats;
+  std::vector<bool> killed;
+
+  // Cluster aggregates, filled by finalize_aggregates() (sums over
+  // nodes unless noted).
+  double total_quality = 0.0;
+  double max_quality = 0.0;
+  double normalized_quality = 0.0;  ///< total / max
+  Joules dynamic_energy = 0.0;
+  Joules static_energy = 0.0;
+  Watts peak_node_power = 0.0;  ///< max over nodes of per-node peak
+  Time end_time = 0.0;          ///< max over nodes
+  std::size_t jobs_total = 0;
+  std::size_t jobs_satisfied = 0;
+  std::size_t jobs_partial = 0;
+  std::size_t jobs_zero = 0;
+  std::size_t jobs_discarded_rigid = 0;
+  std::size_t replans = 0;
+
+  // Cluster-level accounting. Conservation, with K submitted requests
+  // (lockstep; the live cluster adds per-node admission sheds):
+  //   K == route_shed + redistribute_shed [+ Σ node shed] + Σ jobs_total
+  // — every request lands in exactly one node's statistics or is shed.
+  std::size_t route_shed = 0;         ///< arrivals with no routable node
+  std::size_t redistributed = 0;      ///< kill-orphans re-dispatched
+  std::size_t redistribute_shed = 0;  ///< kill-orphans with no survivor
+  std::size_t node_shed = 0;          ///< Σ per-node admission sheds (live)
+
+  /// Total planned cluster power sampled at every broker decision;
+  /// bounded by H (each node's advance asserts its own budget).
+  Watts max_cluster_power = 0.0;
+
+  /// Every broker decision (initial split, periodic ticks, kill
+  /// re-splits), in time order. budgets[i] == 0 for dead nodes.
+  struct BrokerDecision {
+    Time t = 0.0;
+    std::vector<Watts> budgets;
+  };
+  std::vector<BrokerDecision> broker_log;
+};
+
+/// Recomputes the aggregate fields from node_stats.
+void finalize_aggregates(ClusterRunStats& stats);
+
+/// One-line JSON rendering: cluster aggregates plus a per-node array of
+/// stats_to_json objects.
+[[nodiscard]] std::string cluster_stats_to_json(const ClusterRunStats& stats);
+
+}  // namespace qes::cluster

@@ -26,12 +26,28 @@ std::string fmt_num(double v) {
   return buf;
 }
 
+// Prometheus text format: label values escape backslash, double-quote,
+// and newline.
+std::string prom_label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string label_block(const Labels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i > 0) out += ",";
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    out += labels[i].first + "=\"" + prom_label_escape(labels[i].second) + "\"";
   }
   out += "}";
   return out;
@@ -40,12 +56,37 @@ std::string label_block(const Labels& labels) {
 // Histogram bucket series needs the instrument labels merged with `le`.
 std::string label_block_with_le(const Labels& labels, const std::string& le) {
   std::string out = "{";
-  for (const auto& [k, v] : labels) out += k + "=\"" + v + "\",";
+  for (const auto& [k, v] : labels) {
+    out += k + "=\"" + prom_label_escape(v) + "\",";
+  }
   out += "le=\"" + le + "\"}";
   return out;
 }
 
 }  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
 
 Registry::Entry* Registry::find_entry(const std::string& name,
                                       const Labels& labels, Kind kind) const {
@@ -194,11 +235,10 @@ std::string Registry::to_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string counters, gauges, histograms;
   for (const auto& e : entries_) {
+    // The key is the Prometheus-style series name, escaped as a JSON
+    // string (a metric or label containing `"` must stay valid JSON).
     const std::string key =
-        "\"" + e->name +
-        (e->labels.empty() ? std::string()
-                           : label_block(e->labels)) +
-        "\"";
+        "\"" + json_escape(e->name + label_block(e->labels)) + "\"";
     switch (e->kind) {
       case Kind::Counter:
         if (!counters.empty()) counters += ", ";

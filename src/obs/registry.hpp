@@ -29,6 +29,11 @@ namespace qes::obs {
 
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// Escapes `s` for embedding inside a JSON string literal: `"` and `\`
+/// are backslash-escaped, control characters become \n/\r/\t/\u00XX.
+/// Used by every JSON exposition in the repo; exposed for tests.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 class Counter {
  public:
   void add(double delta) {

@@ -17,14 +17,6 @@ namespace {
 
 constexpr double kEps = kTimeEps;
 
-// Budget-free per-core YDS (DES step 2), identical to the simulator's
-// policy: remaining demands, all released now.
-struct BudgetFree {
-  Schedule plan;
-  Watts power_at_now = 0.0;
-  Speed max_speed = 0.0;
-};
-
 }  // namespace
 
 RuntimeCore::RuntimeCore(RuntimeConfig config)
@@ -316,6 +308,79 @@ void RuntimeCore::install_with_rigid_check(int core, Speed max_speed) {
   }
 }
 
+RuntimeCore::BudgetFreePlan RuntimeCore::budget_free_plan(int core) const {
+  // Budget-free per-core YDS (DES step 2), identical to the simulator's
+  // policy: remaining demands, all released now.
+  BudgetFreePlan f;
+  std::vector<Job> jobs;
+  for (JobId id : cores_[static_cast<std::size_t>(core)].queue) {
+    const JobRecord& st = job(id);
+    const Work remaining = st.job.demand - st.processed;
+    if (remaining <= kEps) continue;
+    jobs.push_back(Job{.id = id,
+                       .release = now_,
+                       .deadline = st.job.deadline,
+                       .demand = remaining});
+  }
+  if (!jobs.empty()) {
+    YdsResult y = yds_schedule(AgreeableJobSet(std::move(jobs)));
+    f.max_speed = y.critical_speed;
+    f.power_at_now = cfg_.power_model.dynamic_power(y.schedule.speed_at(now_));
+    f.plan = std::move(y.schedule);
+  }
+  return f;
+}
+
+Watts RuntimeCore::power_request() const {
+  Watts total = 0.0;
+  for (int i = 0; i < cfg_.cores; ++i) {
+    total += budget_free_plan(i).power_at_now;
+  }
+  return total;
+}
+
+void RuntimeCore::set_power_budget(Watts budget) {
+  QES_ASSERT_MSG(budget > 0.0, "power budget must be positive");
+  cfg_.power_budget = budget;
+}
+
+std::vector<AbandonedJob> RuntimeCore::abandon_unfinalized() {
+  std::vector<AbandonedJob> out;
+  for (std::size_t k = first_live_; k < jobs_.size(); ++k) {
+    JobRecord& st = jobs_[k];
+    if (st.phase == JobRecord::Phase::Finalized) continue;
+    const Work remaining = st.job.demand - st.processed;
+    if (remaining <= 1e-6 * std::max(1.0, st.job.demand)) {
+      // Within completion tolerance: the work was done here, so the
+      // quality is credited here instead of shipping a zero-demand stub.
+      finalize(st.job.id);
+      continue;
+    }
+    out.push_back(AbandonedJob{.remaining = remaining,
+                               .partial_ok = st.job.partial_ok,
+                               .weight = st.job.weight});
+    if (st.phase == JobRecord::Phase::Waiting) {
+      auto it = std::find(waiting_.begin(), waiting_.end(), st.job.id);
+      QES_ASSERT(it != waiting_.end());
+      waiting_.erase(it);
+    } else {
+      auto& q = cores_[static_cast<std::size_t>(st.core)].queue;
+      auto it = std::find(q.begin(), q.end(), st.job.id);
+      QES_ASSERT(it != q.end());
+      q.erase(it);
+    }
+    st.phase = JobRecord::Phase::Finalized;
+    st.abandoned = true;
+    st.finalized_at = now_;
+    ++finalized_count_;
+  }
+  for (CoreState& c : cores_) {
+    c.plan = Schedule{};
+    c.next_seg = 0;
+  }
+  return out;
+}
+
 void RuntimeCore::replan() {
   ++replans_;
   if (cfg_.trace != nullptr) {
@@ -333,29 +398,12 @@ void RuntimeCore::replan() {
   }
 
   // Step 2: budget-free per-core YDS.
-  std::vector<BudgetFree> free_plans;
+  std::vector<BudgetFreePlan> free_plans;
   free_plans.reserve(static_cast<std::size_t>(m));
   Watts total_request = 0.0;
   Speed top_speed = 0.0;
   for (int i = 0; i < m; ++i) {
-    BudgetFree f;
-    std::vector<Job> jobs;
-    for (JobId id : cores_[static_cast<std::size_t>(i)].queue) {
-      const JobRecord& st = job(id);
-      const Work remaining = st.job.demand - st.processed;
-      if (remaining <= kEps) continue;
-      jobs.push_back(Job{.id = id,
-                         .release = now_,
-                         .deadline = st.job.deadline,
-                         .demand = remaining});
-    }
-    if (!jobs.empty()) {
-      YdsResult y = yds_schedule(AgreeableJobSet(std::move(jobs)));
-      f.max_speed = y.critical_speed;
-      f.power_at_now =
-          cfg_.power_model.dynamic_power(y.schedule.speed_at(now_));
-      f.plan = std::move(y.schedule);
-    }
+    BudgetFreePlan f = budget_free_plan(i);
     total_request += f.power_at_now;
     top_speed = std::max(top_speed, f.max_speed);
     free_plans.push_back(std::move(f));
@@ -373,7 +421,7 @@ void RuntimeCore::replan() {
   // Step 3: WF power distribution.
   std::vector<Watts> requests;
   requests.reserve(static_cast<std::size_t>(m));
-  for (const BudgetFree& f : free_plans) requests.push_back(f.power_at_now);
+  for (const BudgetFreePlan& f : free_plans) requests.push_back(f.power_at_now);
   const std::vector<Watts> budgets =
       waterfill_power(requests, cfg_.power_budget);
 
@@ -443,6 +491,7 @@ RunStats RuntimeCore::finish(Time end_time) {
   // under the runtime's "qesd" metric prefix.
   obs::RunAccumulator acc(cfg_.registry, "qesd");
   for (const JobRecord& st : jobs_) {
+    if (st.abandoned) continue;  // re-dispatched; accounted at the new node
     acc.on_job(st.quality, st.job.weight * cfg_.quality(st.job.demand),
                st.satisfied, st.processed > kEps,
                !st.job.partial_ok && !st.satisfied,

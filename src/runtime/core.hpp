@@ -63,7 +63,19 @@ struct JobRecord {
   Work processed = 0.0;
   double quality = 0.0;
   bool satisfied = false;
+  /// Extracted by abandon_unfinalized() (node kill): finalized for state
+  /// bookkeeping but excluded from the run statistics — the job is
+  /// re-dispatched and accounted at whichever node serves it.
+  bool abandoned = false;
   Time finalized_at = -1.0;
+};
+
+/// Unserved remainder of a job pulled off a killed node, ready to be
+/// re-submitted elsewhere (the new node stamps fresh release/deadline).
+struct AbandonedJob {
+  Work remaining = 0.0;
+  bool partial_ok = true;
+  double weight = 1.0;
 };
 
 /// Aggregate counters cheap enough to copy under a lock every metrics
@@ -117,8 +129,30 @@ class RuntimeCore {
 
   /// Final accounting: integrates idle time out to `end_time` (the last
   /// deadline) and returns the run statistics, matching sim::Engine's
-  /// RunStats field for field. All jobs must be finalized.
+  /// RunStats field for field. All jobs must be finalized. Abandoned jobs
+  /// (node kill) are excluded — they are accounted where they re-land.
   [[nodiscard]] RunStats finish(Time end_time);
+
+  // ---- cluster hooks (src/cluster/) ----
+
+  /// Replaces the power budget H (watts). Takes effect at the next
+  /// replan(); callers that lower the budget must replan before the next
+  /// advance() so installed plans never exceed the new bound.
+  void set_power_budget(Watts budget);
+
+  /// The budget-free power request: total dynamic power the per-core YDS
+  /// schedules would draw right now if H were unlimited (DES step 2's
+  /// `total_request`). This is the node's load signal to the cluster
+  /// budget broker — when the allocated budget covers it, the node's
+  /// plans are identical to the unconstrained ones.
+  [[nodiscard]] Watts power_request() const;
+
+  /// Extracts every unfinalized job for re-dispatch after a node kill:
+  /// jobs within completion tolerance are finalized normally (their
+  /// quality is kept here); the rest are marked abandoned — finalized for
+  /// bookkeeping, excluded from finish() — and returned with their
+  /// remaining demand. Installed plans are cleared.
+  [[nodiscard]] std::vector<AbandonedJob> abandon_unfinalized();
 
   // ---- observers ----
 
@@ -153,6 +187,16 @@ class RuntimeCore {
     std::size_t next_seg = 0;
     std::deque<JobId> queue;  // live assigned jobs, arrival order
   };
+
+  /// DES step 2 for one core: the YDS plan over remaining demands with no
+  /// budget, plus its instantaneous power draw (shared by replan() and
+  /// power_request()).
+  struct BudgetFreePlan {
+    Schedule plan;
+    Watts power_at_now = 0.0;
+    Speed max_speed = 0.0;
+  };
+  [[nodiscard]] BudgetFreePlan budget_free_plan(int core) const;
 
   JobRecord& state(JobId id);
   void assign_to_core(JobId id, int core);

@@ -312,6 +312,56 @@ RunStats Server::drain_and_stop() {
   return final_stats_;
 }
 
+void Server::set_power_budget(Watts budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // final_stats_valid_ is written only under mu_ (drain/kill), so this
+  // check makes broker updates harmless during teardown.
+  if (final_stats_valid_) return;
+  core_.advance(std::max(clock_.now(), core_.now()));
+  core_.set_power_budget(budget);
+  // Replan immediately: a lowered budget must never leave plans that
+  // exceed it installed past the next advance.
+  core_.replan();
+  publish_plans();
+}
+
+Watts Server::power_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.config().power_budget;
+}
+
+Watts Server::power_request() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return core_.power_request();
+}
+
+Server::KillReport Server::kill() {
+  QES_ASSERT_MSG(started_ && !stopped_, "kill() requires a live server");
+  admission_.close();
+  stop_.store(true, std::memory_order_release);
+  poke_trigger();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  stopped_ = true;
+
+  KillReport report;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Account everything executed up to the kill instant, then cut the
+  // rest loose. Requests still buffered in admission were never admitted
+  // — they go back to the cluster verbatim.
+  core_.advance(std::max(clock_.now(), core_.now()));
+  admission_.drain(report.pending);
+  report.abandoned = core_.abandon_unfinalized();
+  final_stats_ = core_.finish(core_.now());
+  final_stats_valid_ = true;
+  report.stats = final_stats_;
+  return report;
+}
+
 const std::vector<MetricsSnapshot>& Server::snapshots() const {
   QES_ASSERT_MSG(stopped_, "snapshots() is valid after drain_and_stop()");
   return snapshots_;

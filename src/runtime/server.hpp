@@ -114,6 +114,36 @@ class Server {
   /// statistics. Idempotent.
   RunStats drain_and_stop();
 
+  // ---- cluster hooks (src/cluster/) ----
+
+  /// Everything the cluster must redistribute after a kill(): admitted
+  /// jobs cut short (with their remaining demand) and queued requests
+  /// that were never admitted, plus this node's final accounting.
+  struct KillReport {
+    std::vector<AbandonedJob> abandoned;
+    std::vector<Request> pending;
+    RunStats stats;
+  };
+
+  /// Replaces the node's power budget H (watts) and atomically replans
+  /// and republishes under the model lock, so the installed plans never
+  /// exceed the new bound. No-op once the final statistics exist.
+  void set_power_budget(Watts budget);
+
+  /// Current node budget H (watts).
+  [[nodiscard]] Watts power_budget() const;
+
+  /// The node's load signal for the cluster budget broker:
+  /// RuntimeCore's budget-free power request (see core.hpp).
+  [[nodiscard]] Watts power_request() const;
+
+  /// Fault injection: hard-stops the node NOW. Admission closes, every
+  /// thread stops, unfinished admitted jobs are abandoned, and the
+  /// node's final statistics cover only the work finalized here (a later
+  /// drain_and_stop() returns the same stats). Call once, and never
+  /// concurrently with drain_and_stop().
+  [[nodiscard]] KillReport kill();
+
   [[nodiscard]] const VirtualClock& clock() const { return clock_; }
   [[nodiscard]] Time now() const { return clock_.now(); }
   [[nodiscard]] std::size_t shed() const { return shed_.load(); }

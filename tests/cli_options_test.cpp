@@ -163,11 +163,53 @@ TEST(CliOptions, RuntimeDriverRejectsBadValues) {
   EXPECT_THROW(parse({"--producers"}), std::invalid_argument);
 }
 
+TEST(CliOptions, ClusterDriverDefaults) {
+  const Options o = parse({});
+  EXPECT_EQ(o.nodes, 2);
+  EXPECT_DOUBLE_EQ(o.total_budget, -1.0);  // derive nodes * --budget
+  EXPECT_EQ(o.dispatch, "crr");
+  EXPECT_DOUBLE_EQ(o.broker_period_ms, 20.0);
+  EXPECT_EQ(o.kill_node, -1);
+  EXPECT_FALSE(o.compare_dispatch);
+}
+
+TEST(CliOptions, ClusterDriverFlags) {
+  const Options o =
+      parse({"--nodes", "4", "--total-budget", "512", "--dispatch", "p2c",
+             "--broker-period-ms", "10", "--kill-node", "2", "--kill-at-s",
+             "1.5", "--compare-dispatch"});
+  EXPECT_EQ(o.nodes, 4);
+  EXPECT_DOUBLE_EQ(o.total_budget, 512.0);
+  EXPECT_EQ(o.dispatch, "p2c");
+  EXPECT_DOUBLE_EQ(o.broker_period_ms, 10.0);
+  EXPECT_EQ(o.kill_node, 2);
+  EXPECT_DOUBLE_EQ(o.kill_at_s, 1.5);
+  EXPECT_TRUE(o.compare_dispatch);
+  EXPECT_EQ(parse({"--dispatch", "jsq"}).dispatch, "jsq");
+}
+
+TEST(CliOptions, ClusterDriverRejectsBadValues) {
+  EXPECT_THROW(parse({"--nodes", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--total-budget", "-10"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--dispatch", "random"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--broker-period-ms", "0"}), std::invalid_argument);
+  // Fault injection needs both the node and the time.
+  EXPECT_THROW(parse({"--kill-node", "1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--kill-at-s", "2"}), std::invalid_argument);
+  // The victim must exist.
+  EXPECT_THROW(
+      parse({"--nodes", "2", "--kill-node", "2", "--kill-at-s", "1"}),
+      std::invalid_argument);
+}
+
 TEST(CliOptions, HelpAndUsage) {
   EXPECT_TRUE(parse({"--help"}).help);
   EXPECT_NE(usage().find("--policy"), std::string::npos);
   EXPECT_NE(usage().find("--sweep"), std::string::npos);
   EXPECT_NE(usage().find("--duration-s"), std::string::npos);
+  EXPECT_NE(usage().find("--nodes"), std::string::npos);
+  EXPECT_NE(usage().find("--broker-period-ms"), std::string::npos);
+  EXPECT_NE(usage().find("--compare-dispatch"), std::string::npos);
   EXPECT_NE(usage().find("--time-scale"), std::string::npos);
 }
 

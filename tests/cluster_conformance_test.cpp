@@ -1,0 +1,200 @@
+// Cluster lockstep conformance.
+//
+// The headline invariant (acceptance criterion for the cluster
+// subsystem): an N=1 cluster performs the bitwise-identical sequence of
+// advance/submit/replan operations as a standalone runtime lockstep run
+// — broker ticks are budget-only and the broker hands a single node
+// exactly H — so quality agrees exactly and energy to floating-point
+// noise on the same trace. Plus the fault-injection contract: killing a
+// node mid-run re-water-fills H across the survivors within one broker
+// period, and total cluster power never exceeds H.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/lockstep.hpp"
+#include "runtime/conformance.hpp"
+#include "workload/generator.hpp"
+
+namespace qes::cluster {
+namespace {
+
+// Same tolerance tiering as tests/runtime_conformance_test.cpp: relative
+// bounds for accumulated fp quantities, absolute for possibly-zero ones,
+// exact equality for counts.
+constexpr double kRelTol = 1e-9;        // accumulated quality/energy/power
+constexpr double kAbsTolMs = 1e-9;      // clock readings
+constexpr double kAbsTolJoules = 1e-9;  // energies expected to be zero
+constexpr double kPowerTol = 1e-6;      // Σ budgets == H checks (watts)
+
+runtime::RuntimeConfig node_config() {
+  runtime::RuntimeConfig rc;
+  rc.cores = 8;
+  rc.power_budget = 999.0;  // ignored: the broker owns the budget
+  return rc;
+}
+
+std::vector<Job> trace(double rate, Time horizon_ms, std::uint64_t seed,
+                       double partial_fraction = 1.0) {
+  WorkloadConfig wl;
+  wl.arrival_rate = rate;
+  wl.horizon_ms = horizon_ms;
+  wl.partial_fraction = partial_fraction;
+  wl.seed = seed;
+  return generate_websearch_jobs(wl);
+}
+
+LockstepClusterConfig single_node_config(Watts h) {
+  LockstepClusterConfig cc;
+  cc.node = node_config();
+  cc.nodes = 1;
+  cc.total_budget = h;
+  cc.broker_period_ms = 20.0;
+  return cc;
+}
+
+TEST(ClusterConformance, SingleNodeMatchesStandaloneRuntimeExactly) {
+  const std::vector<Job> jobs = trace(150.0, 3'000.0, 7);
+  ASSERT_GT(jobs.size(), 100u);
+
+  runtime::RuntimeConfig standalone = node_config();
+  standalone.power_budget = 160.0;
+  const RunStats single = runtime::run_lockstep(standalone, jobs);
+  const ClusterRunStats clustered =
+      run_cluster_lockstep(single_node_config(160.0), jobs);
+
+  ASSERT_EQ(clustered.node_stats.size(), 1u);
+  // Quality agreement is exact (acceptance criterion) and, because the
+  // operation sequences are identical, so is everything else up to fp
+  // accumulation noise.
+  EXPECT_NEAR(clustered.total_quality, single.total_quality,
+              kRelTol * std::max(1.0, single.total_quality));
+  EXPECT_NEAR(clustered.dynamic_energy, single.dynamic_energy,
+              kRelTol * std::max(1.0, single.dynamic_energy));
+  EXPECT_NEAR(clustered.static_energy, single.static_energy, kAbsTolJoules);
+  EXPECT_NEAR(clustered.end_time, single.end_time, kAbsTolMs);
+  EXPECT_NEAR(clustered.peak_node_power, single.peak_power,
+              kRelTol * std::max(1.0, single.peak_power));
+  EXPECT_EQ(clustered.jobs_total, single.jobs_total);
+  EXPECT_EQ(clustered.jobs_satisfied, single.jobs_satisfied);
+  EXPECT_EQ(clustered.jobs_partial, single.jobs_partial);
+  EXPECT_EQ(clustered.jobs_zero, single.jobs_zero);
+  EXPECT_EQ(clustered.jobs_discarded_rigid, single.jobs_discarded_rigid);
+  EXPECT_EQ(clustered.replans, single.replans);
+  EXPECT_EQ(clustered.route_shed, 0u);
+  // The broker handed the lone node H (to surplus-arithmetic ulp noise,
+  // below the lockstep's budget-change threshold) at every decision.
+  for (const ClusterRunStats::BrokerDecision& d : clustered.broker_log) {
+    ASSERT_EQ(d.budgets.size(), 1u);
+    EXPECT_NEAR(d.budgets[0], 160.0, 1e-10);
+  }
+}
+
+TEST(ClusterConformance, SingleNodeExactUnderTightTriggersAndRigidJobs) {
+  runtime::RuntimeConfig rc = node_config();
+  rc.cores = 4;
+  rc.quantum_ms = 100.0;
+  rc.counter_trigger = 3;
+  const std::vector<Job> jobs =
+      trace(250.0, 2'000.0, 11, /*partial_fraction=*/0.6);
+
+  runtime::RuntimeConfig standalone = rc;
+  standalone.power_budget = 60.0;  // scarce power: WF + rigid discards
+  const RunStats single = runtime::run_lockstep(standalone, jobs);
+
+  LockstepClusterConfig cc = single_node_config(60.0);
+  cc.node = rc;
+  const ClusterRunStats clustered = run_cluster_lockstep(cc, jobs);
+  EXPECT_NEAR(clustered.total_quality, single.total_quality,
+              kRelTol * std::max(1.0, single.total_quality));
+  EXPECT_NEAR(clustered.dynamic_energy, single.dynamic_energy,
+              kRelTol * std::max(1.0, single.dynamic_energy));
+  EXPECT_EQ(clustered.jobs_discarded_rigid, single.jobs_discarded_rigid);
+  EXPECT_EQ(clustered.replans, single.replans);
+}
+
+TEST(ClusterConformance, MultiNodePreservesWorkAndQualityScales) {
+  // Not an exactness statement (routing changes per-node schedules) but
+  // the conservation + sanity contract: every job lands somewhere, and
+  // four 160 W nodes serve 2x the traffic one 160 W node handles well.
+  const std::vector<Job> jobs = trace(300.0, 3'000.0, 13);
+  LockstepClusterConfig cc = single_node_config(4 * 160.0);
+  cc.nodes = 4;
+  const ClusterRunStats s = run_cluster_lockstep(cc, jobs);
+  std::size_t landed = s.route_shed + s.redistribute_shed;
+  for (const RunStats& ns : s.node_stats) landed += ns.jobs_total;
+  EXPECT_EQ(landed, jobs.size());
+  EXPECT_GT(s.normalized_quality, 0.9);
+  EXPECT_LE(s.max_cluster_power, 4 * 160.0 + kPowerTol);
+  for (const ClusterRunStats::BrokerDecision& d : s.broker_log) {
+    double total = 0.0;
+    for (const Watts b : d.budgets) total += b;
+    EXPECT_NEAR(total, 4 * 160.0, kPowerTol);
+  }
+}
+
+TEST(ClusterConformance, KillRewaterfillsWithinOnePeriodAndBoundsPower) {
+  // Acceptance criterion: node killed mid-run -> the broker re-splits H
+  // across the survivors at the kill instant (within one broker period)
+  // and total cluster power never exceeds H.
+  const Watts h = 3 * 160.0;
+  const Time t_kill = 1'000.0;
+  const std::vector<Job> jobs = trace(250.0, 3'000.0, 19);
+  LockstepClusterConfig cc = single_node_config(h);
+  cc.nodes = 3;
+  cc.broker_period_ms = 20.0;
+  const ClusterRunStats s = run_cluster_lockstep(cc, jobs, {{t_kill, 1}});
+
+  ASSERT_TRUE(s.killed[1]);
+  EXPECT_FALSE(s.killed[0]);
+  EXPECT_FALSE(s.killed[2]);
+  EXPECT_LE(s.max_cluster_power, h + kPowerTol);
+
+  // The kill triggers an immediate re-split: the first decision at or
+  // after t_kill zeroes the victim and still hands out exactly H.
+  bool saw_post_kill = false;
+  for (const ClusterRunStats::BrokerDecision& d : s.broker_log) {
+    double total = 0.0;
+    for (const Watts b : d.budgets) total += b;
+    EXPECT_NEAR(total, h, kPowerTol);
+    if (d.t >= t_kill && !saw_post_kill) {
+      saw_post_kill = true;
+      EXPECT_LE(d.t, t_kill + cc.broker_period_ms);  // within one period
+      EXPECT_EQ(d.budgets[1], 0.0);
+      EXPECT_NEAR(d.budgets[0] + d.budgets[2], h, kPowerTol);
+    }
+    if (d.t < t_kill) {
+      EXPECT_GT(d.budgets[1], 0.0);  // alive until the fault
+    }
+  }
+  ASSERT_TRUE(saw_post_kill);
+
+  // The victim's clock froze at the kill; its finalized work stays in
+  // its own stats and the orphans were re-dispatched or shed.
+  EXPECT_NEAR(s.node_stats[1].end_time, t_kill, kAbsTolMs);
+  EXPECT_GT(s.redistributed + s.redistribute_shed, 0u);
+  // Conservation: abandoned jobs leave the victim's accounting and land
+  // exactly once — at their new node or as redistribute_shed.
+  std::size_t landed = s.route_shed + s.redistribute_shed;
+  for (const RunStats& ns : s.node_stats) landed += ns.jobs_total;
+  EXPECT_EQ(landed, jobs.size());
+}
+
+TEST(ClusterConformance, KillingEveryNodeShedsTheRemainingWork) {
+  const std::vector<Job> jobs = trace(150.0, 2'000.0, 3);
+  LockstepClusterConfig cc = single_node_config(2 * 160.0);
+  cc.nodes = 2;
+  const ClusterRunStats s =
+      run_cluster_lockstep(cc, jobs, {{500.0, 0}, {500.0, 1}});
+  ASSERT_TRUE(s.killed[0]);
+  ASSERT_TRUE(s.killed[1]);
+  // Arrivals after the massacre have no routable node.
+  EXPECT_GT(s.route_shed, 0u);
+  std::size_t landed = s.route_shed + s.redistribute_shed;
+  for (const RunStats& ns : s.node_stats) landed += ns.jobs_total;
+  EXPECT_EQ(landed, jobs.size());
+}
+
+}  // namespace
+}  // namespace qes::cluster

@@ -1,0 +1,105 @@
+// Unit tests of the cluster front-end routing policies. All three must
+// skip unroutable nodes (+inf depth), return -1 only when every node is
+// unroutable, and be deterministic given (depth vector, internal state).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/dispatch.hpp"
+
+namespace qes::cluster {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(DispatchPolicyNames, ParseRoundTrip) {
+  for (const DispatchPolicy p : {DispatchPolicy::CRR, DispatchPolicy::JSQ,
+                                 DispatchPolicy::PowerOfTwo}) {
+    const auto parsed = parse_dispatch_policy(dispatch_policy_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(parse_dispatch_policy("round-robin").has_value());
+  EXPECT_FALSE(parse_dispatch_policy("").has_value());
+}
+
+TEST(CrrDispatch, DealsCyclicallyWithPersistentCursor) {
+  Dispatcher d(3, DispatchPolicy::CRR);
+  const std::vector<double> depths{5.0, 0.0, 2.0};  // depths are ignored
+  EXPECT_EQ(d.route(depths), 0);
+  EXPECT_EQ(d.route(depths), 1);
+  EXPECT_EQ(d.route(depths), 2);
+  EXPECT_EQ(d.route(depths), 0);  // cursor survives the wrap
+}
+
+TEST(CrrDispatch, SkipsUnroutableNodes) {
+  Dispatcher d(3, DispatchPolicy::CRR);
+  const std::vector<double> depths{1.0, kInf, 1.0};
+  EXPECT_EQ(d.route(depths), 0);
+  EXPECT_EQ(d.route(depths), 2);
+  EXPECT_EQ(d.route(depths), 0);
+}
+
+TEST(CrrDispatch, AllUnroutableReturnsMinusOne) {
+  Dispatcher d(2, DispatchPolicy::CRR);
+  const std::vector<double> depths{kInf, kInf};
+  EXPECT_EQ(d.route(depths), -1);
+  // The dead interval must not desynchronize the cursor permanently.
+  EXPECT_EQ(d.route({{1.0, 1.0}}), 0);
+}
+
+TEST(JsqDispatch, PicksShallowestTieToLowestIndex) {
+  Dispatcher d(4, DispatchPolicy::JSQ);
+  EXPECT_EQ(d.route({{3.0, 1.0, 2.0, 1.0}}), 1);  // tie 1 vs 3 -> 1
+  EXPECT_EQ(d.route({{0.0, 0.0, 0.0, 0.0}}), 0);
+  EXPECT_EQ(d.route({{kInf, 9.0, kInf, 2.0}}), 3);
+  EXPECT_EQ(d.route({{kInf, kInf, kInf, kInf}}), -1);
+}
+
+TEST(P2cDispatch, SingleLiveNodeAndAllDead) {
+  Dispatcher d(3, DispatchPolicy::PowerOfTwo, /*seed=*/42);
+  EXPECT_EQ(d.route({{kInf, 4.0, kInf}}), 1);
+  EXPECT_EQ(d.route({{kInf, kInf, kInf}}), -1);
+}
+
+TEST(P2cDispatch, NeverRoutesToUnroutableAndIsSeedDeterministic) {
+  Dispatcher a(8, DispatchPolicy::PowerOfTwo, 7);
+  Dispatcher b(8, DispatchPolicy::PowerOfTwo, 7);
+  std::vector<double> depths{1.0, 2.0, kInf, 0.0, 5.0, kInf, 3.0, 4.0};
+  for (int i = 0; i < 1000; ++i) {
+    const int ra = a.route(depths);
+    EXPECT_EQ(ra, b.route(depths));
+    ASSERT_GE(ra, 0);
+    EXPECT_TRUE(std::isfinite(depths[static_cast<std::size_t>(ra)]));
+  }
+}
+
+TEST(P2cDispatch, PrefersShallowerOfTheTwoSamples) {
+  // With exactly two live nodes, every draw compares the same pair, so
+  // the shallower one must win every time.
+  Dispatcher d(2, DispatchPolicy::PowerOfTwo, 3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(d.route({{9.0, 1.0}}), 1);
+  }
+}
+
+TEST(P2cDispatch, SpreadsLoadAcrossShallowNodes) {
+  // Two shallow nodes (0, 1), two deep ones (2, 3). Both shallow nodes
+  // must receive traffic (the sampler randomizes which pair it draws),
+  // and node 3 can never win: any pair containing it either holds a
+  // shallower node or ties with node 2 (ties break to the lower index).
+  Dispatcher d(4, DispatchPolicy::PowerOfTwo, 11);
+  std::vector<int> hits(4, 0);
+  const std::vector<double> depths{1.0, 1.0, 9.0, 9.0};
+  for (int i = 0; i < 4000; ++i) {
+    ++hits[static_cast<std::size_t>(d.route(depths))];
+  }
+  EXPECT_GT(hits[0], 500);
+  EXPECT_GT(hits[1], 500);
+  EXPECT_EQ(hits[3], 0);
+}
+
+}  // namespace
+}  // namespace qes::cluster

@@ -199,6 +199,48 @@ TEST(Registry, JsonExpositionShape) {
       << json;
 }
 
+TEST(Registry, JsonEscapeHandlesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain_name"), "plain_name");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(json_escape(std::string("nul") + '\x01' + "byte"),
+            "nul\\u0001byte");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(Registry, JsonExpositionEscapesMetricAndLabelNames) {
+  // Metric/label names containing quotes or backslashes must not break
+  // the JSON document: keys are escaped at exposition time.
+  Registry reg;
+  reg.counter("bad\"name", "", {{"path", "C:\\tmp"}}).add(1);
+  const std::string json = reg.to_json();
+  // The key is the Prometheus series rendering (label backslash already
+  // doubled) escaped once more as a JSON string.
+  EXPECT_NE(json.find("\"bad\\\"name{path=\\\"C:\\\\\\\\tmp\\\"}\": 1"),
+            std::string::npos)
+      << json;
+  // Every quote inside a key is escaped: the document has balanced,
+  // alternating quoting (count the unescaped quotes).
+  std::size_t unescaped = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) ++unescaped;
+  }
+  EXPECT_EQ(unescaped % 2, 0u) << json;
+}
+
+TEST(Registry, PrometheusExpositionEscapesLabelValues) {
+  // The exposition format requires \\, \", and \n escaped inside label
+  // values (and nothing else).
+  Registry reg;
+  reg.counter("esc_total", "", {{"q", "a\"b\\c\nd"}}).inc();
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("esc_total{q=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
 TEST(Registry, NumbersRoundTripThroughExposition) {
   Registry reg;
   const double v = 312.54195082281461;  // needs 17 significant digits? no:

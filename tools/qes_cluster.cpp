@@ -1,0 +1,202 @@
+// qes_cluster: sharded multi-node serving driver with a global
+// power-budget broker.
+//
+//   $ qes_cluster --nodes 4 --duration-s 10 --arrival-rate 400
+//   $ qes_cluster --nodes 4 --kill-node 1 --kill-at-s 3
+//   $ qes_cluster --compare-dispatch --nodes 4 --duration-s 20
+//
+// Live mode runs N in-process runtime::Servers behind the cluster front
+// end: producer threads feed Poisson traffic through the dispatcher,
+// the broker thread re-water-fills --total-budget across the nodes
+// every --broker-period-ms, and --kill-node/--kill-at-s hard-stops one
+// node mid-run (its work is re-dispatched to the survivors). The run
+// report prints per-node finals, the cluster aggregate, and — with
+// --metrics-format prom — the cluster and per-node obs registries.
+//
+// --compare-dispatch instead replays one generated trace through the
+// deterministic cluster lockstep under each dispatch policy (crr, jsq,
+// p2c) and prints a comparison table, so the policies see identical
+// arrivals.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/lockstep.hpp"
+#include "report/table.hpp"
+#include "workload/demand.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using namespace qes;
+
+runtime::RuntimeConfig make_runtime_config(const cli::Options& opt) {
+  runtime::RuntimeConfig rc;
+  rc.cores = opt.engine.cores;
+  rc.power_budget = opt.engine.power_budget;
+  rc.power_model = opt.engine.power_model;
+  rc.quality = QualityFunction::exponential(opt.quality_c);
+  rc.quantum_ms = opt.engine.quantum_ms;
+  rc.counter_trigger = opt.engine.counter_trigger;
+  rc.idle_trigger = opt.engine.idle_trigger;
+  rc.max_core_speed = opt.engine.max_core_speed;
+  return rc;
+}
+
+Watts total_budget(const cli::Options& opt) {
+  return opt.total_budget > 0.0
+             ? opt.total_budget
+             : opt.engine.power_budget * static_cast<double>(opt.nodes);
+}
+
+std::vector<Job> make_jobs(const cli::Options& opt) {
+  if (opt.trace_in) return load_job_trace(*opt.trace_in);
+  WorkloadConfig wl = opt.workload;
+  wl.horizon_ms = opt.duration_s * 1000.0;
+  return generate_websearch_jobs(wl);
+}
+
+int run_compare(const cli::Options& opt) {
+  const std::vector<Job> jobs = make_jobs(opt);
+  cluster::LockstepClusterConfig cc;
+  cc.node = make_runtime_config(opt);
+  cc.nodes = opt.nodes;
+  cc.total_budget = total_budget(opt);
+  cc.broker_period_ms = opt.broker_period_ms;
+  std::vector<cluster::NodeKill> kills;
+  if (opt.kill_node >= 0) {
+    kills.push_back({opt.kill_at_s * 1000.0, opt.kill_node});
+  }
+
+  Table table({"dispatch", "quality", "norm_q", "energy_j", "route_shed",
+               "max_power_w", "replans"});
+  for (const cluster::DispatchPolicy p :
+       {cluster::DispatchPolicy::CRR, cluster::DispatchPolicy::JSQ,
+        cluster::DispatchPolicy::PowerOfTwo}) {
+    cc.dispatch = p;
+    cc.dispatch_seed = opt.workload.seed;
+    const cluster::ClusterRunStats s =
+        cluster::run_cluster_lockstep(cc, jobs, kills);
+    table.add_row({cluster::dispatch_policy_name(p), fmt(s.total_quality, 2),
+                   fmt(s.normalized_quality, 4),
+                   fmt_sci(s.dynamic_energy + s.static_energy),
+                   std::to_string(s.route_shed), fmt(s.max_cluster_power, 1),
+                   std::to_string(s.replans)});
+    if (opt.json) {
+      std::printf("%s %s\n", cluster::dispatch_policy_name(p),
+                  cluster::cluster_stats_to_json(s).c_str());
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+void produce(cluster::Cluster& cluster, const cli::Options& opt, int producer,
+             Time duration_ms) {
+  // Same producer-stream split as qesd: producer p draws from the
+  // seed + 1000003*(p+1) Poisson stream, so the aggregate offered rate
+  // stays --arrival-rate and runs are reproducible per --seed.
+  Xoshiro256 rng(opt.workload.seed +
+                 1000003ULL * static_cast<std::uint64_t>(producer + 1));
+  const BoundedPareto demand(opt.workload.pareto_alpha,
+                             opt.workload.demand_min, opt.workload.demand_max);
+  const double rate_per_ms =
+      opt.workload.arrival_rate / static_cast<double>(opt.producers) / 1000.0;
+  while (cluster.now() < duration_ms) {
+    const double gap_virtual_ms = rng.exponential(rate_per_ms);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        gap_virtual_ms / opt.time_scale));
+    if (cluster.now() >= duration_ms) break;
+    runtime::Request r;
+    r.demand = demand.sample(rng);
+    r.partial_ok = rng.bernoulli(opt.workload.partial_fraction);
+    r.weight = rng.bernoulli(opt.workload.premium_fraction)
+                   ? opt.workload.premium_weight
+                   : 1.0;
+    (void)cluster.submit(r);
+  }
+}
+
+int run_live(const cli::Options& opt) {
+  cluster::ClusterConfig cc;
+  cc.node.model = make_runtime_config(opt);
+  cc.node.time_scale = opt.time_scale;
+  cc.node.deadline_ms = opt.workload.deadline_ms;
+  cc.node.metrics_interval_ms = opt.metrics_interval_ms;
+  cc.nodes = opt.nodes;
+  cc.total_budget = total_budget(opt);
+  cc.broker_period_wall_ms = opt.broker_period_ms;
+  cc.dispatch = *cluster::parse_dispatch_policy(opt.dispatch);
+  cc.dispatch_seed = opt.workload.seed;
+  cluster::Cluster cluster(cc);
+  cluster.start();
+
+  const Time duration_ms = opt.duration_s * 1000.0;
+  std::thread killer;
+  if (opt.kill_node >= 0) {
+    killer = std::thread([&cluster, &opt] {
+      const Time kill_ms = opt.kill_at_s * 1000.0;
+      while (cluster.now() < kill_ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      cluster.kill_node(opt.kill_node);
+    });
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<std::size_t>(opt.producers));
+  for (int p = 0; p < opt.producers; ++p) {
+    producers.emplace_back([&cluster, &opt, p, duration_ms] {
+      produce(cluster, opt, p, duration_ms);
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  if (killer.joinable()) killer.join();
+  const cluster::ClusterRunStats stats = cluster.drain_and_stop();
+
+  for (std::size_t i = 0; i < stats.node_stats.size(); ++i) {
+    std::printf("node %zu%s %s\n", i, stats.killed[i] ? " (killed)" : "",
+                stats_to_json(stats.node_stats[i]).c_str());
+  }
+  std::printf("cluster %s\n", cluster::cluster_stats_to_json(stats).c_str());
+  std::printf(
+      "server {\"nodes\": %d, \"producers\": %d, \"time_scale\": %g, "
+      "\"broker_decisions\": %zu}\n",
+      opt.nodes, opt.producers, opt.time_scale, stats.broker_log.size());
+  if (opt.metrics_format == "prom") {
+    std::fputs(cluster.registry().to_prometheus().c_str(), stdout);
+    for (int i = 0; i < cluster.nodes(); ++i) {
+      std::fputs(cluster.node_server(i).registry().to_prometheus().c_str(),
+                 stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qes;
+  cli::Options opt;
+  try {
+    opt = cli::parse_options(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qes_cluster: %s\n", e.what());
+    return 2;
+  }
+  if (opt.help) {
+    std::fputs(cli::usage().c_str(), stdout);
+    return 0;
+  }
+  try {
+    return opt.compare_dispatch ? run_compare(opt) : run_live(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qes_cluster: %s\n", e.what());
+    return 1;
+  }
+}
