@@ -4,6 +4,13 @@
 # layer are concurrent; sanitizer-cleanliness is an acceptance
 # criterion, not a nice-to-have).
 #
+# The obs label covers the whole scrape plane: the HTTP exporter smoke
+# tests (live /metrics scrapes against the runtime server and the
+# cluster), the multi-producer TraceRing stress, the exposition linter,
+# spans, and the qesd/qes_cluster driver smokes that bind ephemeral
+# scrape ports — so `-L obs` under TSan exercises the exporter thread
+# against concurrent serving traffic.
+#
 #   $ scripts/ci_sanitize.sh                     # both sanitizers, all tests
 #   $ scripts/ci_sanitize.sh -L obs              # both, obs+runtime suite only
 #   $ scripts/ci_sanitize.sh -L cluster          # both, multi-node cluster suite

@@ -168,6 +168,19 @@ Options parse_options(const std::vector<std::string>& args) {
         fail("--metrics-format: expected json or prom, got '" +
              opt.metrics_format + "'");
       }
+    } else if (a == "--http-port") {
+      opt.http_port = to_int(a, need_value(i, a));
+      if (opt.http_port < 0 || opt.http_port > 65535) {
+        fail("--http-port: must be in [0, 65535] (0 = ephemeral)");
+      }
+    } else if (a == "--node-http-base-port") {
+      opt.node_http_base_port = to_int(a, need_value(i, a));
+      if (opt.node_http_base_port < 0 || opt.node_http_base_port > 65535) {
+        fail("--node-http-base-port: must be in [0, 65535] (0 = ephemeral)");
+      }
+    } else if (a == "--trace-chrome") {
+      opt.trace_chrome = need_value(i, a);
+      if (opt.trace_chrome->empty()) fail("--trace-chrome: empty path");
     } else if (a == "--nodes") {
       opt.nodes = to_int(a, need_value(i, a));
       if (opt.nodes <= 0) fail("--nodes: must be positive");
@@ -271,6 +284,11 @@ qesd runtime driver (ignored by qes_sim):
   --metrics-format json|prom  final metrics exposition (default json);
                               prom additionally dumps the obs registry in
                               Prometheus text format
+  --http-port P               serve /metrics, /metrics.json, /healthz,
+                              /tracez on 127.0.0.1:P while the run is
+                              live (0 = ephemeral port, printed at start)
+  --trace-chrome FILE         write the request spans as a Chrome
+                              trace-event file (load in Perfetto)
   --trace-out FILE            (qesd) write the job lifecycle trace as
                               JSONL instead of saving a workload CSV
   --seed N        (1)         also seeds the qesd/qes_cluster Poisson
@@ -284,6 +302,9 @@ qes_cluster driver (ignored by qes_sim and qesd):
                               (default: nodes * --budget)
   --dispatch crr|jsq|p2c      routing policy (cluster C-RR default)
   --broker-period-ms MS (20)  budget re-water-fill cadence
+  --node-http-base-port P     per-node scrape endpoints: node i serves
+                              on P + i (0 = ephemeral ports); --http-port
+                              adds the cluster-aggregate endpoint
   --kill-node I --kill-at-s S fault injection: node I dies at S virtual
                               seconds (both flags required together)
   --compare-dispatch          run crr, jsq, and p2c on identical traffic

@@ -60,6 +60,12 @@ struct Options {
   /// Final-metrics exposition: "json" (legacy shape) or "prom"
   /// (Prometheus text, qesd only).
   std::string metrics_format = "json";
+  /// Live HTTP scrape endpoint (/metrics, /metrics.json, /healthz,
+  /// /tracez): -1 disables, 0 binds an ephemeral port.
+  int http_port = -1;
+  /// Write a Chrome-trace-event (Perfetto-loadable) export of the
+  /// request spans assembled from the lifecycle trace.
+  std::optional<std::string> trace_chrome;
 
   // qes_cluster driver (ignored by qes_sim and qesd).
   /// Number of in-process server shards.
@@ -71,6 +77,9 @@ struct Options {
   std::string dispatch = "crr";
   /// Broker re-water-fill cadence (wall ms live, virtual ms in replay).
   double broker_period_ms = 20.0;
+  /// Per-node scrape endpoints: node i binds this port + i (0 gives
+  /// every node an ephemeral port; -1 disables).
+  int node_http_base_port = -1;
   /// Fault injection: kill this node at --kill-at-s (both or neither).
   int kill_node = -1;
   double kill_at_s = -1.0;

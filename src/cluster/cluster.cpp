@@ -27,6 +27,8 @@ constexpr Watts kMinLiveBudget = 1e-9;
 Cluster::Cluster(ClusterConfig config)
     : cfg_(std::move(config)),
       broker_(cfg_.total_budget, cfg_.broker_period_wall_ms),
+      profiler_(&registry_, "qes_cluster_phase_ms",
+                "wall time per cluster control-plane phase (ms)"),
       dispatcher_(static_cast<std::size_t>(std::max(cfg_.nodes, 1)),
                   cfg_.dispatch, cfg_.dispatch_seed) {
   QES_ASSERT(cfg_.nodes >= 1 && cfg_.total_budget > 0.0 &&
@@ -35,11 +37,23 @@ Cluster::Cluster(ClusterConfig config)
   nodes_.resize(static_cast<std::size_t>(cfg_.nodes));
   killed_stats_.resize(nodes_.size());
   killed_.assign(nodes_.size(), false);
+  int node_id = 0;
   for (Node& n : nodes_) {
     runtime::ServerConfig sc = cfg_.node;
     sc.model.power_budget = share;
+    if (cfg_.node_trace_capacity > 0 && sc.model.trace == nullptr) {
+      traces_.push_back(
+          std::make_unique<obs::TraceRing>(cfg_.node_trace_capacity));
+      sc.model.trace = traces_.back().get();
+    }
+    if (cfg_.node_http_base_port >= 0) {
+      sc.http_port = cfg_.node_http_base_port == 0
+                         ? 0
+                         : cfg_.node_http_base_port + node_id;
+    }
     n.server = std::make_unique<runtime::Server>(std::move(sc));
     n.budget = share;
+    ++node_id;
   }
 }
 
@@ -51,7 +65,50 @@ void Cluster::start() {
   QES_ASSERT_MSG(!started_, "start() may be called once");
   started_ = true;
   for (Node& n : nodes_) n.server->start();
+  if (cfg_.http_port >= 0) {
+    // The aggregate endpoint serves ONLY the cluster registry
+    // (qes_cluster_*): concatenating the node registries here would
+    // repeat the qesd_* families and break the exposition format — each
+    // node's qesd registry is scraped on its own listener instead.
+    exporter_ = std::make_unique<obs::HttpExporter>(cfg_.http_port);
+    exporter_->handle("/metrics", "text/plain; version=0.0.4",
+                      [this] { return registry_.to_prometheus(); });
+    exporter_->handle("/metrics.json", "application/json",
+                      [this] { return registry_.to_json(); });
+    exporter_->handle("/healthz", "application/json", [this] {
+      std::string ports;
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (!ports.empty()) ports += ", ";
+        ports += std::to_string(nodes_[i].server->http_port());
+      }
+      return "{\"status\": \"ok\", \"nodes\": " +
+             std::to_string(nodes_.size()) +
+             ", \"t_virtual_ms\": " + std::to_string(now()) +
+             ", \"node_http_ports\": [" + ports + "]}\n";
+    });
+    exporter_->handle("/tracez", "application/x-ndjson", [this] {
+      std::string out;
+      for (std::size_t i = 0; i < traces_.size(); ++i) {
+        for (const obs::TraceEvent& e : traces_[i]->tail(64)) {
+          out += "{\"node\": " + std::to_string(i) +
+                 ", \"event\": " + obs::to_json(e) + "}\n";
+        }
+      }
+      return out;
+    });
+    exporter_->start();
+  }
   broker_thread_ = std::thread([this] { broker_loop(); });
+}
+
+int Cluster::http_port() const {
+  return exporter_ ? exporter_->port() : -1;
+}
+
+obs::TraceRing* Cluster::node_trace(int node) const {
+  QES_ASSERT(node >= 0 && node < cfg_.nodes);
+  const std::size_t k = static_cast<std::size_t>(node);
+  return k < traces_.size() ? traces_[k].get() : nullptr;
 }
 
 std::vector<double> Cluster::depths_locked() const {
@@ -144,6 +201,7 @@ void Cluster::kill_node(int node) {
 }
 
 void Cluster::broker_tick_locked() {
+  auto timer = profiler_.phase("broker_tick");
   const std::size_t nn = nodes_.size();
   std::vector<Watts> demands(nn);
   std::size_t live = 0;
@@ -237,6 +295,9 @@ ClusterRunStats Cluster::drain_and_stop() {
   finalize_aggregates(out);
   stopped_ = true;
   final_ = out;
+  // Stop the aggregate endpoint last: it stays scrapable while the
+  // nodes drain (their own exporters stop as each node finishes).
+  if (exporter_) exporter_->stop();
   return out;
 }
 

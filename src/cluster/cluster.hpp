@@ -40,7 +40,10 @@
 #include "cluster/budget_broker.hpp"
 #include "cluster/dispatch.hpp"
 #include "cluster/stats.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/phase_profiler.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/server.hpp"
 
 namespace qes::cluster {
@@ -58,6 +61,17 @@ struct ClusterConfig {
   std::uint64_t dispatch_seed = 1;
   /// Admission-push timeout applied per routed request.
   std::chrono::milliseconds submit_timeout{5};
+  /// Cluster-aggregate scrape endpoint (serves the qes_cluster registry):
+  /// -1 disables, 0 binds an ephemeral port, else that port.
+  int http_port = -1;
+  /// Per-node scrape endpoints (each node's own qesd registry): -1
+  /// disables, 0 gives every node an ephemeral port, else node i binds
+  /// base + i. Read ports back via node_server(i).http_port().
+  int node_http_base_port = -1;
+  /// When > 0 and node.model.trace is unset, the cluster owns one
+  /// TraceRing of this capacity per node (per-node job ids are dense
+  /// 1..n, so nodes must not share a ring); see node_trace().
+  std::size_t node_trace_capacity = 0;
 };
 
 class Cluster {
@@ -105,6 +119,15 @@ class Cluster {
   /// Per-node server access (e.g. each node's own "qesd" registry).
   [[nodiscard]] const runtime::Server& node_server(int node) const;
 
+  /// The cluster-aggregate scrape port, or -1 when disabled. Valid
+  /// after start(). (Per-node ports: node_server(i).http_port().)
+  [[nodiscard]] int http_port() const;
+
+  /// The cluster-owned trace ring of one node (nullptr unless
+  /// node_trace_capacity > 0). Spans assembled from it must be tagged
+  /// with the node id — see obs::assemble_spans.
+  [[nodiscard]] obs::TraceRing* node_trace(int node) const;
+
  private:
   enum class NodeState { Live, Draining, Dead };
   struct Node {
@@ -124,6 +147,10 @@ class Cluster {
   BudgetBroker broker_;
 
   obs::Registry registry_;
+  obs::PhaseProfiler profiler_;
+  // One ring per node (declared before nodes_: each node's RuntimeConfig
+  // points at its ring). Empty unless node_trace_capacity > 0.
+  std::vector<std::unique_ptr<obs::TraceRing>> traces_;
 
   mutable std::mutex mu_;  // nodes' lifecycle state, dispatcher, broker log
   std::vector<Node> nodes_;
@@ -138,6 +165,7 @@ class Cluster {
   ClusterRunStats final_;  // cached by drain_and_stop()
 
   std::atomic<std::size_t> route_shed_{0};
+  std::unique_ptr<obs::HttpExporter> exporter_;  // cluster-aggregate endpoint
   std::atomic<bool> stop_broker_{false};
   std::mutex broker_wake_mu_;
   std::condition_variable broker_wake_cv_;

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/assert.hpp"
 #include "multicore/crr.hpp"
 #include "multicore/power_waterfill.hpp"
+#include "obs/phase_profiler.hpp"
 #include "sched/online_qe.hpp"
 #include "sched/quality_opt.hpp"
 #include "sched/weighted_quality.hpp"
@@ -289,9 +292,17 @@ class DesPolicy final : public SchedulingPolicy {
   void replan(Engine& eng) override {
     if (!crr_) crr_ = std::make_unique<CumulativeRoundRobin>(
         static_cast<std::size_t>(eng.cores()));
+    if (!profiler_) {
+      profiler_ = std::make_unique<obs::PhaseProfiler>(
+          eng.config().registry, "qes_sim_replan_phase_ms",
+          "wall time per DES replan phase (ms)");
+    }
 
     // Step 1: ready-job distribution.
-    distribute_jobs(eng);
+    {
+      auto timer = profiler_->phase("crr");
+      distribute_jobs(eng);
+    }
 
     switch (opt_.arch) {
       case Architecture::NoDVFS: replan_no_dvfs(eng); break;
@@ -429,10 +440,13 @@ class DesPolicy final : public SchedulingPolicy {
     free_plans.reserve(static_cast<std::size_t>(m));
     Watts total_request = 0.0;
     Speed top_speed = 0.0;
-    for (int i = 0; i < m; ++i) {
-      free_plans.push_back(budget_free_plan(eng, i));
-      total_request += free_plans.back().power_at_now;
-      top_speed = std::max(top_speed, free_plans.back().max_speed);
+    {
+      auto timer = profiler_->phase("yds");
+      for (int i = 0; i < m; ++i) {
+        free_plans.push_back(budget_free_plan(eng, i));
+        total_request += free_plans.back().power_at_now;
+        top_speed = std::max(top_speed, free_plans.back().max_speed);
+      }
     }
 
     const bool continuous = !opt_.speed_levels.has_value();
@@ -444,6 +458,7 @@ class DesPolicy final : public SchedulingPolicy {
         total_request <= cfg.power_budget + kTimeEps &&
         top_speed <= min_core_cap + kTimeEps) {
       // The optimistic schedules fit the budget: everyone completes.
+      auto timer = profiler_->phase("online_qe");
       for (int i = 0; i < m; ++i) {
         eng.set_core_plan(i, std::move(free_plans[static_cast<std::size_t>(i)].plan));
         eng.set_core_idle_power(i, 0.0);
@@ -451,7 +466,10 @@ class DesPolicy final : public SchedulingPolicy {
       return;
     }
 
-    // Step 3: power distribution.
+    // Step 3: power distribution. (Scope via optional so the WF timer
+    // closes before step 4's timer opens, without re-nesting the code.)
+    std::optional<obs::PhaseProfiler::Scope> timer;
+    timer.emplace(profiler_->phase_histogram("wf"));
     std::vector<Watts> budgets;
     if (opt_.static_power) {
       budgets.assign(static_cast<std::size_t>(m), cfg.power_budget / m);
@@ -484,6 +502,7 @@ class DesPolicy final : public SchedulingPolicy {
     }
 
     // Step 4: budget-bounded per-core planning.
+    timer.emplace(profiler_->phase_histogram("online_qe"));
     if (continuous) {
       for (int i = 0; i < m; ++i) {
         const Speed cap = std::min(
@@ -537,6 +556,7 @@ class DesPolicy final : public SchedulingPolicy {
 
   DesOptions opt_;
   std::unique_ptr<CumulativeRoundRobin> crr_;
+  std::unique_ptr<obs::PhaseProfiler> profiler_;
   std::unique_ptr<SmoothWeightedRoundRobin> swrr_;
 };
 

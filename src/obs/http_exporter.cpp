@@ -1,0 +1,205 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/assert.hpp"
+
+namespace qes::obs {
+
+namespace {
+
+// Bounded request size: a scrape request line plus headers fits easily;
+// anything larger is a client error.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+// Poll granularity of the accept loop — bounds stop() latency.
+constexpr int kPollMs = 50;
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a scraper hanging up mid-response must not SIGPIPE
+    // the process.
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to clean up
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string response(const std::string& status, const std::string& type,
+                     const std::string& body) {
+  std::string out = "HTTP/1.1 " + status + "\r\n";
+  out += "Content-Type: " + type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(int port) : requested_port_(port) {
+  QES_ASSERT_MSG(port >= 0 && port <= 65535, "port must be in [0, 65535]");
+}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::handle(std::string path, std::string content_type,
+                          std::function<std::string()> handler) {
+  QES_ASSERT_MSG(!started_, "routes must be registered before start()");
+  QES_ASSERT_MSG(!path.empty() && path[0] == '/', "path must start with /");
+  routes_.push_back(
+      {std::move(path), std::move(content_type), std::move(handler)});
+}
+
+void HttpExporter::start() {
+  QES_ASSERT_MSG(!started_, "start() may be called once");
+  started_ = true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("http exporter: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(requested_port_));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http exporter: cannot listen on port " +
+                             std::to_string(requested_port_) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpExporter::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpExporter::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollMs);
+    if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // A stuck client must not wedge the exporter: bound both directions.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::serve_one(int client_fd) {
+  std::string req;
+  char buf[1024];
+  while (req.size() < kMaxRequestBytes &&
+         req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t eol = req.find("\r\n");
+  const std::string line = eol == std::string::npos ? req : req.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_all(client_fd, response("400 Bad Request", "text/plain",
+                                 "malformed request line\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    send_all(client_fd, response("405 Method Not Allowed", "text/plain",
+                                 "only GET is supported\n"));
+    return;
+  }
+  for (const Route& route : routes_) {
+    if (route.path != path) continue;
+    send_all(client_fd,
+             response("200 OK", route.content_type, route.handler()));
+    return;
+  }
+  std::string known;
+  for (const Route& route : routes_) known += route.path + "\n";
+  send_all(client_fd,
+           response("404 Not Found", "text/plain",
+                    "no handler for " + path + "; try:\n" + known));
+}
+
+std::string http_get(int port, const std::string& path,
+                     std::string* status_line) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http_get: socket() failed");
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("http_get: cannot connect to port " +
+                             std::to_string(port));
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  send_all(fd, req);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t eol = resp.find("\r\n");
+  if (status_line != nullptr) {
+    *status_line = eol == std::string::npos ? resp : resp.substr(0, eol);
+  }
+  const std::size_t body = resp.find("\r\n\r\n");
+  return body == std::string::npos ? std::string() : resp.substr(body + 4);
+}
+
+}  // namespace qes::obs

@@ -1,0 +1,92 @@
+// Dependency-free HTTP/1.1 scrape endpoint for the obs layer.
+//
+// One exporter = one listening socket (127.0.0.1, fixed or ephemeral
+// port) served by one poll-based thread. Routes are registered before
+// start() as (path, content-type, handler) triples; each handler renders
+// the full response body on demand, so a scrape always observes the
+// instruments' current values. The server speaks just enough HTTP/1.1
+// for Prometheus scrapers and curl: GET only, Connection: close, no
+// keep-alive, bounded request size. Scrapes are rare and cheap compared
+// to the serving hot paths, so requests are handled sequentially on the
+// exporter thread — no connection ever touches model state except
+// through the registered (thread-safe) handlers.
+//
+// The runtime::Server and cluster::Cluster own their exporters and stop
+// them during teardown; tests bind port 0 and read the kernel-assigned
+// port back via port().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qes::obs {
+
+class HttpExporter {
+ public:
+  /// `port` 0 binds an ephemeral port (read it back via port() after
+  /// start()); any other value binds that port exactly.
+  explicit HttpExporter(int port);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Registers `handler` for exact-match GETs of `path` (query strings
+  /// are stripped before matching). Must be called before start().
+  void handle(std::string path, std::string content_type,
+              std::function<std::string()> handler);
+
+  /// Binds, listens, and launches the exporter thread. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Stops the exporter thread and closes the socket. Idempotent; also
+  /// run by the destructor.
+  void stop();
+
+  /// The bound port (the kernel-assigned one when constructed with 0).
+  /// Valid after start().
+  [[nodiscard]] int port() const { return bound_port_; }
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Total requests answered (any status); exported on /healthz.
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    std::function<std::string()> handler;
+  };
+
+  void serve_loop();
+  void serve_one(int client_fd);
+
+  int requested_port_;
+  int bound_port_ = -1;
+  int listen_fd_ = -1;
+  std::vector<Route> routes_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+/// One-shot HTTP GET against 127.0.0.1:`port` (2 s timeout); returns the
+/// response body and stores the status line in `*status_line` when given.
+/// Used by tests and the exposition-lint live-scrape check; throws
+/// std::runtime_error on connection failure.
+[[nodiscard]] std::string http_get(int port, const std::string& path,
+                                   std::string* status_line = nullptr);
+
+}  // namespace qes::obs

@@ -1,0 +1,29 @@
+#include "obs/phase_profiler.hpp"
+
+#include "obs/registry.hpp"
+
+namespace qes::obs {
+
+PhaseProfiler::PhaseProfiler(Registry* registry, std::string metric,
+                             std::string help)
+    : registry_(registry),
+      metric_(std::move(metric)),
+      help_(std::move(help)) {}
+
+Histogram* PhaseProfiler::phase_histogram(const std::string& name) {
+  if (registry_ == nullptr) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(name);
+    if (it != cache_.end()) return it->second;
+  }
+  // First use of this phase name: resolve through the registry (which
+  // hands back a stable reference) outside our own lock, then publish.
+  Histogram& hist = registry_->histogram(metric_, help_, {{"phase", name}},
+                                         phase_ms_buckets());
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.emplace(name, &hist);
+  return &hist;
+}
+
+}  // namespace qes::obs

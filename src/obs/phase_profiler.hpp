@@ -1,0 +1,90 @@
+// Always-on RAII phase timers for the scheduler pipeline.
+//
+// The replan pipeline (paper §IV/§V-D) has four phases — C-RR
+// distribution, budget-free YDS, water-filling power split, and the
+// budget-bounded Online-QE install loop — and the cluster broker adds a
+// fifth (the budget re-split tick). Per-phase cost is what every perf
+// PR on the ROADMAP needs to see, so the profiler is designed to stay
+// enabled in production: phase() returns a Scope that reads the
+// monotonic clock twice (construction/destruction) and records the
+// elapsed wall milliseconds into a registry histogram labeled
+// {phase="<name>"}. With no registry attached every Scope is inert — no
+// clock reads, no locks — so the bare sim/runtime constructions pay a
+// branch per phase and nothing else (bench/obs_overhead measures the
+// enabled cost end to end).
+//
+// Histograms are resolved once per phase name and cached, so the steady
+// state takes one small mutex per phase to protect the cache lookup and
+// the histogram's own record() lock — both uncontended on the replan
+// path, which is single-threaded in every stack.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/histogram.hpp"
+
+namespace qes::obs {
+
+class Registry;
+
+class PhaseProfiler {
+ public:
+  /// `registry` may be nullptr (profiling disabled, Scopes inert);
+  /// `metric` names the histogram family, e.g. "qesd_replan_phase_ms".
+  PhaseProfiler(Registry* registry, std::string metric, std::string help);
+
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// Records elapsed wall ms into its histogram when destroyed.
+  class Scope {
+   public:
+    explicit Scope(Histogram* hist) : hist_(hist) {
+      if (hist_ != nullptr) t0_ = std::chrono::steady_clock::now();
+    }
+    ~Scope() {
+      if (hist_ == nullptr) return;
+      const auto dt = std::chrono::steady_clock::now() - t0_;
+      hist_->record(
+          std::chrono::duration<double, std::milli>(dt).count());
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Histogram* hist_;
+    std::chrono::steady_clock::time_point t0_;
+  };
+
+  /// Starts timing one phase: `auto s = profiler.phase("wf");`. The
+  /// histogram carries the label {phase="<name>"}.
+  [[nodiscard]] Scope phase(const std::string& name) {
+    return Scope(phase_histogram(name));
+  }
+
+  /// The histogram backing phase `name` (nullptr when profiling is
+  /// disabled) — for callers that manage Scope lifetime manually, e.g.
+  /// through std::optional<Scope>::emplace.
+  [[nodiscard]] Histogram* phase_histogram(const std::string& name);
+
+  [[nodiscard]] bool enabled() const { return registry_ != nullptr; }
+
+  /// Bucket scheme for phase timings: 1 µs .. ~8.4 s, factor-2 buckets
+  /// (replan phases sit in the µs range; the wide top end catches
+  /// pathological stalls).
+  [[nodiscard]] static Histogram phase_ms_buckets() {
+    return Histogram(0.001, 2.0, 24);
+  }
+
+ private:
+  Registry* registry_;
+  const std::string metric_;
+  const std::string help_;
+  std::mutex mu_;  // guards cache_ layout only
+  std::unordered_map<std::string, Histogram*> cache_;
+};
+
+}  // namespace qes::obs

@@ -1,0 +1,352 @@
+#include "obs/promlint.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace qes::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Parses a sample value ("1.5", "+Inf", "NaN", "1e-3"); false when the
+/// token is not fully consumed.
+bool parse_value(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  const char* cs = s.c_str();
+  char* end = nullptr;
+  *out = std::strtod(cs, &end);
+  return end == cs + s.size();
+}
+
+struct FamilyState {
+  std::string type;  // empty until TYPE seen
+  std::string help;
+  bool closed = false;  // a different family's block has started since
+  bool has_samples = false;
+  std::size_t index = 0;  // into PromLintResult::families
+};
+
+/// The family a series belongs to: histogram series drop their
+/// _bucket/_sum/_count suffix when that base family is typed histogram.
+std::string family_of(const std::string& series,
+                      const std::map<std::string, FamilyState>& families) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::size_t n = std::strlen(suffix);
+    if (series.size() > n &&
+        series.compare(series.size() - n, n, suffix) == 0) {
+      const std::string base = series.substr(0, series.size() - n);
+      auto it = families.find(base);
+      if (it != families.end() && it->second.type == "histogram") return base;
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+std::string PromLintResult::error_text() const {
+  std::string out;
+  for (const std::string& e : errors) {
+    out += e;
+    out += '\n';
+  }
+  return out;
+}
+
+PromLintResult prom_lint(const std::string& exposition) {
+  PromLintResult result;
+  std::map<std::string, FamilyState> families;
+  std::string current;  // family whose block is open
+
+  auto fail = [&](std::size_t lineno, const std::string& msg) {
+    result.errors.push_back("line " + std::to_string(lineno) + ": " + msg);
+  };
+
+  auto family_state = [&](const std::string& name) -> FamilyState& {
+    auto [it, fresh] = families.emplace(name, FamilyState{});
+    if (fresh) {
+      it->second.index = result.families.size();
+      result.families.push_back({name, "untyped", "", {}});
+    }
+    return it->second;
+  };
+
+  // Opening family `name`'s block closes the previous one; reopening a
+  // closed family is the contiguity violation.
+  auto open_block = [&](const std::string& name, std::size_t lineno) {
+    if (current == name) return;
+    if (!current.empty()) families[current].closed = true;
+    FamilyState& st = family_state(name);
+    if (st.closed) {
+      fail(lineno, "family " + name +
+                       " is not contiguous (block reopened after another "
+                       "family started)");
+      st.closed = false;
+    }
+    current = name;
+  };
+
+  std::istringstream in(exposition);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type"; any other comment is
+      // ignored per the format.
+      std::istringstream ls(line);
+      std::string hash, keyword, name;
+      ls >> hash >> keyword >> name;
+      if (keyword != "HELP" && keyword != "TYPE") continue;
+      if (!valid_metric_name(name)) {
+        fail(lineno, "invalid metric name in " + keyword + ": '" + name + "'");
+        continue;
+      }
+      open_block(name, lineno);
+      FamilyState& st = family_state(name);
+      std::string rest;
+      std::getline(ls, rest);
+      while (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      if (keyword == "HELP") {
+        if (!st.help.empty()) fail(lineno, "duplicate HELP for " + name);
+        if (st.has_samples) fail(lineno, "HELP for " + name + " after samples");
+        st.help = rest;
+        result.families[st.index].help = rest;
+      } else {
+        if (!st.type.empty()) fail(lineno, "duplicate TYPE for " + name);
+        if (st.has_samples) fail(lineno, "TYPE for " + name + " after samples");
+        if (rest != "counter" && rest != "gauge" && rest != "histogram" &&
+            rest != "summary" && rest != "untyped") {
+          fail(lineno, "unknown TYPE '" + rest + "' for " + name);
+        }
+        st.type = rest;
+        result.families[st.index].type = rest;
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+    const std::string series = line.substr(0, pos);
+    if (!valid_metric_name(series)) {
+      fail(lineno, "invalid series name '" + series + "'");
+      continue;
+    }
+    PromSample sample;
+    sample.name = series;
+    bool bad = false;
+    if (pos < line.size() && line[pos] == '{') {
+      ++pos;
+      std::vector<std::string> seen_names;
+      while (pos < line.size() && line[pos] != '}') {
+        std::size_t eq = line.find('=', pos);
+        if (eq == std::string::npos) {
+          fail(lineno, "malformed label block");
+          bad = true;
+          break;
+        }
+        const std::string lname = line.substr(pos, eq - pos);
+        if (!valid_label_name(lname)) {
+          fail(lineno, "invalid label name '" + lname + "'");
+          bad = true;
+        }
+        for (const std::string& prev : seen_names) {
+          if (prev == lname) {
+            fail(lineno, "duplicate label name '" + lname + "'");
+            bad = true;
+          }
+        }
+        seen_names.push_back(lname);
+        if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+          fail(lineno, "label value for '" + lname + "' is not quoted");
+          bad = true;
+          break;
+        }
+        // Unescape the value; only \\ \" \n are legal escapes.
+        std::string value;
+        pos = eq + 2;
+        bool closed_quote = false;
+        while (pos < line.size()) {
+          const char c = line[pos];
+          if (c == '"') {
+            closed_quote = true;
+            ++pos;
+            break;
+          }
+          if (c == '\\') {
+            if (pos + 1 >= line.size()) break;
+            const char esc = line[pos + 1];
+            if (esc == '\\') value += '\\';
+            else if (esc == '"') value += '"';
+            else if (esc == 'n') value += '\n';
+            else {
+              fail(lineno, std::string("invalid escape '\\") + esc +
+                               "' in label value");
+              bad = true;
+              value += esc;
+            }
+            pos += 2;
+            continue;
+          }
+          value += c;
+          ++pos;
+        }
+        if (!closed_quote) {
+          fail(lineno, "unterminated label value");
+          bad = true;
+          break;
+        }
+        sample.labels.emplace_back(lname, value);
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (bad) continue;
+      if (pos >= line.size() || line[pos] != '}') {
+        fail(lineno, "unterminated label block");
+        continue;
+      }
+      ++pos;
+    }
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    std::size_t vend = pos;
+    while (vend < line.size() && line[vend] != ' ') ++vend;
+    if (!parse_value(line.substr(pos, vend - pos), &sample.value)) {
+      fail(lineno,
+           "unparsable value '" + line.substr(pos, vend - pos) + "'");
+      continue;
+    }
+
+    const std::string fname = family_of(series, families);
+    if (families.find(fname) == families.end() ||
+        families[fname].type.empty()) {
+      fail(lineno, "sample for " + series + " before any TYPE line");
+    }
+    open_block(fname, lineno);
+    FamilyState& st = family_state(fname);
+    st.has_samples = true;
+    result.families[st.index].samples.push_back(std::move(sample));
+  }
+
+  // Histogram shape checks, one series group per non-`le` label set.
+  for (const PromFamily& fam : result.families) {
+    if (fam.type != "histogram") continue;
+    struct Group {
+      std::vector<std::pair<double, double>> buckets;  // (le, cum count)
+      bool has_inf = false;
+      double inf_count = 0.0;
+      bool has_sum = false;
+      bool has_count = false;
+      double count = 0.0;
+    };
+    std::map<std::string, Group> groups;
+    auto group_key = [](const Labels& labels) {
+      std::string key;
+      for (const auto& [k, v] : labels) {
+        if (k == "le") continue;
+        key += k + "=" + v + ",";
+      }
+      return key;
+    };
+    for (const PromSample& s : fam.samples) {
+      Group& g = groups[group_key(s.labels)];
+      if (s.name == fam.name + "_sum") {
+        g.has_sum = true;
+      } else if (s.name == fam.name + "_count") {
+        g.has_count = true;
+        g.count = s.value;
+      } else if (s.name == fam.name + "_bucket") {
+        std::string le;
+        for (const auto& [k, v] : s.labels) {
+          if (k == "le") le = v;
+        }
+        if (le.empty()) {
+          result.errors.push_back("histogram " + fam.name +
+                                  " has a _bucket sample without le");
+          continue;
+        }
+        if (le == "+Inf") {
+          g.has_inf = true;
+          g.inf_count = s.value;
+        } else {
+          double bound = 0.0;
+          if (!parse_value(le, &bound)) {
+            result.errors.push_back("histogram " + fam.name +
+                                    " has unparsable le '" + le + "'");
+            continue;
+          }
+          if (g.has_inf) {
+            result.errors.push_back("histogram " + fam.name +
+                                    " has buckets after +Inf");
+          }
+          g.buckets.emplace_back(bound, s.value);
+        }
+      } else {
+        result.errors.push_back("histogram " + fam.name +
+                                " has unexpected series " + s.name);
+      }
+    }
+    for (const auto& [key, g] : groups) {
+      const std::string where =
+          fam.name + (key.empty() ? "" : "{" + key + "}");
+      for (std::size_t i = 1; i < g.buckets.size(); ++i) {
+        if (g.buckets[i].first <= g.buckets[i - 1].first) {
+          result.errors.push_back("histogram " + where +
+                                  " bucket bounds not increasing");
+        }
+        if (g.buckets[i].second < g.buckets[i - 1].second) {
+          result.errors.push_back("histogram " + where +
+                                  " bucket counts not cumulative");
+        }
+      }
+      if (!g.has_inf) {
+        result.errors.push_back("histogram " + where + " missing +Inf bucket");
+      } else {
+        if (!g.buckets.empty() && g.inf_count < g.buckets.back().second) {
+          result.errors.push_back("histogram " + where +
+                                  " +Inf bucket below last finite bucket");
+        }
+        if (g.has_count && g.inf_count != g.count) {
+          result.errors.push_back("histogram " + where +
+                                  " +Inf bucket disagrees with _count");
+        }
+      }
+      if (!g.has_sum) {
+        result.errors.push_back("histogram " + where + " missing _sum");
+      }
+      if (!g.has_count) {
+        result.errors.push_back("histogram " + where + " missing _count");
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace qes::obs

@@ -1,0 +1,61 @@
+// In-repo Prometheus text-format parser and linter.
+//
+// The obs layer promises that its expositions are scrapable by a real
+// Prometheus server, but CI has no Prometheus to scrape with — so this
+// is the next best thing: an independent parser of the documented text
+// format (name/label grammar, HELP/TYPE comment lines, histogram
+// bucket/sum/count series) that re-reads what Registry::to_prometheus()
+// wrote and reports every violation it can detect:
+//
+//   - metric names not matching  [a-zA-Z_:][a-zA-Z0-9_:]*
+//   - label names not matching   [a-zA-Z_][a-zA-Z0-9_]*   or duplicated
+//   - label values with invalid escapes (only \\ \" \n are legal)
+//   - samples before their TYPE line, duplicate or late HELP/TYPE
+//   - non-contiguous families (series of one family interleaved with
+//     another family's block)
+//   - unparsable sample values
+//   - histogram shape: per series (grouped by non-`le` labels) buckets
+//     must have strictly increasing `le` bounds, non-decreasing
+//     cumulative counts, a final +Inf bucket, and _sum/_count series
+//     whose count equals the +Inf bucket
+//
+// parse() never throws: malformed input produces errors, and whatever
+// was parseable is still returned so tests can assert on both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace qes::obs {
+
+/// One parsed sample line: series name (family name plus any
+/// _bucket/_sum/_count suffix), labels in appearance order, value.
+struct PromSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct PromFamily {
+  std::string name;
+  std::string type;  ///< counter | gauge | histogram | summary | untyped
+  std::string help;  ///< empty when no HELP line was present
+  std::vector<PromSample> samples;
+};
+
+struct PromLintResult {
+  std::vector<PromFamily> families;  ///< in exposition order
+  std::vector<std::string> errors;   ///< empty = exposition is clean
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+
+  /// All errors joined with newlines — for test failure messages.
+  [[nodiscard]] std::string error_text() const;
+};
+
+/// Parses and lints one exposition (the full /metrics body).
+[[nodiscard]] PromLintResult prom_lint(const std::string& exposition);
+
+}  // namespace qes::obs

@@ -12,22 +12,31 @@ RunAccumulator::RunAccumulator(Registry* registry, std::string prefix)
   // Register every instrument up front so the exposition carries the full
   // schema (and a deterministic series order) even for outcomes that never
   // occur in a given run — e.g. the latency histogram when no job is
-  // satisfied.
-  for (const char* outcome : {"satisfied", "partial", "zero"}) {
-    registry_->counter(prefix_ + "_jobs_total", "finalized jobs by outcome",
-                       {{"outcome", outcome}});
+  // satisfied. The returned references are kept (registry entries are
+  // never removed) so on_job() skips the name+label lookup on its
+  // once-per-finalized-job hot path.
+  const char* outcomes[] = {"satisfied", "partial", "zero"};
+  for (int i = 0; i < 3; ++i) {
+    outcome_jobs_[i] =
+        &registry_->counter(prefix_ + "_jobs_total",
+                            "finalized jobs by outcome",
+                            {{"outcome", outcomes[i]}});
   }
-  registry_->counter(prefix_ + "_jobs_discarded_rigid_total",
-                     "rigid (non-partial) jobs that missed their demand");
-  registry_->counter(prefix_ + "_quality_total",
-                     "sum of achieved job quality");
-  registry_->counter(prefix_ + "_quality_max_total",
-                     "sum of attainable job quality");
-  registry_->histogram(prefix_ + "_job_quality", "per-job achieved quality",
-                       {}, Histogram::quality());
-  registry_->histogram(prefix_ + "_job_latency_ms",
-                       "response time of satisfied jobs (ms)", {},
-                       Histogram::latency_ms());
+  discarded_rigid_ = &registry_->counter(
+      prefix_ + "_jobs_discarded_rigid_total",
+      "rigid (non-partial) jobs that missed their demand");
+  quality_total_ = &registry_->counter(prefix_ + "_quality_total",
+                                       "sum of achieved job quality");
+  quality_max_total_ = &registry_->counter(prefix_ + "_quality_max_total",
+                                           "sum of attainable job quality");
+  job_quality_ =
+      &registry_->histogram(prefix_ + "_job_quality",
+                            "per-job achieved quality", {},
+                            Histogram::quality());
+  job_latency_ms_ =
+      &registry_->histogram(prefix_ + "_job_latency_ms",
+                            "response time of satisfied jobs (ms)", {},
+                            Histogram::latency_ms());
 }
 
 void RunAccumulator::on_job(double quality, double max_quality,
@@ -36,50 +45,28 @@ void RunAccumulator::on_job(double quality, double max_quality,
   ++stats_.jobs_total;
   stats_.total_quality += quality;
   stats_.max_quality += max_quality;
-  const char* outcome;
+  int outcome;
   if (satisfied) {
     ++stats_.jobs_satisfied;
-    outcome = "satisfied";
+    outcome = 0;
     latency_sum_ += latency_ms;
     latencies_.push_back(latency_ms);
   } else if (got_volume) {
     ++stats_.jobs_partial;
-    outcome = "partial";
+    outcome = 1;
   } else {
     ++stats_.jobs_zero;
-    outcome = "zero";
+    outcome = 2;
   }
   if (rigid_failed) ++stats_.jobs_discarded_rigid;
 
   if (registry_ == nullptr) return;
-  registry_
-      ->counter(prefix_ + "_jobs_total", "finalized jobs by outcome",
-                {{"outcome", outcome}})
-      .inc();
-  if (rigid_failed) {
-    registry_
-        ->counter(prefix_ + "_jobs_discarded_rigid_total",
-                  "rigid (non-partial) jobs that missed their demand")
-        .inc();
-  }
-  registry_
-      ->counter(prefix_ + "_quality_total", "sum of achieved job quality")
-      .add(quality);
-  registry_
-      ->counter(prefix_ + "_quality_max_total",
-                "sum of attainable job quality")
-      .add(max_quality);
-  registry_
-      ->histogram(prefix_ + "_job_quality", "per-job achieved quality", {},
-                  Histogram::quality())
-      .record(quality);
-  if (satisfied) {
-    registry_
-        ->histogram(prefix_ + "_job_latency_ms",
-                    "response time of satisfied jobs (ms)", {},
-                    Histogram::latency_ms())
-        .record(latency_ms);
-  }
+  outcome_jobs_[outcome]->inc();
+  if (rigid_failed) discarded_rigid_->inc();
+  quality_total_->add(quality);
+  quality_max_total_->add(max_quality);
+  job_quality_->record(quality);
+  if (satisfied) job_latency_ms_->record(latency_ms);
 }
 
 RunStats RunAccumulator::finish(Joules dynamic_energy, Joules static_energy,

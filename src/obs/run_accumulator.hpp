@@ -32,6 +32,8 @@
 
 namespace qes::obs {
 
+class Counter;
+class Histogram;
 class Registry;
 
 class RunAccumulator {
@@ -56,6 +58,15 @@ class RunAccumulator {
  private:
   Registry* registry_;
   std::string prefix_;
+  // Instrument pointers resolved once at construction (registry entries
+  // are never removed, so they stay valid): on_job() runs once per
+  // finalized job and must not pay a name+label lookup each time.
+  Counter* outcome_jobs_[3] = {};  // satisfied, partial, zero
+  Counter* discarded_rigid_ = nullptr;
+  Counter* quality_total_ = nullptr;
+  Counter* quality_max_total_ = nullptr;
+  Histogram* job_quality_ = nullptr;
+  Histogram* job_latency_ms_ = nullptr;
   RunStats stats_;
   Time latency_sum_ = 0.0;
   std::vector<Time> latencies_;

@@ -1,0 +1,214 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+
+namespace qes::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+std::vector<RequestSpan> assemble_spans(const std::vector<TraceEvent>& events,
+                                        int node) {
+  std::vector<RequestSpan> spans;
+  std::unordered_map<JobId, std::size_t> index;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::Shed ||
+        e.kind == TraceEvent::Kind::Replan) {
+      continue;  // not job-scoped
+    }
+    auto [it, fresh] = index.emplace(e.job, spans.size());
+    if (fresh) {
+      RequestSpan s;
+      s.job = e.job;
+      s.node = node;
+      // Fallback when ring wraparound dropped the release event; the
+      // explicit Release case below overwrites it.
+      s.release = e.t;
+      spans.push_back(std::move(s));
+    }
+    RequestSpan& s = spans[it->second];
+    switch (e.kind) {
+      case TraceEvent::Kind::Release:
+        s.release = e.t;
+        break;
+      case TraceEvent::Kind::Assign:
+        // Jobs never migrate; keep the first placement if a trace ever
+        // carried more than one.
+        if (s.assign < 0.0) {
+          s.assign = e.t;
+          s.core = e.core;
+        }
+        break;
+      case TraceEvent::Kind::Exec:
+        s.slices.push_back({e.t0, e.t1, e.speed, e.core});
+        break;
+      case TraceEvent::Kind::Finalize:
+        s.finalize = e.t;
+        s.quality = e.value;
+        s.satisfied = e.satisfied;
+        break;
+      default:
+        break;
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const RequestSpan& a, const RequestSpan& b) {
+              return a.node != b.node ? a.node < b.node : a.job < b.job;
+            });
+  return spans;
+}
+
+bool SpanReconciliation::matches(const RunStats& stats, double tol) const {
+  return finalized == stats.jobs_total && satisfied == stats.jobs_satisfied &&
+         std::fabs(total_quality - stats.total_quality) <= tol &&
+         std::fabs(mean_latency - stats.mean_latency) <= tol;
+}
+
+SpanReconciliation reconcile_spans(const std::vector<RequestSpan>& spans) {
+  // Walk in (node, job-id) order regardless of input order: within one
+  // node that is exactly the order RunAccumulator::on_job consumed the
+  // finalized jobs in, so the fp accumulation sequence is identical.
+  std::vector<const RequestSpan*> ordered;
+  ordered.reserve(spans.size());
+  for (const RequestSpan& s : spans) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const RequestSpan* a, const RequestSpan* b) {
+              return a->node != b->node ? a->node < b->node : a->job < b->job;
+            });
+  SpanReconciliation r;
+  for (const RequestSpan* s : ordered) {
+    if (!s->finalized()) continue;  // abandoned or truncated: not in RunStats
+    ++r.finalized;
+    r.total_quality += s->quality;
+    if (s->satisfied) {
+      ++r.satisfied;
+      r.latency_sum += s->total_latency();
+    }
+  }
+  r.mean_latency =
+      r.satisfied > 0 ? r.latency_sum / static_cast<double>(r.satisfied) : 0.0;
+  return r;
+}
+
+std::string span_to_json(const RequestSpan& s) {
+  std::string out;
+  appendf(out,
+          "{\"job\": %llu, \"node\": %d, \"release\": %.3f, "
+          "\"assign\": %.3f, \"finalize\": %.3f, \"core\": %d, "
+          "\"quality\": %.6f, \"satisfied\": %s, \"queue_wait\": %.3f, "
+          "\"service\": %.3f, \"latency\": %.3f, \"slices\": [",
+          static_cast<unsigned long long>(s.job), s.node, s.release, s.assign,
+          s.finalize, s.core, s.quality, s.satisfied ? "true" : "false",
+          s.queue_wait(), s.service(), s.total_latency());
+  for (std::size_t i = 0; i < s.slices.size(); ++i) {
+    const ExecSlice& e = s.slices[i];
+    appendf(out,
+            "%s{\"t0\": %.3f, \"t1\": %.3f, \"speed\": %.6f, \"core\": %d}",
+            i == 0 ? "" : ", ", e.t0, e.t1, e.speed, e.core);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string spans_to_chrome_json(const std::vector<RequestSpan>& spans) {
+  // Chrome trace-event timestamps are microseconds; model time is
+  // virtual ms.
+  constexpr double kUs = 1000.0;
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  const auto pid = [](const RequestSpan& s) { return s.node < 0 ? 0 : s.node; };
+
+  // Metadata: name each node's process, its per-core threads, and the
+  // virtual "requests" thread (tid 0; cores are tid core+1).
+  std::vector<std::pair<int, int>> named;  // (pid, tid) pairs emitted
+  auto name_thread = [&](int p, int tid, const std::string& name) {
+    if (std::find(named.begin(), named.end(), std::make_pair(p, tid)) !=
+        named.end()) {
+      return;
+    }
+    named.emplace_back(p, tid);
+    sep();
+    appendf(out,
+            "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": %d, "
+            "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+            p, tid, name.c_str());
+  };
+  std::vector<int> named_pids;
+  for (const RequestSpan& s : spans) {
+    const int p = pid(s);
+    if (std::find(named_pids.begin(), named_pids.end(), p) ==
+        named_pids.end()) {
+      named_pids.push_back(p);
+      sep();
+      appendf(out,
+              "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %d, "
+              "\"args\": {\"name\": \"%s %d\"}}",
+              p, s.node < 0 ? "qes" : "node", p);
+      name_thread(p, 0, "requests");
+    }
+    for (const ExecSlice& e : s.slices) {
+      name_thread(p, e.core + 1, "core " + std::to_string(e.core));
+    }
+  }
+
+  for (const RequestSpan& s : spans) {
+    const int p = pid(s);
+    // Request window: async begin/end pair; the id string scopes the
+    // pair to its node so equal per-node job ids cannot cross-match.
+    if (s.finalized()) {
+      sep();
+      appendf(out,
+              "{\"ph\": \"b\", \"cat\": \"request\", \"id\": \"n%d.j%llu\", "
+              "\"name\": \"job %llu\", \"pid\": %d, \"tid\": 0, "
+              "\"ts\": %.3f, \"args\": {\"quality\": %.6f, "
+              "\"satisfied\": %s, \"queue_wait_ms\": %.3f, "
+              "\"service_ms\": %.3f}}",
+              p, static_cast<unsigned long long>(s.job),
+              static_cast<unsigned long long>(s.job), p, s.release * kUs,
+              s.quality, s.satisfied ? "true" : "false", s.queue_wait(),
+              s.service());
+      sep();
+      appendf(out,
+              "{\"ph\": \"e\", \"cat\": \"request\", \"id\": \"n%d.j%llu\", "
+              "\"name\": \"job %llu\", \"pid\": %d, \"tid\": 0, "
+              "\"ts\": %.3f}",
+              p, static_cast<unsigned long long>(s.job),
+              static_cast<unsigned long long>(s.job), p, s.finalize * kUs);
+    }
+    for (const ExecSlice& e : s.slices) {
+      sep();
+      appendf(out,
+              "{\"ph\": \"X\", \"cat\": \"exec\", \"name\": \"job %llu\", "
+              "\"pid\": %d, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, "
+              "\"args\": {\"speed_ghz\": %.6f}}",
+              static_cast<unsigned long long>(s.job), p, e.core + 1,
+              e.t0 * kUs, (e.t1 - e.t0) * kUs, e.speed);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace qes::obs

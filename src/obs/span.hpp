@@ -1,0 +1,116 @@
+// Per-request spans assembled from the TraceRing event stream.
+//
+// A flat trace answers "what happened at time t"; a span answers "where
+// did THIS request's latency go". assemble_spans() folds the per-job
+// lifecycle events (release → assign → exec slices → finalize) into one
+// RequestSpan per job, with the queue-wait / service / total-latency
+// breakdown derived from the same timestamps the engines recorded — no
+// re-measurement, so the numbers cannot drift from the trace.
+//
+// Self-validation: reconcile_spans() re-derives the run-level quality
+// and latency aggregates from the spans by walking them in job-id order
+// — the exact order (and therefore the exact floating-point op
+// sequence) RunAccumulator used — so a complete trace reconciles
+// bitwise with RunStats. A span without a finalize event (job abandoned
+// by a node kill, or trace truncated by ring wraparound) is excluded,
+// mirroring RunAccumulator, which never saw such a job either.
+//
+// Export: spans_to_chrome_json() renders the Chrome trace-event format
+// (Perfetto / chrome://tracing loadable): one process per node, one
+// thread per core carrying the exec slices as complete ("X") events,
+// and a "requests" thread carrying each request's release→finalize
+// window as an async ("b"/"e") pair keyed by job id. Model time is in
+// virtual ms; Chrome wants microseconds, so timestamps are scaled by
+// 1000. The JSONL side (span_to_json) is one object per span, schema in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/time.hpp"
+#include "obs/trace.hpp"
+#include "sim/metrics.hpp"
+
+namespace qes::obs {
+
+/// One contiguous execution interval of a job on a core.
+struct ExecSlice {
+  Time t0 = 0.0;
+  Time t1 = 0.0;
+  double speed = 0.0;  ///< GHz
+  int core = -1;
+};
+
+/// The assembled lifecycle of one request.
+struct RequestSpan {
+  JobId job = 0;
+  int node = -1;  ///< cluster node id; -1 in single-node runs
+  Time release = 0.0;
+  Time assign = -1.0;    ///< first placement on a core; -1 if never assigned
+  Time finalize = -1.0;  ///< -1 when the trace holds no finalize event
+  int core = -1;         ///< core of the first assignment
+  double quality = 0.0;
+  bool satisfied = false;
+  std::vector<ExecSlice> slices;
+
+  [[nodiscard]] bool finalized() const { return finalize >= 0.0; }
+
+  /// Release to first core placement (to finalize when never assigned —
+  /// the whole span was spent queued).
+  [[nodiscard]] Time queue_wait() const {
+    if (assign >= 0.0) return assign - release;
+    return finalized() ? finalize - release : 0.0;
+  }
+
+  /// Total executed time: sum of exec-slice durations.
+  [[nodiscard]] Time service() const {
+    Time s = 0.0;
+    for (const ExecSlice& e : slices) s += e.t1 - e.t0;
+    return s;
+  }
+
+  /// Release to finalize; 0 for unfinalized spans.
+  [[nodiscard]] Time total_latency() const {
+    return finalized() ? finalize - release : 0.0;
+  }
+};
+
+/// Folds a trace-event stream (as drained or tailed from a TraceRing)
+/// into spans, one per distinct job id, sorted by job id. Shed/Replan
+/// events are not job-scoped and are skipped. `node` tags every span
+/// (cluster callers assemble each node's ring separately — per-node job
+/// ids are dense from 1, so rings must not be mixed).
+[[nodiscard]] std::vector<RequestSpan> assemble_spans(
+    const std::vector<TraceEvent>& events, int node = -1);
+
+/// Run-level aggregates re-derived from spans in job-id order — the
+/// same order RunAccumulator consumed the jobs in, so on a complete
+/// trace these match RunStats bitwise (see matches()).
+struct SpanReconciliation {
+  std::size_t finalized = 0;  ///< spans carrying a finalize event
+  std::size_t satisfied = 0;
+  double total_quality = 0.0;
+  Time latency_sum = 0.0;    ///< satisfied spans only, job-id order
+  Time mean_latency = 0.0;   ///< latency_sum / satisfied (0 when none)
+
+  /// True when the span totals agree with `stats` within `tol`
+  /// (defaults beyond fp round-off only as a guard; equality is
+  /// expected bitwise).
+  [[nodiscard]] bool matches(const RunStats& stats, double tol = 1e-9) const;
+};
+
+[[nodiscard]] SpanReconciliation reconcile_spans(
+    const std::vector<RequestSpan>& spans);
+
+/// One JSON object (single line, no trailing newline).
+[[nodiscard]] std::string span_to_json(const RequestSpan& span);
+
+/// Chrome trace-event JSON for the whole span set; pass spans from
+/// several nodes concatenated to get one process per node.
+[[nodiscard]] std::string spans_to_chrome_json(
+    const std::vector<RequestSpan>& spans);
+
+}  // namespace qes::obs

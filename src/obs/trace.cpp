@@ -38,8 +38,9 @@ std::string to_json(const TraceEvent& e) {
     case TraceEvent::Kind::Finalize:
       std::snprintf(buf, sizeof(buf),
                     "{\"kind\": \"finalize\", \"t\": %.3f, \"job\": %llu, "
-                    "\"quality\": %.6f}",
-                    e.t, static_cast<unsigned long long>(e.job), e.value);
+                    "\"quality\": %.6f, \"satisfied\": %s}",
+                    e.t, static_cast<unsigned long long>(e.job), e.value,
+                    e.satisfied ? "true" : "false");
       break;
     case TraceEvent::Kind::Replan:
       std::snprintf(buf, sizeof(buf),
@@ -74,6 +75,13 @@ std::vector<TraceEvent> TraceRing::drain() {
   std::vector<TraceEvent> out(events_.begin(), events_.end());
   events_.clear();
   return out;
+}
+
+std::vector<TraceEvent> TraceRing::tail(std::size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = std::min(max_events, events_.size());
+  return std::vector<TraceEvent>(events_.end() - static_cast<std::ptrdiff_t>(n),
+                                 events_.end());
 }
 
 std::uint64_t TraceRing::dropped() const {

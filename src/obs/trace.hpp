@@ -9,9 +9,11 @@
 // ring in arrival order; to_jsonl() renders events one JSON object per
 // line (the schema is documented in docs/USAGE.md).
 //
-// Thread safety: push/drain/dropped take an internal mutex; producers
-// are the single-threaded engine or the runtime's trigger thread, so the
-// lock is effectively uncontended.
+// Thread safety: push/drain/tail/dropped take an internal mutex, so any
+// number of producers may share one ring (cluster nodes pushing
+// concurrently included) and the scrape plane may tail() it live. In the
+// common single-producer case (the engine or the runtime's trigger
+// thread) the lock is effectively uncontended.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +46,7 @@ struct TraceEvent {
   Time t1 = 0.0;      ///< Exec slice end
   double speed = 0.0; ///< Exec slice speed (GHz)
   double value = 0.0; ///< kind-specific payload (see Kind comments)
+  bool satisfied = false;  ///< Finalize: job completed its full demand
 };
 
 [[nodiscard]] const char* to_string(TraceEvent::Kind kind);
@@ -59,6 +62,10 @@ class TraceRing {
 
   /// Removes and returns all buffered events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> drain();
+
+  /// Copies the newest `max_events` buffered events (oldest first)
+  /// without consuming them — the live /tracez endpoint's peek.
+  [[nodiscard]] std::vector<TraceEvent> tail(std::size_t max_events) const;
 
   /// Events overwritten because the ring was full.
   [[nodiscard]] std::uint64_t dropped() const;

@@ -21,8 +21,18 @@ constexpr double kEps = kTimeEps;
 
 RuntimeCore::RuntimeCore(RuntimeConfig config)
     : cfg_(std::move(config)),
-      crr_(static_cast<std::size_t>(std::max(cfg_.cores, 1))) {
+      crr_(static_cast<std::size_t>(std::max(cfg_.cores, 1))),
+      profiler_(std::make_unique<obs::PhaseProfiler>(
+          cfg_.registry, "qesd_replan_phase_ms",
+          "wall time per DES replan phase (ms)")) {
   QES_ASSERT(cfg_.cores > 0 && cfg_.power_budget > 0.0);
+  if (cfg_.registry != nullptr) {
+    // Pre-register the end-of-run schema (jobs_total by outcome, quality
+    // and latency instruments) so a live /metrics scrape sees the full
+    // family set from the first request; finish() finds and increments
+    // these same instruments.
+    obs::RunAccumulator schema(cfg_.registry, "qesd");
+  }
   cores_.resize(static_cast<std::size_t>(cfg_.cores));
   next_quantum_ = cfg_.quantum_ms > 0.0
                       ? cfg_.quantum_ms
@@ -121,7 +131,8 @@ void RuntimeCore::finalize(JobId id) {
     cfg_.trace->push({.kind = obs::TraceEvent::Kind::Finalize,
                       .t = now_,
                       .job = id,
-                      .value = st.quality});
+                      .value = st.quality,
+                      .satisfied = st.satisfied});
   }
 }
 
@@ -391,10 +402,13 @@ void RuntimeCore::replan() {
   const int m = cfg_.cores;
 
   // Step 1: ready-job distribution (C-RR with the persistent cursor).
-  const std::vector<JobId> waiting(waiting_.begin(), waiting_.end());
-  const auto targets = crr_.distribute(waiting.size());
-  for (std::size_t k = 0; k < waiting.size(); ++k) {
-    assign_to_core(waiting[k], static_cast<int>(targets[k]));
+  {
+    auto timer = profiler_->phase("crr");
+    const std::vector<JobId> waiting(waiting_.begin(), waiting_.end());
+    const auto targets = crr_.distribute(waiting.size());
+    for (std::size_t k = 0; k < waiting.size(); ++k) {
+      assign_to_core(waiting[k], static_cast<int>(targets[k]));
+    }
   }
 
   // Step 2: budget-free per-core YDS.
@@ -402,16 +416,20 @@ void RuntimeCore::replan() {
   free_plans.reserve(static_cast<std::size_t>(m));
   Watts total_request = 0.0;
   Speed top_speed = 0.0;
-  for (int i = 0; i < m; ++i) {
-    BudgetFreePlan f = budget_free_plan(i);
-    total_request += f.power_at_now;
-    top_speed = std::max(top_speed, f.max_speed);
-    free_plans.push_back(std::move(f));
+  {
+    auto timer = profiler_->phase("yds");
+    for (int i = 0; i < m; ++i) {
+      BudgetFreePlan f = budget_free_plan(i);
+      total_request += f.power_at_now;
+      top_speed = std::max(top_speed, f.max_speed);
+      free_plans.push_back(std::move(f));
+    }
   }
 
   if (total_request <= cfg_.power_budget + kEps &&
       top_speed <= cfg_.max_core_speed + kEps) {
     // The optimistic schedules fit the budget: everyone completes.
+    auto timer = profiler_->phase("online_qe");
     for (int i = 0; i < m; ++i) {
       set_core_plan(i, std::move(free_plans[static_cast<std::size_t>(i)].plan));
     }
@@ -419,13 +437,19 @@ void RuntimeCore::replan() {
   }
 
   // Step 3: WF power distribution.
-  std::vector<Watts> requests;
-  requests.reserve(static_cast<std::size_t>(m));
-  for (const BudgetFreePlan& f : free_plans) requests.push_back(f.power_at_now);
-  const std::vector<Watts> budgets =
-      waterfill_power(requests, cfg_.power_budget);
+  std::vector<Watts> budgets;
+  {
+    auto timer = profiler_->phase("wf");
+    std::vector<Watts> requests;
+    requests.reserve(static_cast<std::size_t>(m));
+    for (const BudgetFreePlan& f : free_plans) {
+      requests.push_back(f.power_at_now);
+    }
+    budgets = waterfill_power(requests, cfg_.power_budget);
+  }
 
   // Step 4: budget-bounded per-core Online-QE planning.
+  auto timer = profiler_->phase("online_qe");
   for (int i = 0; i < m; ++i) {
     const Speed cap = std::min(
         cfg_.power_model.speed_for_power(budgets[static_cast<std::size_t>(i)]),

@@ -20,6 +20,7 @@
 
 #include <deque>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/job.hpp"
@@ -27,6 +28,7 @@
 #include "core/quality.hpp"
 #include "core/schedule.hpp"
 #include "multicore/crr.hpp"
+#include "obs/phase_profiler.hpp"
 #include "sim/metrics.hpp"
 
 namespace qes::obs {
@@ -49,8 +51,9 @@ struct RuntimeConfig {
   /// Hardware cap on any core's speed (GHz).
   Speed max_core_speed = std::numeric_limits<double>::infinity();
   /// Optional observability hooks (not owned). When set, finish()
-  /// mirrors the run aggregates into `registry` under the "qesd" prefix
-  /// and lifecycle events are pushed into `trace` (see src/obs/).
+  /// mirrors the run aggregates into `registry` under the "qesd" prefix,
+  /// replan() records per-phase wall time into qesd_replan_phase_ms, and
+  /// lifecycle events are pushed into `trace` (see src/obs/).
   obs::Registry* registry = nullptr;
   obs::TraceRing* trace = nullptr;
 };
@@ -209,6 +212,10 @@ class RuntimeCore {
 
   RuntimeConfig cfg_;
   CumulativeRoundRobin crr_;
+  // Heap-held so RuntimeCore stays movable (the cluster lockstep keeps
+  // cores in a vector); the profiler itself pins a mutex and its
+  // histogram cache.
+  std::unique_ptr<obs::PhaseProfiler> profiler_;
   std::vector<JobRecord> jobs_;  // index = id - 1
   std::vector<CoreState> cores_;
   std::vector<JobId> waiting_;   // arrived, unassigned, arrival order

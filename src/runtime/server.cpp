@@ -53,12 +53,38 @@ Server::~Server() {
 void Server::start() {
   QES_ASSERT_MSG(!started_, "start() may be called once");
   started_ = true;
+  if (cfg_.http_port >= 0) {
+    exporter_ = std::make_unique<obs::HttpExporter>(cfg_.http_port);
+    exporter_->handle("/metrics", "text/plain; version=0.0.4",
+                      [this] { return registry_.to_prometheus(); });
+    exporter_->handle("/metrics.json", "application/json",
+                      [this] { return registry_.to_json(); });
+    exporter_->handle("/healthz", "application/json", [this] {
+      return "{\"status\": \"ok\", \"requests_served\": " +
+             std::to_string(exporter_->requests_served()) +
+             ", \"snapshot\": " + snapshot().to_json() + "}\n";
+    });
+    exporter_->handle("/tracez", "application/x-ndjson", [this] {
+      if (cfg_.model.trace == nullptr) return std::string();
+      std::string out;
+      for (const obs::TraceEvent& e : cfg_.model.trace->tail(256)) {
+        out += obs::to_json(e);
+        out += '\n';
+      }
+      return out;
+    });
+    exporter_->start();
+  }
   threads_.reserve(static_cast<std::size_t>(cfg_.model.cores) + 2);
   threads_.emplace_back([this] { trigger_loop(); });
   threads_.emplace_back([this] { metrics_loop(); });
   for (int i = 0; i < cfg_.model.cores; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+int Server::http_port() const {
+  return exporter_ ? exporter_->port() : -1;
 }
 
 bool Server::submit(const Request& request,
@@ -306,9 +332,14 @@ RunStats Server::drain_and_stop() {
   for (std::thread& t : threads_) t.join();
   threads_.clear();
   stopped_ = true;
-  std::lock_guard<std::mutex> lock(mu_);
-  final_stats_ = core_.finish(core_.horizon());
-  final_stats_valid_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    final_stats_ = core_.finish(core_.horizon());
+    final_stats_valid_ = true;
+  }
+  // The exporter stays answerable through the drain (handlers only read
+  // thread-safe state); stop it once the final statistics exist.
+  if (exporter_) exporter_->stop();
   return final_stats_;
 }
 
@@ -349,16 +380,19 @@ Server::KillReport Server::kill() {
   stopped_ = true;
 
   KillReport report;
-  std::lock_guard<std::mutex> lock(mu_);
-  // Account everything executed up to the kill instant, then cut the
-  // rest loose. Requests still buffered in admission were never admitted
-  // — they go back to the cluster verbatim.
-  core_.advance(std::max(clock_.now(), core_.now()));
-  admission_.drain(report.pending);
-  report.abandoned = core_.abandon_unfinalized();
-  final_stats_ = core_.finish(core_.now());
-  final_stats_valid_ = true;
-  report.stats = final_stats_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Account everything executed up to the kill instant, then cut the
+    // rest loose. Requests still buffered in admission were never
+    // admitted — they go back to the cluster verbatim.
+    core_.advance(std::max(clock_.now(), core_.now()));
+    admission_.drain(report.pending);
+    report.abandoned = core_.abandon_unfinalized();
+    final_stats_ = core_.finish(core_.now());
+    final_stats_valid_ = true;
+    report.stats = final_stats_;
+  }
+  if (exporter_) exporter_->stop();  // a killed node answers no scrapes
   return report;
 }
 

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/http_exporter.hpp"
 #include "obs/registry.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/core.hpp"
@@ -64,6 +65,11 @@ struct ServerConfig {
   double metrics_interval_ms = 1000.0;
   /// Worker pacing granularity (wall ms).
   double worker_slice_wall_ms = 1.0;
+  /// HTTP scrape endpoint: -1 disables it, 0 binds an ephemeral port
+  /// (read back via Server::http_port()), anything else binds that port.
+  /// Serves /metrics, /metrics.json, /healthz, and /tracez on 127.0.0.1
+  /// from start() until the final statistics exist.
+  int http_port = -1;
 };
 
 /// One periodic observation of the live system.
@@ -163,6 +169,10 @@ class Server {
   [[nodiscard]] const obs::Registry& registry() const { return registry_; }
   [[nodiscard]] obs::Registry& registry() { return registry_; }
 
+  /// The bound scrape port, or -1 when the exporter is disabled. Valid
+  /// after start().
+  [[nodiscard]] int http_port() const;
+
  private:
   struct PlanSnapshot {
     Schedule plan;
@@ -222,6 +232,11 @@ class Server {
   std::vector<MetricsSnapshot> snapshots_;
 
   std::vector<std::thread> threads_;
+  // Scrape endpoint (nullptr when cfg_.http_port < 0). Its handlers read
+  // only registry_, the trace ring, and snapshot() — all thread-safe —
+  // so it stays answerable while the server drains; drain_and_stop() and
+  // kill() stop it once the final statistics exist.
+  std::unique_ptr<obs::HttpExporter> exporter_;
   bool started_ = false;
   bool stopped_ = false;
 };

@@ -153,7 +153,8 @@ void Engine::finalize(JobId id, bool force_zero_quality) {
     cfg_.trace->push({.kind = obs::TraceEvent::Kind::Finalize,
                       .t = now_,
                       .job = id,
-                      .value = st.quality});
+                      .value = st.quality,
+                      .satisfied = st.satisfied});
   }
 }
 

@@ -154,6 +154,28 @@ TEST(CliOptions, RuntimeDriverFlags) {
   EXPECT_TRUE(parse({"--conform"}).conform);
 }
 
+TEST(CliOptions, ScrapePlaneFlags) {
+  const Options defaults = parse({});
+  EXPECT_EQ(defaults.http_port, -1);
+  EXPECT_EQ(defaults.node_http_base_port, -1);
+  EXPECT_FALSE(defaults.trace_chrome.has_value());
+
+  const Options o = parse({"--http-port", "0", "--node-http-base-port",
+                           "19100", "--trace-chrome", "run.json"});
+  EXPECT_EQ(o.http_port, 0);
+  EXPECT_EQ(o.node_http_base_port, 19100);
+  ASSERT_TRUE(o.trace_chrome.has_value());
+  EXPECT_EQ(*o.trace_chrome, "run.json");
+  EXPECT_EQ(parse({"--http-port", "9090"}).http_port, 9090);
+
+  EXPECT_THROW(parse({"--http-port", "-2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--http-port", "65536"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--node-http-base-port", "70000"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--trace-chrome", ""}), std::invalid_argument);
+  EXPECT_THROW(parse({"--trace-chrome"}), std::invalid_argument);
+}
+
 TEST(CliOptions, RuntimeDriverRejectsBadValues) {
   EXPECT_THROW(parse({"--duration-s", "0"}), std::invalid_argument);
   EXPECT_THROW(parse({"--arrival-rate", "-1"}), std::invalid_argument);
@@ -211,6 +233,9 @@ TEST(CliOptions, HelpAndUsage) {
   EXPECT_NE(usage().find("--broker-period-ms"), std::string::npos);
   EXPECT_NE(usage().find("--compare-dispatch"), std::string::npos);
   EXPECT_NE(usage().find("--time-scale"), std::string::npos);
+  EXPECT_NE(usage().find("--http-port"), std::string::npos);
+  EXPECT_NE(usage().find("--node-http-base-port"), std::string::npos);
+  EXPECT_NE(usage().find("--trace-chrome"), std::string::npos);
 }
 
 }  // namespace

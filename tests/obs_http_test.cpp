@@ -1,0 +1,198 @@
+// HTTP exporter: protocol behavior of the standalone server, and the
+// live scrape endpoints the runtime server and the cluster mount on it.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "cluster/cluster.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/promlint.hpp"
+#include "obs/registry.hpp"
+#include "runtime/server.hpp"
+
+namespace qes {
+namespace {
+
+using std::chrono::milliseconds;
+
+// Raw one-shot exchange for the non-GET / malformed cases http_get
+// cannot produce. Returns the full response (status line included).
+std::string raw_request(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot connect");
+  }
+  (void)::send(fd, payload.data(), payload.size(), 0);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST(HttpExporter, ServesRegisteredRoutesOnEphemeralPort) {
+  obs::HttpExporter exporter(0);
+  int hits = 0;
+  exporter.handle("/metrics", "text/plain; version=0.0.4", [&hits] {
+    ++hits;
+    return std::string("m 1\n");
+  });
+  exporter.handle("/healthz", "application/json",
+                  [] { return std::string("{\"status\": \"ok\"}\n"); });
+  exporter.start();
+  ASSERT_GT(exporter.port(), 0);
+  EXPECT_TRUE(exporter.running());
+
+  std::string status;
+  EXPECT_EQ(obs::http_get(exporter.port(), "/metrics", &status), "m 1\n");
+  EXPECT_EQ(status, "HTTP/1.1 200 OK");
+  // Handlers render on demand: every scrape re-evaluates.
+  (void)obs::http_get(exporter.port(), "/metrics");
+  EXPECT_EQ(hits, 2);
+  // Query strings are stripped before route matching.
+  EXPECT_EQ(obs::http_get(exporter.port(), "/metrics?format=prom"), "m 1\n");
+  EXPECT_NE(obs::http_get(exporter.port(), "/healthz").find("ok"),
+            std::string::npos);
+  EXPECT_GE(exporter.requests_served(), 4u);
+
+  exporter.stop();
+  EXPECT_FALSE(exporter.running());
+  exporter.stop();  // idempotent
+  EXPECT_THROW((void)obs::http_get(exporter.port(), "/metrics"),
+               std::runtime_error);
+}
+
+TEST(HttpExporter, RejectsUnknownPathMethodAndGarbage) {
+  obs::HttpExporter exporter(0);
+  exporter.handle("/metrics", "text/plain", [] { return std::string("m 1\n"); });
+  exporter.start();
+
+  std::string status;
+  const std::string body =
+      obs::http_get(exporter.port(), "/nope", &status);
+  EXPECT_NE(status.find("404"), std::string::npos);
+  EXPECT_NE(body.find("/metrics"), std::string::npos);  // lists known routes
+
+  EXPECT_NE(raw_request(exporter.port(),
+                        "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(raw_request(exporter.port(), "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+  exporter.stop();
+}
+
+runtime::ServerConfig scrape_server_config() {
+  runtime::ServerConfig sc;
+  sc.model.cores = 8;
+  sc.model.power_budget = 160.0;
+  sc.time_scale = 8.0;
+  sc.deadline_ms = 150.0;
+  sc.metrics_interval_ms = 25.0;
+  sc.http_port = 0;
+  return sc;
+}
+
+TEST(HttpExporter, RuntimeServerServesLiveScrapePlane) {
+  runtime::ServerConfig sc = scrape_server_config();
+  obs::TraceRing trace(1u << 12);
+  sc.model.trace = &trace;
+  runtime::Server server(sc);
+  server.start();
+  ASSERT_GT(server.http_port(), 0);
+
+  for (int i = 0; i < 20; ++i) {
+    (void)server.submit(runtime::Request{.demand = 20.0},
+                        milliseconds(50));
+  }
+  std::this_thread::sleep_for(milliseconds(50));
+
+  const std::string prom = obs::http_get(server.http_port(), "/metrics");
+  EXPECT_NE(prom.find("qesd_jobs_total"), std::string::npos);
+  const obs::PromLintResult lint = obs::prom_lint(prom);
+  EXPECT_TRUE(lint.ok()) << lint.error_text();
+
+  EXPECT_NE(obs::http_get(server.http_port(), "/metrics.json")
+                .find("\"counters\""),
+            std::string::npos);
+  EXPECT_NE(obs::http_get(server.http_port(), "/healthz")
+                .find("\"status\": \"ok\""),
+            std::string::npos);
+  // The live trace peek is NDJSON of the newest events.
+  EXPECT_NE(obs::http_get(server.http_port(), "/tracez").find("\"kind\""),
+            std::string::npos);
+
+  const int port = server.http_port();
+  (void)server.drain_and_stop();
+  // The exporter is torn down with the server: the port goes dark.
+  EXPECT_THROW((void)obs::http_get(port, "/metrics"), std::runtime_error);
+}
+
+TEST(HttpExporter, ClusterServesAggregateAndPerNodeEndpoints) {
+  cluster::ClusterConfig cc;
+  cc.node = scrape_server_config();
+  cc.node.http_port = -1;  // overridden per node from node_http_base_port
+  cc.nodes = 2;
+  cc.total_budget = 320.0;
+  cc.http_port = 0;
+  cc.node_http_base_port = 0;
+  cc.node_trace_capacity = 1u << 12;
+  cluster::Cluster cluster(cc);
+  cluster.start();
+  ASSERT_GT(cluster.http_port(), 0);
+
+  for (int i = 0; i < 20; ++i) {
+    (void)cluster.submit(runtime::Request{.demand = 20.0});
+  }
+  std::this_thread::sleep_for(milliseconds(60));
+
+  // Aggregate endpoint: cluster registry only, lint-clean.
+  const std::string prom = obs::http_get(cluster.http_port(), "/metrics");
+  EXPECT_NE(prom.find("qes_cluster_node_budget_watts"), std::string::npos);
+  EXPECT_EQ(prom.find("qesd_"), std::string::npos);
+  const obs::PromLintResult lint = obs::prom_lint(prom);
+  EXPECT_TRUE(lint.ok()) << lint.error_text();
+  EXPECT_NE(obs::http_get(cluster.http_port(), "/healthz")
+                .find("\"node_http_ports\""),
+            std::string::npos);
+
+  // Every node answers its own scrape with its own qesd registry.
+  for (int i = 0; i < cluster.nodes(); ++i) {
+    const int port = cluster.node_server(i).http_port();
+    ASSERT_GT(port, 0);
+    EXPECT_NE(port, cluster.http_port());
+    const std::string node_prom = obs::http_get(port, "/metrics");
+    EXPECT_NE(node_prom.find("qesd_jobs_total"), std::string::npos);
+    const obs::PromLintResult node_lint = obs::prom_lint(node_prom);
+    EXPECT_TRUE(node_lint.ok()) << node_lint.error_text();
+  }
+  EXPECT_NE(cluster.node_server(0).http_port(),
+            cluster.node_server(1).http_port());
+
+  (void)cluster.drain_and_stop();
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,164 @@
+// Exposition lint: the in-repo Prometheus text parser must accept every
+// exposition Registry::to_prometheus() can produce — via the string API
+// and via a live /metrics scrape — and must reject the format
+// violations it documents.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/http_exporter.hpp"
+#include "obs/promlint.hpp"
+#include "obs/registry.hpp"
+
+namespace qes {
+namespace {
+
+// A registry exercising every exposition feature: help-less
+// instruments, label escaping, multi-series families, histograms.
+void populate(obs::Registry& reg) {
+  reg.counter("qes_jobs_total", "jobs admitted").add(42.0);
+  reg.counter("qes_jobs_total", "jobs admitted", {{"outcome", "satisfied"}})
+      .add(40.0);
+  reg.counter("qes_no_help_total").inc();
+  reg.gauge("qes_queue_depth", "waiting jobs").set(7.0);
+  reg.gauge("qes_path", "label-escaping probe",
+            {{"dir", "a\\b"}, {"quote", "say \"hi\"\nbye"}})
+      .set(1.0);
+  obs::Histogram& h =
+      reg.histogram("qes_latency_ms", "per-job latency", {},
+                    obs::Histogram(0.5, 2.0, 6));
+  for (double v : {0.3, 1.0, 7.5, 900.0}) h.record(v);
+  reg.histogram("qes_latency_ms", "per-job latency", {{"node", "1"}},
+                obs::Histogram(0.5, 2.0, 6))
+      .record(2.0);
+}
+
+TEST(PromLint, RegistryExpositionIsClean) {
+  obs::Registry reg;
+  populate(reg);
+  const obs::PromLintResult r = obs::prom_lint(reg.to_prometheus());
+  EXPECT_TRUE(r.ok()) << r.error_text();
+
+  // Families come back in exposition order with their declared shape.
+  ASSERT_EQ(r.families.size(), 5u);
+  EXPECT_EQ(r.families[0].name, "qes_jobs_total");
+  EXPECT_EQ(r.families[0].type, "counter");
+  EXPECT_EQ(r.families[0].help, "jobs admitted");
+  EXPECT_EQ(r.families[0].samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.families[0].samples[0].value, 42.0);
+
+  // Escaped label values round-trip back to the original strings.
+  bool found_probe = false;
+  for (const obs::PromFamily& f : r.families) {
+    if (f.name != "qes_path") continue;
+    found_probe = true;
+    ASSERT_EQ(f.samples.size(), 1u);
+    const obs::Labels& ls = f.samples[0].labels;
+    ASSERT_EQ(ls.size(), 2u);
+    EXPECT_EQ(ls[0].second, "a\\b");
+    EXPECT_EQ(ls[1].second, "say \"hi\"\nbye");
+  }
+  EXPECT_TRUE(found_probe);
+
+  // The histogram family carries both label sets' bucket series.
+  const obs::PromFamily& hist = r.families.back();
+  EXPECT_EQ(hist.name, "qes_latency_ms");
+  EXPECT_EQ(hist.type, "histogram");
+  std::size_t inf_buckets = 0;
+  for (const obs::PromSample& s : hist.samples) {
+    if (s.name != "qes_latency_ms_bucket") continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "le" && v == "+Inf") ++inf_buckets;
+    }
+  }
+  EXPECT_EQ(inf_buckets, 2u);
+}
+
+TEST(PromLint, LiveScrapeOnEphemeralPortIsClean) {
+  obs::Registry reg;
+  populate(reg);
+  obs::HttpExporter exporter(0);
+  exporter.handle("/metrics", "text/plain; version=0.0.4",
+                  [&reg] { return reg.to_prometheus(); });
+  exporter.start();
+  ASSERT_GT(exporter.port(), 0);
+
+  std::string status;
+  const std::string body = obs::http_get(exporter.port(), "/metrics", &status);
+  EXPECT_NE(status.find("200"), std::string::npos) << status;
+  EXPECT_EQ(body, reg.to_prometheus());
+  const obs::PromLintResult r = obs::prom_lint(body);
+  EXPECT_TRUE(r.ok()) << r.error_text();
+  exporter.stop();
+}
+
+TEST(PromLint, RejectsBadMetricName) {
+  const obs::PromLintResult r = obs::prom_lint("9bad_name 1\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PromLint, RejectsBadLabelNameAndBadEscape) {
+  EXPECT_FALSE(obs::prom_lint("# TYPE m gauge\nm{9l=\"v\"} 1\n").ok());
+  EXPECT_FALSE(obs::prom_lint("# TYPE m gauge\nm{l=\"\\q\"} 1\n").ok());
+  EXPECT_FALSE(obs::prom_lint("# TYPE m gauge\nm{l=\"a\",l=\"b\"} 1\n").ok());
+  EXPECT_TRUE(obs::prom_lint("# TYPE m gauge\nm{l=\"a\\\\b\\n\"} 1\n").ok());
+}
+
+TEST(PromLint, RejectsSampleWithoutType) {
+  EXPECT_FALSE(obs::prom_lint("m 1\n").ok());
+}
+
+TEST(PromLint, RejectsLateOrDuplicateMetadata) {
+  // TYPE after the family already emitted samples.
+  EXPECT_FALSE(obs::prom_lint("m 1\n# TYPE m counter\nm 2\n").ok());
+  EXPECT_FALSE(
+      obs::prom_lint("# TYPE m counter\n# TYPE m counter\nm 1\n").ok());
+  EXPECT_FALSE(obs::prom_lint("# HELP m a\n# TYPE m counter\n"
+                              "m 1\n# HELP m b\n")
+                   .ok());
+}
+
+TEST(PromLint, RejectsInterleavedFamilies) {
+  const obs::PromLintResult r = obs::prom_lint(
+      "# TYPE a counter\na 1\n"
+      "# TYPE b counter\nb 1\n"
+      "a{x=\"1\"} 2\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PromLint, RejectsUnparsableValue) {
+  EXPECT_FALSE(obs::prom_lint("# TYPE m gauge\nm notanumber\n").ok());
+  EXPECT_TRUE(obs::prom_lint("# TYPE m gauge\nm +Inf\n"
+                             "# TYPE n gauge\nn NaN\n")
+                  .ok());
+}
+
+TEST(PromLint, RejectsMalformedHistograms) {
+  // No +Inf terminator.
+  EXPECT_FALSE(obs::prom_lint("# TYPE h histogram\n"
+                              "h_bucket{le=\"1\"} 1\n"
+                              "h_sum 1\nh_count 1\n")
+                   .ok());
+  // Decreasing cumulative counts.
+  EXPECT_FALSE(obs::prom_lint("# TYPE h histogram\n"
+                              "h_bucket{le=\"1\"} 5\n"
+                              "h_bucket{le=\"2\"} 3\n"
+                              "h_bucket{le=\"+Inf\"} 5\n"
+                              "h_sum 1\nh_count 5\n")
+                   .ok());
+  // +Inf bucket disagrees with _count.
+  EXPECT_FALSE(obs::prom_lint("# TYPE h histogram\n"
+                              "h_bucket{le=\"+Inf\"} 5\n"
+                              "h_sum 1\nh_count 4\n")
+                   .ok());
+  // The well-formed version of the same family passes.
+  EXPECT_TRUE(obs::prom_lint("# TYPE h histogram\n"
+                             "h_bucket{le=\"1\"} 3\n"
+                             "h_bucket{le=\"2\"} 4\n"
+                             "h_bucket{le=\"+Inf\"} 5\n"
+                             "h_sum 9.5\nh_count 5\n")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace qes

@@ -1,0 +1,189 @@
+// Request spans assembled from the trace stream. The load-bearing
+// property: a complete trace's spans, reconciled in job-id order,
+// reproduce RunStats' quality and latency aggregates bitwise — for the
+// deterministic sim engine and for the live multi-threaded runtime.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "multicore/des_scheduler.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "runtime/server.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace qes {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Span, SimEngineSpansReconcileBitwiseWithRunStats) {
+  obs::TraceRing ring(1u << 20);
+  EngineConfig cfg;
+  cfg.cores = 4;
+  cfg.power_budget = 80.0;
+  cfg.record_execution = false;
+  cfg.trace = &ring;
+  WorkloadConfig wl;
+  wl.arrival_rate = 150.0;
+  wl.horizon_ms = 3000.0;
+  wl.seed = 7;
+  Engine engine(cfg, generate_websearch_jobs(wl), make_des_policy());
+  const RunStats stats = engine.run().stats;
+  ASSERT_GT(stats.jobs_total, 0u);
+  ASSERT_EQ(ring.dropped(), 0u) << "ring undersized for the run";
+
+  const std::vector<obs::RequestSpan> spans =
+      obs::assemble_spans(ring.drain());
+  EXPECT_EQ(spans.size(), stats.jobs_total);
+
+  const obs::SpanReconciliation rec = obs::reconcile_spans(spans);
+  EXPECT_EQ(rec.finalized, stats.jobs_total);
+  EXPECT_EQ(rec.satisfied, stats.jobs_satisfied);
+  // Same summation order as RunAccumulator: bitwise equality, not just
+  // within tolerance.
+  EXPECT_EQ(rec.total_quality, stats.total_quality);
+  EXPECT_EQ(rec.mean_latency, stats.mean_latency);
+  EXPECT_TRUE(rec.matches(stats));
+
+  for (const obs::RequestSpan& s : spans) {
+    EXPECT_TRUE(s.finalized());
+    EXPECT_EQ(s.node, -1);
+    EXPECT_GE(s.queue_wait(), 0.0);
+    EXPECT_GE(s.service(), 0.0);
+    EXPECT_GE(s.total_latency(), s.queue_wait() - 1e-9);
+    for (const obs::ExecSlice& e : s.slices) {
+      EXPECT_GE(e.t1, e.t0);
+      EXPECT_GT(e.speed, 0.0);
+      EXPECT_GE(e.core, 0);
+    }
+  }
+}
+
+TEST(Span, LiveRuntimeSpansReconcileWithFinalStats) {
+  obs::TraceRing ring(1u << 20);
+  runtime::ServerConfig sc;
+  sc.model.cores = 8;
+  sc.model.power_budget = 160.0;
+  sc.model.trace = &ring;
+  sc.time_scale = 8.0;
+  sc.deadline_ms = 150.0;
+  runtime::Server server(sc);
+  server.start();
+  for (int i = 0; i < 60; ++i) {
+    (void)server.submit(runtime::Request{.demand = 15.0 + (i % 7) * 5.0,
+                                         .partial_ok = (i % 3) != 0},
+                        milliseconds(50));
+  }
+  const RunStats stats = server.drain_and_stop();
+  ASSERT_GT(stats.jobs_total, 0u);
+  ASSERT_EQ(ring.dropped(), 0u);
+
+  const std::vector<obs::RequestSpan> spans =
+      obs::assemble_spans(ring.drain());
+  EXPECT_EQ(spans.size(), stats.jobs_total);
+  const obs::SpanReconciliation rec = obs::reconcile_spans(spans);
+  EXPECT_EQ(rec.finalized, stats.jobs_total);
+  EXPECT_EQ(rec.satisfied, stats.jobs_satisfied);
+  EXPECT_EQ(rec.total_quality, stats.total_quality);
+  EXPECT_EQ(rec.mean_latency, stats.mean_latency);
+  EXPECT_TRUE(rec.matches(stats));
+
+  std::size_t satisfied_flags = 0;
+  for (const obs::RequestSpan& s : spans) {
+    if (s.satisfied) ++satisfied_flags;
+  }
+  EXPECT_EQ(satisfied_flags, stats.jobs_satisfied);
+}
+
+TEST(Span, UnfinalizedSpansAreExcludedFromReconciliation) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent rel;
+  rel.kind = obs::TraceEvent::Kind::Release;
+  rel.t = 0.0;
+  rel.job = 1;
+  events.push_back(rel);
+  obs::TraceEvent assign = rel;
+  assign.kind = obs::TraceEvent::Kind::Assign;
+  assign.t = 1.0;
+  assign.core = 2;
+  events.push_back(assign);  // job 1: assigned, never finalized
+
+  rel.job = 2;
+  rel.t = 0.5;
+  events.push_back(rel);
+  obs::TraceEvent fin;
+  fin.kind = obs::TraceEvent::Kind::Finalize;
+  fin.t = 10.5;
+  fin.job = 2;
+  fin.value = 0.75;
+  fin.satisfied = true;
+  events.push_back(fin);
+
+  const std::vector<obs::RequestSpan> spans = obs::assemble_spans(events, 3);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].job, 1u);
+  EXPECT_FALSE(spans[0].finalized());
+  EXPECT_EQ(spans[0].core, 2);
+  EXPECT_EQ(spans[0].node, 3);
+  EXPECT_TRUE(spans[1].finalized());
+  EXPECT_DOUBLE_EQ(spans[1].total_latency(), 10.0);
+  EXPECT_DOUBLE_EQ(spans[1].queue_wait(), 10.0);  // never assigned
+
+  const obs::SpanReconciliation rec = obs::reconcile_spans(spans);
+  EXPECT_EQ(rec.finalized, 1u);
+  EXPECT_EQ(rec.satisfied, 1u);
+  EXPECT_DOUBLE_EQ(rec.total_quality, 0.75);
+  EXPECT_DOUBLE_EQ(rec.mean_latency, 10.0);
+
+  EXPECT_NE(obs::span_to_json(spans[1]).find("\"job\": 2"),
+            std::string::npos);
+}
+
+TEST(Span, ChromeExportCarriesProcessesThreadsAndBalancedAsyncPairs) {
+  obs::TraceRing ring(1u << 18);
+  EngineConfig cfg;
+  cfg.cores = 4;
+  cfg.power_budget = 80.0;
+  cfg.record_execution = false;
+  cfg.trace = &ring;
+  WorkloadConfig wl;
+  wl.arrival_rate = 80.0;
+  wl.horizon_ms = 1000.0;
+  wl.seed = 3;
+  Engine engine(cfg, generate_websearch_jobs(wl), make_des_policy());
+  (void)engine.run();
+
+  const std::vector<obs::RequestSpan> spans =
+      obs::assemble_spans(ring.drain(), 2);
+  ASSERT_FALSE(spans.empty());
+  const std::string chrome = obs::spans_to_chrome_json(spans);
+
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(chrome.find("process_name"), std::string::npos);
+  EXPECT_NE(chrome.find("\"pid\": 2"), std::string::npos);
+  // Every request window opens and closes; ids carry the node so two
+  // nodes' job 1 cannot collide.
+  EXPECT_EQ(count_of(chrome, "\"ph\": \"b\""), count_of(chrome, "\"ph\": \"e\""));
+  EXPECT_EQ(count_of(chrome, "\"ph\": \"b\""), spans.size());
+  EXPECT_NE(chrome.find("\"id\": \"n2.j"), std::string::npos);
+  // Exec slices are complete events on the core threads.
+  EXPECT_NE(chrome.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(chrome.back(), '\n');
+}
+
+}  // namespace
+}  // namespace qes

@@ -27,7 +27,10 @@
 #include "cli/options.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/lockstep.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "report/table.hpp"
+#include "signal_dump.hpp"
 #include "workload/demand.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace_io.hpp"
@@ -134,8 +137,32 @@ int run_live(const cli::Options& opt) {
   cc.broker_period_wall_ms = opt.broker_period_ms;
   cc.dispatch = *cluster::parse_dispatch_policy(opt.dispatch);
   cc.dispatch_seed = opt.workload.seed;
+  cc.http_port = opt.http_port;
+  cc.node_http_base_port = opt.node_http_base_port;
+  if (opt.trace_chrome) cc.node_trace_capacity = 1u << 20;
   cluster::Cluster cluster(cc);
   cluster.start();
+  if (cluster.http_port() >= 0 || opt.node_http_base_port >= 0) {
+    std::string node_ports;
+    for (int i = 0; i < cluster.nodes(); ++i) {
+      if (!node_ports.empty()) node_ports += ", ";
+      node_ports += std::to_string(cluster.node_server(i).http_port());
+    }
+    std::printf("http {\"cluster_port\": %d, \"node_ports\": [%s]}\n",
+                cluster.http_port(), node_ports.c_str());
+    std::fflush(stdout);
+  }
+
+  // kill -USR1 <pid> dumps the cluster registry followed by every
+  // node's own registry (same async-signal-safe flag scheme as qesd).
+  tools::SignalDumpWatcher watcher([&cluster] {
+    std::string out = cluster.registry().to_prometheus();
+    for (int i = 0; i < cluster.nodes(); ++i) {
+      out += "# node " + std::to_string(i) + "\n";
+      out += cluster.node_server(i).registry().to_prometheus();
+    }
+    return out;
+  });
 
   const Time duration_ms = opt.duration_s * 1000.0;
   std::thread killer;
@@ -158,6 +185,37 @@ int run_live(const cli::Options& opt) {
   for (std::thread& t : producers) t.join();
   if (killer.joinable()) killer.join();
   const cluster::ClusterRunStats stats = cluster.drain_and_stop();
+  watcher.stop();
+
+  if (opt.trace_chrome) {
+    // One span set per node (per-node job ids are dense 1..n, so each
+    // ring is assembled separately with its node id), concatenated into
+    // a single Chrome trace: one Perfetto "process" per node.
+    std::vector<obs::RequestSpan> spans;
+    std::uint64_t dropped = 0;
+    for (int i = 0; i < cluster.nodes(); ++i) {
+      obs::TraceRing* ring = cluster.node_trace(i);
+      if (ring == nullptr) continue;
+      dropped += ring->dropped();
+      const std::vector<obs::RequestSpan> node_spans =
+          obs::assemble_spans(ring->drain(), i);
+      spans.insert(spans.end(), node_spans.begin(), node_spans.end());
+    }
+    std::FILE* f = std::fopen(opt.trace_chrome->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "qes_cluster: cannot open %s\n",
+                   opt.trace_chrome->c_str());
+      return 1;
+    }
+    std::fputs(obs::spans_to_chrome_json(spans).c_str(), f);
+    std::fclose(f);
+    if (dropped > 0) {
+      std::fprintf(stderr, "qes_cluster: trace rings dropped %llu events\n",
+                   static_cast<unsigned long long>(dropped));
+    }
+    std::printf("spans {\"count\": %zu, \"nodes\": %d}\n", spans.size(),
+                cluster.nodes());
+  }
 
   for (std::size_t i = 0; i < stats.node_stats.size(); ++i) {
     std::printf("node %zu%s %s\n", i, stats.killed[i] ? " (killed)" : "",

@@ -11,32 +11,24 @@
 // runtime core in lockstep and reports how closely they agree (exit 1
 // when they do not).
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "cli/options.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "runtime/conformance.hpp"
 #include "runtime/server.hpp"
+#include "signal_dump.hpp"
 #include "workload/demand.hpp"
 #include "workload/trace_io.hpp"
 
 namespace {
 
 using namespace qes;
-
-// SIGUSR1 requests a /metrics-style dump of the obs registry; the
-// handler only flips a flag, a watcher thread does the printing.
-std::atomic<bool> g_dump_requested{false};
-
-extern "C" void handle_dump_signal(int) {
-  g_dump_requested.store(true, std::memory_order_relaxed);
-}
 
 runtime::RuntimeConfig make_runtime_config(const cli::Options& opt) {
   runtime::RuntimeConfig rc;
@@ -105,26 +97,22 @@ int run_live(const cli::Options& opt) {
   sc.time_scale = opt.time_scale;
   sc.deadline_ms = opt.workload.deadline_ms;
   sc.metrics_interval_ms = opt.metrics_interval_ms;
+  sc.http_port = opt.http_port;
   std::unique_ptr<obs::TraceRing> trace;
-  if (opt.trace_out) {
+  if (opt.trace_out || opt.trace_chrome) {
     trace = std::make_unique<obs::TraceRing>(1u << 20);
     sc.model.trace = trace.get();
   }
   runtime::Server server(sc);
   server.start();
+  if (server.http_port() >= 0) {
+    std::printf("http {\"port\": %d}\n", server.http_port());
+    std::fflush(stdout);
+  }
 
   // kill -USR1 <pid> dumps the registry in Prometheus text at any time.
-  std::signal(SIGUSR1, handle_dump_signal);
-  std::atomic<bool> watcher_stop{false};
-  std::thread watcher([&server, &watcher_stop] {
-    while (!watcher_stop.load(std::memory_order_acquire)) {
-      if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
-        std::fputs(server.registry().to_prometheus().c_str(), stdout);
-        std::fflush(stdout);
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    }
-  });
+  tools::SignalDumpWatcher watcher(
+      [&server] { return server.registry().to_prometheus(); });
 
   const Time duration_ms = opt.duration_s * 1000.0;
   std::vector<std::thread> producers;
@@ -135,8 +123,7 @@ int run_live(const cli::Options& opt) {
   }
   for (std::thread& t : producers) t.join();
   const RunStats stats = server.drain_and_stop();
-  watcher_stop.store(true, std::memory_order_release);
-  watcher.join();
+  watcher.stop();
 
   for (const runtime::MetricsSnapshot& s : server.snapshots()) {
     std::printf("snapshot %s\n", s.to_json().c_str());
@@ -146,17 +133,42 @@ int run_live(const cli::Options& opt) {
     std::fputs(server.registry().to_prometheus().c_str(), stdout);
   }
   if (trace) {
-    std::FILE* f = std::fopen(opt.trace_out->c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "qesd: cannot open %s\n", opt.trace_out->c_str());
-      return 1;
-    }
     const std::uint64_t dropped = trace->dropped();
-    std::fputs(trace->drain_jsonl().c_str(), f);
-    std::fclose(f);
+    const std::vector<obs::TraceEvent> events = trace->drain();
     if (dropped > 0) {
       std::fprintf(stderr, "qesd: trace ring dropped %llu events\n",
                    static_cast<unsigned long long>(dropped));
+    }
+    if (opt.trace_out) {
+      std::FILE* f = std::fopen(opt.trace_out->c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "qesd: cannot open %s\n", opt.trace_out->c_str());
+        return 1;
+      }
+      for (const obs::TraceEvent& e : events) {
+        std::fputs(obs::to_json(e).c_str(), f);
+        std::fputc('\n', f);
+      }
+      std::fclose(f);
+    }
+    if (opt.trace_chrome) {
+      const std::vector<obs::RequestSpan> spans = obs::assemble_spans(events);
+      std::FILE* f = std::fopen(opt.trace_chrome->c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "qesd: cannot open %s\n",
+                     opt.trace_chrome->c_str());
+        return 1;
+      }
+      std::fputs(obs::spans_to_chrome_json(spans).c_str(), f);
+      std::fclose(f);
+      // The span view must agree with the run report; a dropped-events
+      // ring (undersized for the run) is the one legitimate mismatch.
+      const obs::SpanReconciliation rec = obs::reconcile_spans(spans);
+      std::printf(
+          "spans {\"count\": %zu, \"finalized\": %llu, "
+          "\"reconciles_with_final\": %s}\n",
+          spans.size(), static_cast<unsigned long long>(rec.finalized),
+          dropped == 0 && rec.matches(stats) ? "true" : "false");
     }
   }
   double busy_ms = 0.0;

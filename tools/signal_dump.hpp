@@ -1,0 +1,77 @@
+// Shared SIGUSR1 dump plumbing for the serving drivers (qesd and
+// qes_cluster): `kill -USR1 <pid>` dumps a caller-supplied rendering
+// (typically the obs registry in Prometheus text) to stdout at any
+// point in the run.
+//
+// Async-signal-safety: a signal handler may only call async-signal-safe
+// functions (POSIX 2017, 2.4.3) — no stdio, no malloc, no locks, which
+// rules out rendering anything from the handler itself. The handler
+// here performs exactly one operation: a relaxed store to a lock-free
+// std::atomic<bool> (guaranteed async-signal-safe by [support.signal]/3
+// for lock-free atomics; the static_assert below keeps that guarantee
+// honest). The watcher thread polls the flag every 50 ms and does all
+// the formatting and printing in normal thread context.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace qes::tools {
+
+inline std::atomic<bool> g_dump_requested{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "the SIGUSR1 handler requires a lock-free flag to stay "
+              "async-signal-safe");
+
+extern "C" inline void qes_handle_dump_signal(int) {
+  g_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+/// Installs the SIGUSR1 handler and runs the watcher thread for its own
+/// lifetime. `render` is called on the watcher thread (never from the
+/// handler) once per received signal; its result goes to stdout.
+class SignalDumpWatcher {
+ public:
+  explicit SignalDumpWatcher(std::function<std::string()> render)
+      : render_(std::move(render)) {
+    std::signal(SIGUSR1, qes_handle_dump_signal);
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~SignalDumpWatcher() { stop(); }
+
+  SignalDumpWatcher(const SignalDumpWatcher&) = delete;
+  SignalDumpWatcher& operator=(const SignalDumpWatcher&) = delete;
+
+  /// Joins the watcher (serving one last pending request, so a signal
+  /// delivered just before shutdown is not lost). Idempotent.
+  void stop() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+ private:
+  void loop() {
+    for (;;) {
+      const bool stopping = stop_.load(std::memory_order_acquire);
+      if (g_dump_requested.exchange(false, std::memory_order_relaxed)) {
+        std::fputs(render_().c_str(), stdout);
+        std::fflush(stdout);
+      }
+      if (stopping) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  std::function<std::string()> render_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace qes::tools
