@@ -3,7 +3,7 @@
 // other three split the remainder (§IV-C).
 #include <iostream>
 
-#include "multicore/power_waterfill.hpp"
+#include "policy/power_waterfill.hpp"
 #include "report/table.hpp"
 
 int main() {

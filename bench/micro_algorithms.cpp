@@ -5,7 +5,7 @@
 #include "alloc/waterfill.hpp"
 #include "core/prng.hpp"
 #include "multicore/des_scheduler.hpp"
-#include "multicore/power_waterfill.hpp"
+#include "policy/power_waterfill.hpp"
 #include "sched/online_qe.hpp"
 #include "sched/qe_opt.hpp"
 #include "sched/quality_opt.hpp"

@@ -14,10 +14,24 @@
 #   $ scripts/ci_sanitize.sh                     # both sanitizers, all tests
 #   $ scripts/ci_sanitize.sh -L obs              # both, obs+runtime suite only
 #   $ scripts/ci_sanitize.sh -L cluster          # both, multi-node cluster suite
+#   $ scripts/ci_sanitize.sh -L policy           # both, DES planner kernel suite
 #   $ scripts/ci_sanitize.sh thread              # just TSan
 #   $ scripts/ci_sanitize.sh address -R runtime  # one sanitizer + ctest args
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The planner kernel headers are the contract every execution plane
+# builds against (sim adapter, qesd runtime, cluster lockstep), so each
+# must compile as its own translation unit — no hidden include-order
+# dependencies.
+echo "=== policy header self-containment ==="
+tu="$(mktemp --suffix=.cpp)"
+trap 'rm -f "${tu}"' EXIT
+for hpp in src/policy/*.hpp; do
+  echo "  ${hpp}"
+  printf '#include "policy/%s"\n' "$(basename "${hpp}")" > "${tu}"
+  "${CXX:-c++}" -std=c++20 -fsyntax-only -Isrc "${tu}"
+done
 
 # A leading `thread` or `address` selects a single sanitizer; any other
 # first argument (or none) runs both, and every remaining argument is

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/assert.hpp"
+#include "policy/des_planner.hpp"
 
 namespace qes::cluster {
 
@@ -27,8 +28,8 @@ constexpr Watts kMinLiveBudget = 1e-9;
 Cluster::Cluster(ClusterConfig config)
     : cfg_(std::move(config)),
       broker_(cfg_.total_budget, cfg_.broker_period_wall_ms),
-      profiler_(&registry_, "qes_cluster_phase_ms",
-                "wall time per cluster control-plane phase (ms)"),
+      profiler_(&registry_, policy::kReplanPhaseMetric,
+                policy::kReplanPhaseHelp, {{"plane", "cluster"}}),
       dispatcher_(static_cast<std::size_t>(std::max(cfg_.nodes, 1)),
                   cfg_.dispatch, cfg_.dispatch_seed) {
   QES_ASSERT(cfg_.nodes >= 1 && cfg_.total_budget > 0.0 &&

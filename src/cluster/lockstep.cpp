@@ -10,7 +10,6 @@ namespace qes::cluster {
 
 namespace {
 
-constexpr double kEps = kTimeEps;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // Budget changes below this are ignored (no forced replan): it absorbs
@@ -139,7 +138,7 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
     const Time t = std::min({t_nodes, t_kill, next_broker});
     QES_ASSERT_MSG(std::isfinite(t), "cluster event loop stalled");
 
-    if (t_kill <= t + kEps) {
+    if (t_kill <= t + kTimeEps) {
       const int k = kills[kill_idx].node;
       ++kill_idx;
       QES_ASSERT(k >= 0 && static_cast<std::size_t>(k) < nn);
@@ -185,7 +184,7 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
       continue;
     }
 
-    if (next_broker <= t + kEps) {
+    if (next_broker <= t + kTimeEps) {
       apply_broker(next_broker);
       next_broker += config.broker_period_ms;
       continue;
@@ -195,12 +194,12 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
     // performs exactly run_lockstep's advance/submit/trigger sequence.
     std::vector<bool> touched(nn, false);
     for (std::size_t i = 0; i < nn; ++i) {
-      if (!dead[i] && node_event(i) <= t + kEps) {
+      if (!dead[i] && node_event(i) <= t + kTimeEps) {
         cores[i].advance(std::max(t, cores[i].now()));
         touched[i] = true;
       }
     }
-    while (next < n && jobs[next].release <= t + kEps) {
+    while (next < n && jobs[next].release <= t + kTimeEps) {
       const int j = dispatcher.route(depths());
       if (j < 0) {
         ++out.route_shed;

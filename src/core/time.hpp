@@ -35,6 +35,22 @@ inline constexpr Time kNoDeadline = std::numeric_limits<Time>::infinity();
 /// quantity the model distinguishes.
 inline constexpr double kTimeEps = 1e-6;
 
+/// Named tolerance set shared by the DES planner kernel (src/policy/)
+/// and both execution planes (sim::Engine, runtime::RuntimeCore). The
+/// planes must make bitwise-identical decisions, so these live in one
+/// place instead of as per-file aliases that could drift apart.
+///
+/// Slack allowed between a plan segment and a job's window (segment end
+/// vs deadline, segment start vs now). Plans are rebuilt from chains of
+/// divisions, so boundaries can overshoot kTimeEps by a few ulps.
+inline constexpr double kPlanSlackEps = 1e-5;
+/// Absolute slack when deciding whether granted volume completes a
+/// rigid (all-or-nothing) job in the §V-D discard loop.
+inline constexpr double kRigidVolumeEps = 1e-6;
+/// Relative tolerance (scaled by max(1, demand)) at which processed
+/// volume counts as full completion at finalization.
+inline constexpr double kCompletionRelEps = 1e-6;
+
 /// `a <= b` up to tolerance.
 [[nodiscard]] inline bool approx_le(double a, double b, double eps = 1e-6) {
   return a <= b + eps;

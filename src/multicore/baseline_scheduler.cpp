@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/assert.hpp"
-#include "multicore/power_waterfill.hpp"
+#include "policy/power_waterfill.hpp"
 
 namespace qes {
 

@@ -1,276 +1,24 @@
 #include "multicore/des_scheduler.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <map>
 #include <memory>
-#include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/assert.hpp"
-#include "multicore/crr.hpp"
-#include "multicore/power_waterfill.hpp"
-#include "obs/phase_profiler.hpp"
-#include "sched/online_qe.hpp"
-#include "sched/quality_opt.hpp"
-#include "sched/weighted_quality.hpp"
-#include "sched/yds.hpp"
+#include "policy/crr.hpp"
+#include "policy/des_planner.hpp"
+#include "policy/world_view.hpp"
 
 namespace qes {
 
 namespace {
 
-// Planned additional volume per job plus the executable timetable.
-struct CorePlan {
-  Schedule plan;
-  std::map<JobId, Work> planned;
-};
-
-// Snapshot of one core's live jobs as the single-core algorithms see it.
-std::vector<ReadyJob> ready_snapshot(const Engine& eng, int core) {
-  std::vector<ReadyJob> ready;
-  const Time now = eng.now();
-  bool first = true;
-  for (JobId id : eng.assigned(core)) {
-    const JobState& st = eng.job(id);
-    QES_ASSERT(st.job.deadline > now + kTimeEps);
-    ReadyJob rj;
-    rj.id = id;
-    rj.deadline = st.job.deadline;
-    rj.demand = st.job.demand;
-    rj.processed = st.processed;
-    rj.running = first && st.processed > kTimeEps;
-    first = false;
-    ready.push_back(rj);
-  }
-  return ready;
-}
-
-// Budget-free per-core YDS (DES step 2): remaining demands, all released
-// now. Returns the plan, its power request at `now`, and its top speed.
-struct BudgetFree {
-  Schedule plan;
-  Watts power_at_now = 0.0;
-  Speed max_speed = 0.0;
-};
-
-BudgetFree budget_free_plan(const Engine& eng, int core) {
-  BudgetFree out;
-  const Time now = eng.now();
-  std::vector<Job> jobs;
-  for (JobId id : eng.assigned(core)) {
-    const JobState& st = eng.job(id);
-    const Work remaining = st.job.demand - st.processed;
-    if (remaining <= kTimeEps) continue;
-    jobs.push_back(Job{.id = id,
-                       .release = now,
-                       .deadline = st.job.deadline,
-                       .demand = remaining});
-  }
-  if (jobs.empty()) return out;
-  YdsResult y = yds_schedule(AgreeableJobSet(std::move(jobs)));
-  out.max_speed = y.critical_speed;
-  out.power_at_now =
-      eng.config().power_model.dynamic_power(y.schedule.speed_at(now));
-  out.plan = std::move(y.schedule);
-  return out;
-}
-
-// Fixed-speed planning used by the No-DVFS and S-DVFS variants: run
-// Quality-OPT (with the running job's release rewound exactly as in
-// Online-QE step 1) and lay the granted volumes out FIFO from `now`.
-CorePlan fixed_speed_plan(const Engine& eng, int core, Speed speed,
-                          bool baseline_mode) {
-  CorePlan out;
-  if (speed <= kTimeEps) return out;
-  const Time now = eng.now();
-  const auto ready = ready_snapshot(eng, core);
-  if (ready.empty()) return out;
-
-  std::vector<Job> adjusted;
-  std::vector<Work> baselines;
-  for (const ReadyJob& rj : ready) {
-    Job j{.id = rj.id, .release = now, .deadline = rj.deadline,
-          .demand = rj.demand};
-    if (!baseline_mode && rj.running) {
-      j.release = now - rj.processed / speed;
-    }
-    baselines.push_back(rj.processed);
-    adjusted.push_back(j);
-  }
-  const AgreeableJobSet set(std::move(adjusted));
-  const QualityOptResult q =
-      baseline_mode ? quality_opt_schedule(set, speed, baselines)
-                    : quality_opt_schedule(set, speed);
-
-  Time t = now;
-  for (std::size_t k = 0; k < set.size(); ++k) {
-    Work rem = q.volumes[k];
-    if (set[k].release < now - kTimeEps) {
-      rem -= (now - set[k].release) * speed;  // running job's prior volume
-    }
-    if (rem <= kTimeEps) continue;
-    const Time finish = t + rem / speed;
-    QES_ASSERT_MSG(approx_le(finish, set[k].deadline, 1e-5),
-                   "fixed-speed plan must meet deadlines");
-    out.plan.push({t, finish, set[k].id, speed});
-    out.planned[set[k].id] = rem;
-    t = finish;
-  }
-  return out;
-}
-
-// Budget-bounded planning for one core (DES step 4). In the paper's
-// execution model this is Online-QE; in the resume ablation the
-// baseline-aware Quality-OPT + YDS pair replaces it so previously served
-// non-running jobs keep their credit.
-// Re-time granted volumes flat-out at the core's max speed (the eager
-// ablation): jobs only finish earlier than in the stretched plan, so
-// deadlines keep holding.
-Schedule eager_timetable(const Engine& eng, int core, Time now,
-                         const std::map<JobId, Work>& planned,
-                         Speed max_speed) {
-  Schedule out;
-  Time t = now;
-  for (JobId id : eng.assigned(core)) {
-    const auto it = planned.find(id);
-    if (it == planned.end() || it->second <= kTimeEps) continue;
-    const Time finish = t + it->second / max_speed;
-    QES_ASSERT_MSG(approx_le(finish, eng.job(id).job.deadline, 1e-5),
-                   "eager timetable must meet deadlines");
-    out.push({t, finish, id, max_speed});
-    t = finish;
-  }
-  return out;
-}
-
-CorePlan budget_bounded_plan(const Engine& eng, int core, Speed max_speed,
-                             bool eager, bool baseline_mode) {
-  CorePlan out;
-  if (max_speed <= kTimeEps) return out;
-  const Time now = eng.now();
-
-  // The paper's Online-QE rewinds the running job's release, which
-  // requires the earliest-deadline job to be the one with prior volume.
-  // Rebalancing and the resume ablation can violate that, so they use
-  // the baseline-aware Quality-OPT + YDS pair instead.
-  if (!baseline_mode) {
-    OnlineQeResult r = online_qe(now, ready_snapshot(eng, core), max_speed);
-    out.plan = std::move(r.schedule);
-    out.planned = std::move(r.planned);
-    if (eager) {
-      out.plan = eager_timetable(eng, core, now, out.planned, max_speed);
-    }
-    return out;
-  }
-
-  // Baseline mode: every job may carry prior volume as a baseline.
-  std::vector<Job> jobs;
-  std::vector<Work> baselines;
-  for (JobId id : eng.assigned(core)) {
-    const JobState& st = eng.job(id);
-    jobs.push_back(Job{.id = id,
-                       .release = now,
-                       .deadline = st.job.deadline,
-                       .demand = st.job.demand});
-    baselines.push_back(st.processed);
-  }
-  if (jobs.empty()) return out;
-  const AgreeableJobSet set(std::move(jobs));
-  const QualityOptResult q = quality_opt_schedule(set, max_speed, baselines);
-
-  std::vector<Job> step2;
-  for (std::size_t k = 0; k < set.size(); ++k) {
-    if (q.volumes[k] <= kTimeEps) continue;
-    Job j = set[k];
-    j.demand = q.volumes[k];
-    out.planned[j.id] = q.volumes[k];
-    step2.push_back(j);
-  }
-  if (step2.empty()) return out;
-  YdsResult y =
-      yds_schedule_capped(AgreeableJobSet(std::move(step2)), max_speed);
-  out.plan = std::move(y.schedule);
-  for (auto& [id, planned] : out.planned) {
-    planned = std::min(planned, out.plan.volume_of(id));
-  }
-  return out;
-}
-
-// Weighted budget-bounded planning (extension): allocate volumes by
-// weighted quality (baseline-aware, so mid-queue prior volume is fine),
-// then YDS the granted volumes.
-CorePlan weighted_budget_bounded_plan(const Engine& eng, int core,
-                                      Speed max_speed, bool eager) {
-  CorePlan out;
-  if (max_speed <= kTimeEps) return out;
-  const Time now = eng.now();
-  std::vector<Job> jobs;
-  std::vector<Work> baselines;
-  std::vector<double> weights;
-  for (JobId id : eng.assigned(core)) {
-    const JobState& st = eng.job(id);
-    jobs.push_back(Job{.id = id,
-                       .release = now,
-                       .deadline = st.job.deadline,
-                       .demand = st.job.demand,
-                       .weight = st.job.weight});
-    baselines.push_back(st.processed);
-    weights.push_back(st.job.weight);
-  }
-  if (jobs.empty()) return out;
-  const AgreeableJobSet set(std::move(jobs));
-  // AgreeableJobSet sorts; re-align weights/baselines with sorted order.
-  std::vector<double> w_sorted(set.size());
-  std::vector<Work> b_sorted(set.size());
-  for (std::size_t k = 0; k < set.size(); ++k) {
-    const JobState& st = eng.job(set[k].id);
-    w_sorted[k] = st.job.weight;
-    b_sorted[k] = st.processed;
-  }
-  const auto q = weighted_quality_opt_schedule(
-      set, max_speed, w_sorted, eng.config().quality, b_sorted);
-
-  std::vector<Job> step2;
-  for (std::size_t k = 0; k < set.size(); ++k) {
-    if (q.volumes[k] <= kTimeEps) continue;
-    Job j = set[k];
-    j.demand = q.volumes[k];
-    out.planned[j.id] = q.volumes[k];
-    step2.push_back(j);
-  }
-  if (step2.empty()) return out;
-  if (eager) {
-    out.plan = eager_timetable(eng, core, now, out.planned, max_speed);
-    return out;
-  }
-  YdsResult y =
-      yds_schedule_capped(AgreeableJobSet(std::move(step2)), max_speed);
-  out.plan = std::move(y.schedule);
-  for (auto& [id, planned] : out.planned) {
-    planned = std::min(planned, out.plan.volume_of(id));
-  }
-  return out;
-}
-
-// Re-time a plan onto discrete speed levels: each segment's volume runs
-// at the snapped-up level (never above `cap`, itself a level), packed
-// back-to-back from `now`. Jobs only finish earlier, so deadlines hold.
-Schedule quantize_plan(const Schedule& plan, Time now,
-                       const DiscreteSpeedSet& levels, Speed cap) {
-  Schedule out;
-  Time t = now;
-  for (const Segment& s : plan.segments()) {
-    const auto snapped = levels.snap_up(s.speed);
-    QES_ASSERT_MSG(snapped && *snapped <= cap + kTimeEps,
-                   "quantized speed must stay within the rectified level");
-    const Time dur = s.volume() / *snapped;
-    out.push({t, t + dur, s.job, *snapped});
-    t += dur;
-  }
-  return out;
-}
-
+// The sim-plane adapter: DES plan construction (budget-free YDS, WF
+// escalation, budget-bounded Online-QE, quantization) lives in the
+// engine-agnostic kernel (src/policy/des_planner.hpp); this policy only
+// distributes waiting jobs (step 1 mutates engine assignment state),
+// reduces the engine to a WorldView, and applies the PlanOutcome back.
 class DesPolicy final : public SchedulingPolicy {
  public:
   explicit DesPolicy(DesOptions opt) : opt_(opt) {}
@@ -292,23 +40,31 @@ class DesPolicy final : public SchedulingPolicy {
   void replan(Engine& eng) override {
     if (!crr_) crr_ = std::make_unique<CumulativeRoundRobin>(
         static_cast<std::size_t>(eng.cores()));
-    if (!profiler_) {
-      profiler_ = std::make_unique<obs::PhaseProfiler>(
-          eng.config().registry, "qes_sim_replan_phase_ms",
-          "wall time per DES replan phase (ms)");
+    if (!planner_) {
+      planner_ = std::make_unique<policy::DesPlanner>(
+          eng.config().registry, "sim");
     }
 
     // Step 1: ready-job distribution.
     {
-      auto timer = profiler_->phase("crr");
+      auto timer = planner_->profiler().phase("crr");
       distribute_jobs(eng);
     }
 
+    build_view(eng);
+    const policy::PlanOptions popt = plan_options(eng);
     switch (opt_.arch) {
-      case Architecture::NoDVFS: replan_no_dvfs(eng); break;
-      case Architecture::SDVFS: replan_s_dvfs(eng); break;
-      case Architecture::CDVFS: replan_c_dvfs(eng); break;
+      case Architecture::NoDVFS:
+        planner_->plan_no_dvfs(view_, popt, out_);
+        break;
+      case Architecture::SDVFS:
+        planner_->plan_s_dvfs(view_, popt, out_);
+        break;
+      case Architecture::CDVFS:
+        planner_->plan_c_dvfs(view_, popt, out_);
+        break;
     }
+    apply_outcome(eng);
   }
 
  private:
@@ -359,205 +115,63 @@ class DesPolicy final : public SchedulingPolicy {
     }
   }
 
-  // Installs a plan, discarding rigid (non-partial) jobs the plan cannot
-  // complete and recomputing until stable (§V-D).
-  template <typename PlanFn>
-  void install_with_rigid_check(Engine& eng, int core, PlanFn make_plan) {
-    for (;;) {
-      CorePlan p = make_plan();
-      JobId to_discard = 0;
-      for (JobId id : eng.assigned(core)) {
+  void build_view(const Engine& eng) {
+    const EngineConfig& cfg = eng.config();
+    view_.reset(eng.now(), cfg.power_budget,
+                static_cast<std::size_t>(eng.cores()));
+    view_.power_model = &cfg.power_model;
+    view_.quality = &cfg.quality;
+    for (int i = 0; i < eng.cores(); ++i) {
+      policy::CoreView& core = view_.cores[static_cast<std::size_t>(i)];
+      core.speed_cap = cfg.core_speed_cap(i);
+      for (JobId id : eng.assigned(i)) {
         const JobState& st = eng.job(id);
-        if (st.job.partial_ok) continue;
-        const auto it = p.planned.find(id);
-        const Work planned = it == p.planned.end() ? 0.0 : it->second;
-        if (st.processed + planned + 1e-6 < st.job.demand) {
-          to_discard = id;
-          break;
-        }
+        core.jobs.push_back(policy::ViewJob{.id = id,
+                                            .deadline = st.job.deadline,
+                                            .demand = st.job.demand,
+                                            .processed = st.processed,
+                                            .weight = st.job.weight,
+                                            .partial_ok = st.job.partial_ok});
       }
-      if (to_discard == 0) {
-        // A partially executed job granted no further volume has been
-        // dropped from the ready set by Online-QE (its fair share is
-        // already met); under the paper's execution model it is
-        // discarded now and never resumed.
-        if (!eng.config().resume_passed_jobs) {
-          std::vector<JobId> drop;
-          for (JobId id : eng.assigned(core)) {
-            if (eng.job(id).processed > kTimeEps && !p.planned.count(id)) {
-              drop.push_back(id);
-            }
-          }
-          for (JobId id : drop) eng.discard_job(id);
-        }
-        eng.set_core_plan(core, std::move(p.plan));
-        return;
-      }
-      eng.discard_job(to_discard);
     }
   }
 
-  void replan_no_dvfs(Engine& eng) {
-    const EngineConfig& cfg = eng.config();
-    const Speed share =
-        cfg.power_model.speed_for_power(cfg.power_budget / cfg.cores);
+  [[nodiscard]] policy::PlanOptions plan_options(const Engine& eng) const {
+    policy::PlanOptions p;
+    p.speed_levels = opt_.speed_levels ? &*opt_.speed_levels : nullptr;
+    p.static_power = opt_.static_power;
+    p.weighted = opt_.weighted;
+    p.eager_execution = opt_.eager_execution;
+    // The paper's Online-QE assumes only the queue head carries prior
+    // volume; the resume ablation and rebalancing break that, switching
+    // planning to the baseline-aware Quality-OPT + YDS pair.
+    p.baseline_mode =
+        eng.config().resume_passed_jobs || opt_.rebalance_unstarted;
+    p.resume_passed_jobs = eng.config().resume_passed_jobs;
+    return p;
+  }
+
+  // Per core, in order: rigid discards (§V-D loop, discovery order),
+  // passed-over drops (queue order), then the plan + idle power. This is
+  // the exact legacy finalization sequence, so quality accumulation
+  // stays bitwise identical.
+  void apply_outcome(Engine& eng) {
     for (int i = 0; i < eng.cores(); ++i) {
-      const Speed s0 = std::min(share, cfg.core_speed_cap(i));
-      install_with_rigid_check(eng, i, [&] {
-        return fixed_speed_plan(eng, i, s0, baseline_mode(eng));
-      });
-      eng.set_core_idle_power(i, cfg.power_model.dynamic_power(s0));
+      policy::CoreOutcome& c = out_.cores[static_cast<std::size_t>(i)];
+      for (JobId id : c.rigid_discards) eng.discard_job(id);
+      for (JobId id : c.passed_over) eng.discard_job(id);
+      eng.set_core_plan(i, std::move(c.plan));
+      eng.set_core_idle_power(i, c.idle_power);
     }
-  }
-
-  void replan_s_dvfs(Engine& eng) {
-    const EngineConfig& cfg = eng.config();
-    // Step 2 with the chip-wide constraint: every core is granted the
-    // hungriest core's request, clamped to the equal share H/m.
-    Watts max_request = 0.0;
-    for (int i = 0; i < eng.cores(); ++i) {
-      max_request = std::max(max_request, budget_free_plan(eng, i).power_at_now);
-    }
-    const Watts common = std::min(max_request, cfg.power_budget / cfg.cores);
-    for (int i = 0; i < eng.cores(); ++i) {
-      const Speed sc = std::min(cfg.power_model.speed_for_power(common),
-                                cfg.core_speed_cap(i));
-      install_with_rigid_check(eng, i, [&] {
-        return fixed_speed_plan(eng, i, sc, baseline_mode(eng));
-      });
-      // DVFS-capable cores draw no dynamic power while idle (clock
-      // gating): only executing cores are charged at the common speed.
-      eng.set_core_idle_power(i, 0.0);
-    }
-  }
-
-  void replan_c_dvfs(Engine& eng) {
-    const EngineConfig& cfg = eng.config();
-    const int m = eng.cores();
-
-    // Step 2: budget-free YDS per core.
-    std::vector<BudgetFree> free_plans;
-    free_plans.reserve(static_cast<std::size_t>(m));
-    Watts total_request = 0.0;
-    Speed top_speed = 0.0;
-    {
-      auto timer = profiler_->phase("yds");
-      for (int i = 0; i < m; ++i) {
-        free_plans.push_back(budget_free_plan(eng, i));
-        total_request += free_plans.back().power_at_now;
-        top_speed = std::max(top_speed, free_plans.back().max_speed);
-      }
-    }
-
-    const bool continuous = !opt_.speed_levels.has_value();
-    Speed min_core_cap = cfg.max_core_speed;
-    for (int i = 0; i < m; ++i) {
-      min_core_cap = std::min(min_core_cap, cfg.core_speed_cap(i));
-    }
-    if (continuous && !opt_.static_power && !opt_.eager_execution &&
-        total_request <= cfg.power_budget + kTimeEps &&
-        top_speed <= min_core_cap + kTimeEps) {
-      // The optimistic schedules fit the budget: everyone completes.
-      auto timer = profiler_->phase("online_qe");
-      for (int i = 0; i < m; ++i) {
-        eng.set_core_plan(i, std::move(free_plans[static_cast<std::size_t>(i)].plan));
-        eng.set_core_idle_power(i, 0.0);
-      }
-      return;
-    }
-
-    // Step 3: power distribution. (Scope via optional so the WF timer
-    // closes before step 4's timer opens, without re-nesting the code.)
-    std::optional<obs::PhaseProfiler::Scope> timer;
-    timer.emplace(profiler_->phase_histogram("wf"));
-    std::vector<Watts> budgets;
-    if (opt_.static_power) {
-      budgets.assign(static_cast<std::size_t>(m), cfg.power_budget / m);
-    } else {
-      std::vector<Watts> requests;
-      requests.reserve(static_cast<std::size_t>(m));
-      for (const BudgetFree& f : free_plans) {
-        requests.push_back(f.power_at_now);
-      }
-      budgets = waterfill_power(requests, cfg.power_budget);
-      if (opt_.eager_execution) {
-        // Requests reflect the energy-stretched plans; eager execution
-        // wants to finish early, so hand the WF surplus to the active
-        // cores in equal shares (the total stays within H).
-        Watts assigned = 0.0;
-        int active = 0;
-        for (int i = 0; i < m; ++i) {
-          assigned += budgets[static_cast<std::size_t>(i)];
-          if (!eng.assigned(i).empty()) ++active;
-        }
-        if (active > 0 && cfg.power_budget > assigned + kTimeEps) {
-          const Watts bonus = (cfg.power_budget - assigned) / active;
-          for (int i = 0; i < m; ++i) {
-            if (!eng.assigned(i).empty()) {
-              budgets[static_cast<std::size_t>(i)] += bonus;
-            }
-          }
-        }
-      }
-    }
-
-    // Step 4: budget-bounded per-core planning.
-    timer.emplace(profiler_->phase_histogram("online_qe"));
-    if (continuous) {
-      for (int i = 0; i < m; ++i) {
-        const Speed cap = std::min(
-            cfg.power_model.speed_for_power(budgets[static_cast<std::size_t>(i)]),
-            cfg.core_speed_cap(i));
-        install_with_rigid_check(eng, i, [&] {
-          return opt_.weighted
-                     ? weighted_budget_bounded_plan(eng, i, cap,
-                                                    opt_.eager_execution)
-                     : budget_bounded_plan(eng, i, cap,
-                                           opt_.eager_execution,
-                                           baseline_mode(eng));
-        });
-        eng.set_core_idle_power(i, 0.0);
-      }
-      return;
-    }
-
-    // Discrete scaling (§V-F): rectify the WF speeds onto the level set,
-    // plan under the rectified cap, then re-time segments onto levels.
-    const DiscreteSpeedSet& levels = *opt_.speed_levels;
-    std::vector<Speed> continuous_speeds;
-    continuous_speeds.reserve(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) {
-      continuous_speeds.push_back(std::min(
-          cfg.power_model.speed_for_power(budgets[static_cast<std::size_t>(i)]),
-          std::min(cfg.core_speed_cap(i), levels.max_speed())));
-    }
-    const auto rectified = rectify_speeds_discrete(
-        continuous_speeds, cfg.power_budget, levels, cfg.power_model);
-    for (int i = 0; i < m; ++i) {
-      const auto cap = rectified[static_cast<std::size_t>(i)];
-      if (!cap) {
-        eng.set_core_plan(i, Schedule{});
-        eng.set_core_idle_power(i, 0.0);
-        continue;
-      }
-      install_with_rigid_check(eng, i, [&] {
-        CorePlan p = budget_bounded_plan(eng, i, *cap, opt_.eager_execution,
-                                         baseline_mode(eng));
-        p.plan = quantize_plan(p.plan, eng.now(), levels, *cap);
-        return p;
-      });
-      eng.set_core_idle_power(i, 0.0);
-    }
-  }
-
-  [[nodiscard]] bool baseline_mode(const Engine& eng) const {
-    return eng.config().resume_passed_jobs || opt_.rebalance_unstarted;
   }
 
   DesOptions opt_;
   std::unique_ptr<CumulativeRoundRobin> crr_;
-  std::unique_ptr<obs::PhaseProfiler> profiler_;
+  std::unique_ptr<policy::DesPlanner> planner_;
   std::unique_ptr<SmoothWeightedRoundRobin> swrr_;
+  // Reused across replans so steady-state view refills stay off the heap.
+  policy::WorldView view_;
+  policy::PlanOutcome out_;
 };
 
 }  // namespace

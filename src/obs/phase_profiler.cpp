@@ -4,11 +4,13 @@
 
 namespace qes::obs {
 
-PhaseProfiler::PhaseProfiler(Registry* registry, std::string metric,
-                             std::string help)
+PhaseProfiler::PhaseProfiler(
+    Registry* registry, std::string metric, std::string help,
+    std::vector<std::pair<std::string, std::string>> base_labels)
     : registry_(registry),
       metric_(std::move(metric)),
-      help_(std::move(help)) {}
+      help_(std::move(help)),
+      base_labels_(std::move(base_labels)) {}
 
 Histogram* PhaseProfiler::phase_histogram(const std::string& name) {
   if (registry_ == nullptr) return nullptr;
@@ -19,8 +21,11 @@ Histogram* PhaseProfiler::phase_histogram(const std::string& name) {
   }
   // First use of this phase name: resolve through the registry (which
   // hands back a stable reference) outside our own lock, then publish.
-  Histogram& hist = registry_->histogram(metric_, help_, {{"phase", name}},
-                                         phase_ms_buckets());
+  Labels labels = base_labels_;
+  labels.emplace_back("phase", name);
+  Histogram& hist =
+      registry_->histogram(metric_, help_, std::move(labels),
+                           phase_ms_buckets());
   std::lock_guard<std::mutex> lock(mu_);
   cache_.emplace(name, &hist);
   return &hist;

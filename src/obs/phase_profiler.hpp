@@ -23,6 +23,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/histogram.hpp"
 
@@ -33,8 +35,13 @@ class Registry;
 class PhaseProfiler {
  public:
   /// `registry` may be nullptr (profiling disabled, Scopes inert);
-  /// `metric` names the histogram family, e.g. "qesd_replan_phase_ms".
-  PhaseProfiler(Registry* registry, std::string metric, std::string help);
+  /// `metric` names the histogram family, e.g. "qes_replan_phase_ms".
+  /// `base_labels` are attached to every phase histogram in addition to
+  /// {phase="<name>"} — the planner kernel uses them to fold all
+  /// execution planes into one family distinguished by a `plane` label.
+  PhaseProfiler(Registry* registry, std::string metric, std::string help,
+                std::vector<std::pair<std::string, std::string>> base_labels =
+                    {});
 
   PhaseProfiler(const PhaseProfiler&) = delete;
   PhaseProfiler& operator=(const PhaseProfiler&) = delete;
@@ -83,6 +90,7 @@ class PhaseProfiler {
   Registry* registry_;
   const std::string metric_;
   const std::string help_;
+  const std::vector<std::pair<std::string, std::string>> base_labels_;
   std::mutex mu_;  // guards cache_ layout only
   std::unordered_map<std::string, Histogram*> cache_;
 };

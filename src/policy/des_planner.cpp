@@ -1,0 +1,499 @@
+#include "policy/des_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "core/assert.hpp"
+#include "policy/power_waterfill.hpp"
+#include "sched/quality_opt.hpp"
+#include "sched/weighted_quality.hpp"
+#include "sched/yds.hpp"
+
+namespace qes::policy {
+
+DesPlanner::DesPlanner(obs::Registry* registry, const std::string& plane)
+    : profiler_(registry, kReplanPhaseMetric, kReplanPhaseHelp,
+                plane.empty()
+                    ? std::vector<std::pair<std::string, std::string>>{}
+                    : std::vector<std::pair<std::string, std::string>>{
+                          {"plane", plane}}) {}
+
+void DesPlanner::canonicalize(WorldView& view) {
+  for (CoreView& core : view.cores) {
+    std::sort(core.jobs.begin(), core.jobs.end(),
+              [](const ViewJob& a, const ViewJob& b) {
+                if (a.deadline != b.deadline) return a.deadline < b.deadline;
+                return a.id < b.id;
+              });
+  }
+}
+
+BudgetFree DesPlanner::budget_free_core(const CoreView& core, Time now,
+                                        const PowerModel& pm) {
+  // Budget-free per-core YDS (DES step 2): remaining demands, all
+  // released now. Returns the plan, its power request at `now`, and its
+  // top speed.
+  BudgetFree out;
+  std::vector<Job> jobs;
+  jobs.reserve(core.jobs.size());
+  for (const ViewJob& vj : core.jobs) {
+    const Work remaining = vj.demand - vj.processed;
+    if (remaining <= kTimeEps) continue;
+    jobs.push_back(Job{.id = vj.id,
+                       .release = now,
+                       .deadline = vj.deadline,
+                       .demand = remaining});
+  }
+  if (jobs.empty()) return out;
+  YdsResult y = yds_schedule(AgreeableJobSet(std::move(jobs)));
+  out.max_speed = y.critical_speed;
+  out.power_at_now = pm.dynamic_power(y.schedule.speed_at(now));
+  out.plan = std::move(y.schedule);
+  return out;
+}
+
+BudgetFree DesPlanner::budget_free(const WorldView& view, std::size_t core) {
+  QES_ASSERT(view.power_model != nullptr && core < view.cores.size());
+  return budget_free_core(view.cores[core], view.now, *view.power_model);
+}
+
+Watts DesPlanner::total_power_request(const WorldView& view) {
+  QES_ASSERT(view.power_model != nullptr);
+  Watts total = 0.0;
+  for (const CoreView& core : view.cores) {
+    total += budget_free_core(core, view.now, *view.power_model).power_at_now;
+  }
+  return total;
+}
+
+// Fixed-speed planning used by the No-DVFS and S-DVFS variants: run
+// Quality-OPT (with the running job's release rewound exactly as in
+// Online-QE step 1) and lay the granted volumes out FIFO from `now`.
+DesPlanner::CorePlan DesPlanner::fixed_speed_plan(const CoreView& core,
+                                                  Time now, Speed speed,
+                                                  bool baseline_mode) {
+  CorePlan out;
+  if (speed <= kTimeEps || core.jobs.empty()) return out;
+
+  std::vector<Job> adjusted;
+  adjusted.reserve(core.jobs.size());
+  baselines_.clear();
+  bool first = true;
+  for (const ViewJob& vj : core.jobs) {
+    QES_ASSERT(vj.deadline > now + kTimeEps);
+    Job j{.id = vj.id,
+          .release = now,
+          .deadline = vj.deadline,
+          .demand = vj.demand};
+    if (!baseline_mode && first && vj.processed > kTimeEps) {
+      j.release = now - vj.processed / speed;
+    }
+    first = false;
+    baselines_.push_back(vj.processed);
+    adjusted.push_back(j);
+  }
+  const AgreeableJobSet set(std::move(adjusted));
+  const QualityOptResult q =
+      baseline_mode ? quality_opt_schedule(set, speed, baselines_)
+                    : quality_opt_schedule(set, speed);
+
+  Time t = now;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    Work rem = q.volumes[k];
+    if (set[k].release < now - kTimeEps) {
+      rem -= (now - set[k].release) * speed;  // running job's prior volume
+    }
+    if (rem <= kTimeEps) continue;
+    const Time finish = t + rem / speed;
+    QES_ASSERT_MSG(approx_le(finish, set[k].deadline, kPlanSlackEps),
+                   "fixed-speed plan must meet deadlines");
+    out.plan.push({t, finish, set[k].id, speed});
+    out.planned[set[k].id] = rem;
+    t = finish;
+  }
+  return out;
+}
+
+// Re-time granted volumes flat-out at the core's max speed (the eager
+// ablation): jobs only finish earlier than in the stretched plan, so
+// deadlines keep holding.
+Schedule DesPlanner::eager_timetable(const CoreView& core, Time now,
+                                     const std::map<JobId, Work>& planned,
+                                     Speed max_speed) {
+  Schedule out;
+  Time t = now;
+  for (const ViewJob& vj : core.jobs) {
+    const auto it = planned.find(vj.id);
+    if (it == planned.end() || it->second <= kTimeEps) continue;
+    const Time finish = t + it->second / max_speed;
+    QES_ASSERT_MSG(approx_le(finish, vj.deadline, kPlanSlackEps),
+                   "eager timetable must meet deadlines");
+    out.push({t, finish, vj.id, max_speed});
+    t = finish;
+  }
+  return out;
+}
+
+// Budget-bounded planning for one core (DES step 4). In the paper's
+// execution model this is Online-QE; in the resume ablation the
+// baseline-aware Quality-OPT + YDS pair replaces it so previously served
+// non-running jobs keep their credit.
+DesPlanner::CorePlan DesPlanner::budget_bounded_plan(const CoreView& core,
+                                                     Time now, Speed max_speed,
+                                                     bool eager,
+                                                     bool baseline_mode) {
+  CorePlan out;
+  if (max_speed <= kTimeEps) return out;
+
+  // The paper's Online-QE rewinds the running job's release, which
+  // requires the earliest-deadline job to be the one with prior volume.
+  // Rebalancing and the resume ablation can violate that, so they use
+  // the baseline-aware Quality-OPT + YDS pair instead.
+  if (!baseline_mode) {
+    ready_.clear();
+    bool first = true;
+    for (const ViewJob& vj : core.jobs) {
+      QES_ASSERT(vj.deadline > now + kTimeEps);
+      ready_.push_back(ReadyJob{.id = vj.id,
+                                .deadline = vj.deadline,
+                                .demand = vj.demand,
+                                .processed = vj.processed,
+                                .running = first && vj.processed > kTimeEps});
+      first = false;
+    }
+    OnlineQeResult r = online_qe(now, ready_, max_speed);
+    out.plan = std::move(r.schedule);
+    out.planned = std::move(r.planned);
+    if (eager) {
+      out.plan = eager_timetable(core, now, out.planned, max_speed);
+    }
+    return out;
+  }
+
+  // Baseline mode: every job may carry prior volume as a baseline.
+  std::vector<Job> jobs;
+  jobs.reserve(core.jobs.size());
+  baselines_.clear();
+  for (const ViewJob& vj : core.jobs) {
+    jobs.push_back(Job{.id = vj.id,
+                       .release = now,
+                       .deadline = vj.deadline,
+                       .demand = vj.demand});
+    baselines_.push_back(vj.processed);
+  }
+  if (jobs.empty()) return out;
+  const AgreeableJobSet set(std::move(jobs));
+  const QualityOptResult q = quality_opt_schedule(set, max_speed, baselines_);
+
+  std::vector<Job> step2;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    if (q.volumes[k] <= kTimeEps) continue;
+    Job j = set[k];
+    j.demand = q.volumes[k];
+    out.planned[j.id] = q.volumes[k];
+    step2.push_back(j);
+  }
+  if (step2.empty()) return out;
+  YdsResult y =
+      yds_schedule_capped(AgreeableJobSet(std::move(step2)), max_speed);
+  out.plan = std::move(y.schedule);
+  for (auto& [id, planned] : out.planned) {
+    planned = std::min(planned, out.plan.volume_of(id));
+  }
+  return out;
+}
+
+// Weighted budget-bounded planning (extension): allocate volumes by
+// weighted quality (baseline-aware, so mid-queue prior volume is fine),
+// then YDS the granted volumes.
+DesPlanner::CorePlan DesPlanner::weighted_budget_bounded_plan(
+    const CoreView& core, Time now, const QualityFunction& quality,
+    Speed max_speed, bool eager) {
+  CorePlan out;
+  if (max_speed <= kTimeEps || core.jobs.empty()) return out;
+  std::vector<Job> jobs;
+  jobs.reserve(core.jobs.size());
+  for (const ViewJob& vj : core.jobs) {
+    jobs.push_back(Job{.id = vj.id,
+                       .release = now,
+                       .deadline = vj.deadline,
+                       .demand = vj.demand,
+                       .weight = vj.weight});
+  }
+  const AgreeableJobSet set(std::move(jobs));
+  // AgreeableJobSet sorts by (release, deadline, id); with every release
+  // equal to `now` that is exactly the canonical view order, so weights
+  // and baselines align by index.
+  weights_.clear();
+  baselines_.clear();
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    QES_ASSERT(set[k].id == core.jobs[k].id);
+    weights_.push_back(core.jobs[k].weight);
+    baselines_.push_back(core.jobs[k].processed);
+  }
+  const auto q = weighted_quality_opt_schedule(set, max_speed, weights_,
+                                               quality, baselines_);
+
+  std::vector<Job> step2;
+  for (std::size_t k = 0; k < set.size(); ++k) {
+    if (q.volumes[k] <= kTimeEps) continue;
+    Job j = set[k];
+    j.demand = q.volumes[k];
+    out.planned[j.id] = q.volumes[k];
+    step2.push_back(j);
+  }
+  if (step2.empty()) return out;
+  if (eager) {
+    out.plan = eager_timetable(core, now, out.planned, max_speed);
+    return out;
+  }
+  YdsResult y =
+      yds_schedule_capped(AgreeableJobSet(std::move(step2)), max_speed);
+  out.plan = std::move(y.schedule);
+  for (auto& [id, planned] : out.planned) {
+    planned = std::min(planned, out.plan.volume_of(id));
+  }
+  return out;
+}
+
+// Re-time a plan onto discrete speed levels: each segment's volume runs
+// at the snapped-up level (never above `cap`, itself a level), packed
+// back-to-back from `now`. Jobs only finish earlier, so deadlines hold.
+Schedule DesPlanner::quantize_plan(const Schedule& plan, Time now,
+                                   const DiscreteSpeedSet& levels, Speed cap) {
+  Schedule out;
+  Time t = now;
+  for (const Segment& s : plan.segments()) {
+    const auto snapped = levels.snap_up(s.speed);
+    QES_ASSERT_MSG(snapped && *snapped <= cap + kTimeEps,
+                   "quantized speed must stay within the rectified level");
+    const Time dur = s.volume() / *snapped;
+    out.push({t, t + dur, s.job, *snapped});
+    t += dur;
+  }
+  return out;
+}
+
+template <typename MakePlan>
+void DesPlanner::install_with_rigid_check(CoreView& core,
+                                          const PlanOptions& opt,
+                                          MakePlan make_plan,
+                                          CoreOutcome& out) {
+  for (;;) {
+    CorePlan p = make_plan();
+    JobId to_discard = 0;
+    std::size_t discard_at = 0;
+    for (std::size_t k = 0; k < core.jobs.size(); ++k) {
+      const ViewJob& vj = core.jobs[k];
+      if (vj.partial_ok) continue;
+      const auto it = p.planned.find(vj.id);
+      const Work planned = it == p.planned.end() ? 0.0 : it->second;
+      if (vj.processed + planned + kRigidVolumeEps < vj.demand) {
+        to_discard = vj.id;
+        discard_at = k;
+        break;
+      }
+    }
+    if (to_discard == 0) {
+      // A partially executed job granted no further volume has been
+      // dropped from the ready set by Online-QE (its fair share is
+      // already met); under the paper's execution model it is discarded
+      // now and never resumed.
+      if (!opt.resume_passed_jobs) {
+        for (const ViewJob& vj : core.jobs) {
+          if (vj.processed > kTimeEps && !p.planned.count(vj.id)) {
+            out.passed_over.push_back(vj.id);
+          }
+        }
+        std::erase_if(core.jobs, [&](const ViewJob& vj) {
+          return vj.processed > kTimeEps && !p.planned.count(vj.id);
+        });
+      }
+      out.plan = std::move(p.plan);
+      return;
+    }
+    out.rigid_discards.push_back(to_discard);
+    core.jobs.erase(core.jobs.begin() +
+                    static_cast<std::ptrdiff_t>(discard_at));
+  }
+}
+
+void DesPlanner::plan_no_dvfs(WorldView& view, const PlanOptions& opt,
+                              PlanOutcome& out) {
+  QES_ASSERT(view.power_model != nullptr && !view.cores.empty());
+  canonicalize(view);
+  const PowerModel& pm = *view.power_model;
+  const std::size_t m = view.cores.size();
+  out.reset(m);
+  const Speed share =
+      pm.speed_for_power(view.power_budget / static_cast<double>(m));
+  for (std::size_t i = 0; i < m; ++i) {
+    const Speed s0 = std::min(share, view.cores[i].speed_cap);
+    install_with_rigid_check(
+        view.cores[i], opt,
+        [&, i] {
+          return fixed_speed_plan(view.cores[i], view.now, s0,
+                                  opt.baseline_mode);
+        },
+        out.cores[i]);
+    out.cores[i].idle_power = pm.dynamic_power(s0);
+  }
+}
+
+void DesPlanner::plan_s_dvfs(WorldView& view, const PlanOptions& opt,
+                             PlanOutcome& out) {
+  QES_ASSERT(view.power_model != nullptr && !view.cores.empty());
+  canonicalize(view);
+  const PowerModel& pm = *view.power_model;
+  const std::size_t m = view.cores.size();
+  out.reset(m);
+  // Step 2 with the chip-wide constraint: every core is granted the
+  // hungriest core's request, clamped to the equal share H/m.
+  Watts max_request = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    max_request = std::max(
+        max_request, budget_free_core(view.cores[i], view.now, pm).power_at_now);
+  }
+  const Watts common =
+      std::min(max_request, view.power_budget / static_cast<double>(m));
+  for (std::size_t i = 0; i < m; ++i) {
+    const Speed sc =
+        std::min(pm.speed_for_power(common), view.cores[i].speed_cap);
+    install_with_rigid_check(
+        view.cores[i], opt,
+        [&, i] {
+          return fixed_speed_plan(view.cores[i], view.now, sc,
+                                  opt.baseline_mode);
+        },
+        out.cores[i]);
+    // DVFS-capable cores draw no dynamic power while idle (clock
+    // gating): only executing cores are charged at the common speed.
+    out.cores[i].idle_power = 0.0;
+  }
+}
+
+void DesPlanner::plan_c_dvfs(WorldView& view, const PlanOptions& opt,
+                             PlanOutcome& out) {
+  QES_ASSERT(view.power_model != nullptr && !view.cores.empty());
+  canonicalize(view);
+  const PowerModel& pm = *view.power_model;
+  const std::size_t m = view.cores.size();
+  out.reset(m);
+
+  // Step 2: budget-free YDS per core.
+  Watts total_request = 0.0;
+  Speed top_speed = 0.0;
+  {
+    auto timer = profiler_.phase("yds");
+    free_plans_.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      free_plans_.push_back(budget_free_core(view.cores[i], view.now, pm));
+      total_request += free_plans_.back().power_at_now;
+      top_speed = std::max(top_speed, free_plans_.back().max_speed);
+    }
+  }
+
+  const bool continuous = opt.speed_levels == nullptr;
+  Speed min_core_cap = std::numeric_limits<double>::infinity();
+  for (const CoreView& core : view.cores) {
+    min_core_cap = std::min(min_core_cap, core.speed_cap);
+  }
+  if (continuous && !opt.static_power && !opt.eager_execution &&
+      total_request <= view.power_budget + kTimeEps &&
+      top_speed <= min_core_cap + kTimeEps) {
+    // The optimistic schedules fit the budget: everyone completes.
+    auto timer = profiler_.phase("online_qe");
+    for (std::size_t i = 0; i < m; ++i) {
+      out.cores[i].plan = std::move(free_plans_[i].plan);
+    }
+    return;
+  }
+
+  // Step 3: power distribution. (Scope via optional so the WF timer
+  // closes before step 4's timer opens, without re-nesting the code.)
+  std::optional<obs::PhaseProfiler::Scope> timer;
+  timer.emplace(profiler_.phase_histogram("wf"));
+  if (opt.static_power) {
+    budgets_.assign(m, view.power_budget / static_cast<double>(m));
+  } else {
+    requests_.clear();
+    for (const BudgetFree& f : free_plans_) {
+      requests_.push_back(f.power_at_now);
+    }
+    budgets_ = waterfill_power(requests_, view.power_budget);
+    if (opt.eager_execution) {
+      // Requests reflect the energy-stretched plans; eager execution
+      // wants to finish early, so hand the WF surplus to the active
+      // cores in equal shares (the total stays within H).
+      Watts assigned = 0.0;
+      std::size_t active = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        assigned += budgets_[i];
+        if (!view.cores[i].jobs.empty()) ++active;
+      }
+      if (active > 0 && view.power_budget > assigned + kTimeEps) {
+        const Watts bonus =
+            (view.power_budget - assigned) / static_cast<double>(active);
+        for (std::size_t i = 0; i < m; ++i) {
+          if (!view.cores[i].jobs.empty()) budgets_[i] += bonus;
+        }
+      }
+    }
+  }
+
+  // Step 4: budget-bounded per-core planning.
+  timer.emplace(profiler_.phase_histogram("online_qe"));
+  if (continuous) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const Speed cap =
+          std::min(pm.speed_for_power(budgets_[i]), view.cores[i].speed_cap);
+      install_with_rigid_check(
+          view.cores[i], opt,
+          [&, i] {
+            return opt.weighted
+                       ? weighted_budget_bounded_plan(view.cores[i], view.now,
+                                                      *view.quality, cap,
+                                                      opt.eager_execution)
+                       : budget_bounded_plan(view.cores[i], view.now, cap,
+                                             opt.eager_execution,
+                                             opt.baseline_mode);
+          },
+          out.cores[i]);
+    }
+    return;
+  }
+
+  // Discrete scaling (§V-F): rectify the WF speeds onto the level set,
+  // plan under the rectified cap, then re-time segments onto levels.
+  const DiscreteSpeedSet& levels = *opt.speed_levels;
+  speeds_.clear();
+  for (std::size_t i = 0; i < m; ++i) {
+    speeds_.push_back(
+        std::min(pm.speed_for_power(budgets_[i]),
+                 std::min(view.cores[i].speed_cap, levels.max_speed())));
+  }
+  const auto rectified =
+      rectify_speeds_discrete(speeds_, view.power_budget, levels, pm);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto cap = rectified[i];
+    if (!cap) {
+      // out.cores[i] stays the empty plan: the core idles this round.
+      continue;
+    }
+    install_with_rigid_check(
+        view.cores[i], opt,
+        [&, i, cap] {
+          CorePlan p = budget_bounded_plan(view.cores[i], view.now, *cap,
+                                           opt.eager_execution,
+                                           opt.baseline_mode);
+          p.plan = quantize_plan(p.plan, view.now, levels, *cap);
+          return p;
+        },
+        out.cores[i]);
+  }
+}
+
+}  // namespace qes::policy

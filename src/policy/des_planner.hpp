@@ -1,0 +1,195 @@
+// DesPlanner: the single, engine-agnostic DES planner kernel.
+//
+// The paper's multicore heuristic (§IV: C-RR job distribution,
+// budget-free per-core YDS, water-filling power distribution,
+// budget-bounded per-core Online-QE; §V-A No-DVFS / S-DVFS variants;
+// §V-D rigid-job discard loop; §V-F discrete rectification) used to be
+// implemented twice — once against sim::Engine and once against the live
+// runtime state. It now lives here exactly once, planning against the
+// engine-agnostic WorldView snapshot; the simulator policy, the qesd
+// runtime, and the cluster lockstep are thin adapters that build a view,
+// invoke one of the plan_* pipelines, and apply the PlanOutcome back to
+// their own state (see docs/ARCHITECTURE.md).
+//
+// The planner owns reusable scratch buffers so the snapshot-handling
+// side of a steady-state replan performs zero heap allocations
+// (bench/replan_kernel gates this); the single-core sub-algorithms
+// (YDS, Quality-OPT, Online-QE) keep their value-returning interfaces.
+//
+// Phase timings for every pipeline stage go to the unified histogram
+// family `qes_replan_phase_ms{plane=...,phase=...}` — one family for all
+// planes, distinguished by the `plane` label passed at construction.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "obs/phase_profiler.hpp"
+#include "policy/world_view.hpp"
+#include "sched/online_qe.hpp"
+
+namespace qes::obs {
+class Registry;
+}  // namespace qes::obs
+
+namespace qes::policy {
+
+/// Unified replan-phase histogram family shared by every plane
+/// (plane="sim" | "runtime" | "cluster").
+inline constexpr const char kReplanPhaseMetric[] = "qes_replan_phase_ms";
+inline constexpr const char kReplanPhaseHelp[] =
+    "wall time per DES replan phase (ms)";
+
+/// Pipeline variants. The defaults are the paper's execution model on
+/// continuous C-DVFS — exactly what the runtime plane serves.
+struct PlanOptions {
+  /// Discrete speed levels (§V-F); nullptr = continuous scaling. Not
+  /// owned; must outlive the planning call.
+  const DiscreteSpeedSet* speed_levels = nullptr;
+  /// Replace WF with static equal power sharing (ablation).
+  bool static_power = false;
+  /// Allocate per-core volumes by WEIGHTED quality (service classes);
+  /// requires WorldView::quality. Implies baseline-aware planning.
+  bool weighted = false;
+  /// Skip Online-QE's energy stretch: run granted volumes flat-out.
+  bool eager_execution = false;
+  /// Baseline-aware planning (Quality-OPT + YDS instead of Online-QE):
+  /// required when mid-queue jobs may carry prior volume, i.e. under the
+  /// resume ablation or rebalancing.
+  bool baseline_mode = false;
+  /// Keep partially executed, passed-over jobs alive (ablation; the
+  /// paper's model discards them — see CoreOutcome::passed_over).
+  bool resume_passed_jobs = false;
+};
+
+/// Per-core planning result. Consumers must apply it in this order:
+/// finalize `rigid_discards` front to back, then `passed_over` front to
+/// back, then install `plan` (and `idle_power` where the engine models
+/// idle draw) — that reproduces the legacy in-place sequence bitwise.
+struct CoreOutcome {
+  Schedule plan;
+  Watts idle_power = 0.0;
+  /// Rigid jobs the §V-D loop discarded, in discard order.
+  std::vector<JobId> rigid_discards;
+  /// Partially executed jobs the final plan passes over (fair share
+  /// already met; the paper's model never resumes them). Empty when
+  /// PlanOptions::resume_passed_jobs is set.
+  std::vector<JobId> passed_over;
+};
+
+struct PlanOutcome {
+  std::vector<CoreOutcome> cores;
+
+  /// Clears per-core results, keeping capacity.
+  void reset(std::size_t core_count) {
+    if (cores.size() != core_count) cores.resize(core_count);
+    for (CoreOutcome& c : cores) {
+      c.plan = Schedule{};
+      c.idle_power = 0.0;
+      c.rigid_discards.clear();
+      c.passed_over.clear();
+    }
+  }
+};
+
+/// Budget-free per-core YDS result (DES step 2): the plan assuming
+/// unlimited power, its instantaneous power request at `now`, and its
+/// top speed. Also the node's load signal to the cluster budget broker.
+struct BudgetFree {
+  Schedule plan;
+  Watts power_at_now = 0.0;
+  Speed max_speed = 0.0;
+};
+
+class DesPlanner {
+ public:
+  /// `registry` may be nullptr (phase profiling disabled); `plane` tags
+  /// the unified phase histogram family ("sim", "runtime", ...).
+  explicit DesPlanner(obs::Registry* registry = nullptr,
+                      const std::string& plane = "");
+
+  DesPlanner(const DesPlanner&) = delete;
+  DesPlanner& operator=(const DesPlanner&) = delete;
+
+  /// The paper's full C-DVFS pipeline (steps 2-4 of §IV-D; step 1, job
+  /// distribution, is the consumer's because it mutates assignment
+  /// state): budget-free YDS, the all-fits fast path, WF (or static /
+  /// eager-escalated) power distribution, and budget-bounded planning
+  /// with the rigid-discard loop; discrete rectification when
+  /// `opt.speed_levels` is set. Canonicalizes and mutates `view`.
+  void plan_c_dvfs(WorldView& view, const PlanOptions& opt, PlanOutcome& out);
+
+  /// §V-A No-DVFS: all cores pinned at the equal-share speed, busy or
+  /// idle (idle_power = P(s0)); Quality-OPT volumes laid out FIFO.
+  void plan_no_dvfs(WorldView& view, const PlanOptions& opt, PlanOutcome& out);
+
+  /// §V-A S-DVFS: one chip-wide speed covering the hungriest core's
+  /// request, clamped to the equal share H/m.
+  void plan_s_dvfs(WorldView& view, const PlanOptions& opt, PlanOutcome& out);
+
+  /// DES step 2 for one (canonicalized) core — exposed for the cluster
+  /// power_request signal and tests.
+  [[nodiscard]] BudgetFree budget_free(const WorldView& view,
+                                       std::size_t core);
+
+  /// Sum of budget-free power requests over all cores: the total dynamic
+  /// power the node would draw right now were H unlimited.
+  [[nodiscard]] Watts total_power_request(const WorldView& view);
+
+  /// Sorts every core's job list to (deadline, id) order — arrival order
+  /// for agreeable workloads. Called by every plan_* entry; idempotent.
+  static void canonicalize(WorldView& view);
+
+  /// The phase profiler backing this planner's plane — consumers wrap
+  /// the phases they own (e.g. C-RR distribution) with it so all phases
+  /// of one replan land in the same labeled family.
+  [[nodiscard]] obs::PhaseProfiler& profiler() { return profiler_; }
+
+ private:
+  // Planned additional volume per job plus the executable timetable.
+  struct CorePlan {
+    Schedule plan;
+    std::map<JobId, Work> planned;
+  };
+
+  [[nodiscard]] BudgetFree budget_free_core(const CoreView& core, Time now,
+                                            const PowerModel& pm);
+  [[nodiscard]] CorePlan fixed_speed_plan(const CoreView& core, Time now,
+                                          Speed speed, bool baseline_mode);
+  [[nodiscard]] CorePlan budget_bounded_plan(const CoreView& core, Time now,
+                                             Speed max_speed, bool eager,
+                                             bool baseline_mode);
+  [[nodiscard]] CorePlan weighted_budget_bounded_plan(
+      const CoreView& core, Time now, const QualityFunction& quality,
+      Speed max_speed, bool eager);
+  [[nodiscard]] static Schedule eager_timetable(
+      const CoreView& core, Time now, const std::map<JobId, Work>& planned,
+      Speed max_speed);
+  [[nodiscard]] static Schedule quantize_plan(const Schedule& plan, Time now,
+                                              const DiscreteSpeedSet& levels,
+                                              Speed cap);
+
+  /// §V-D: recomputes `make_plan` until no rigid job is left incomplete,
+  /// erasing discarded jobs from `core` and recording them (and the
+  /// passed-over drops) into `out`.
+  template <typename MakePlan>
+  void install_with_rigid_check(CoreView& core, const PlanOptions& opt,
+                                MakePlan make_plan, CoreOutcome& out);
+
+  obs::PhaseProfiler profiler_;
+  // Reusable scratch (cleared, never shrunk) for the snapshot-handling
+  // side of a replan; see the zero-allocation note in the file comment.
+  // (Vectors consumed by value — AgreeableJobSet input — are local to
+  // their functions; scratch only helps where callees take spans.)
+  std::vector<ReadyJob> ready_;
+  std::vector<Work> baselines_;
+  std::vector<double> weights_;
+  std::vector<BudgetFree> free_plans_;
+  std::vector<Watts> requests_;
+  std::vector<Watts> budgets_;
+  std::vector<Speed> speeds_;
+};
+
+}  // namespace qes::policy

@@ -1,4 +1,4 @@
-#include "multicore/power_waterfill.hpp"
+#include "policy/power_waterfill.hpp"
 
 #include <algorithm>
 #include <numeric>

@@ -1,0 +1,75 @@
+// WorldView: the engine-agnostic snapshot the DES planner kernel plans
+// against (see docs/ARCHITECTURE.md, "The WorldView contract").
+//
+// Every execution plane — the discrete-event simulator, the qesd live
+// runtime, and (through the runtime) the cluster lockstep — reduces its
+// private state to this one structure before planning, so the paper's
+// C-RR + WF + Online-QE pipeline exists exactly once (DesPlanner) and
+// all planes provably share every arithmetic operation.
+//
+// Contract:
+//  - `now` is the invocation time; every job's deadline is strictly in
+//    the future (deadline > now + kTimeEps) — expired jobs must be
+//    finalized before planning.
+//  - Per core, `jobs` holds the live assigned jobs. The kernel
+//    canonicalizes each core's list to (deadline, id) order before
+//    planning, which for agreeable workloads is exactly arrival order —
+//    so planner output is invariant under any permutation of the input.
+//  - The job currently executing on a core (if any) is recognized
+//    positionally after canonicalization: the head job with
+//    processed > kTimeEps. Under the paper's non-migratory FIFO model
+//    only the head can carry prior volume.
+//  - The view is a *scratch* structure: reset() + push_back keep vector
+//    capacity across replans, so steady-state refills allocate nothing
+//    (bench/replan_kernel asserts this).
+//  - Planning mutates the view: the §V-D rigid-discard loop erases jobs
+//    it discards. Consumers re-fill the view every replan.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/job.hpp"
+#include "core/power.hpp"
+#include "core/quality.hpp"
+
+namespace qes::policy {
+
+/// One live assigned job as the planner sees it.
+struct ViewJob {
+  JobId id = 0;
+  Time deadline = 0.0;
+  Work demand = 0.0;     ///< full service demand w_j
+  Work processed = 0.0;  ///< volume already executed
+  double weight = 1.0;   ///< service-class weight (weighted planning)
+  bool partial_ok = true;
+};
+
+/// One core's planning-relevant state.
+struct CoreView {
+  std::vector<ViewJob> jobs;  ///< live assigned jobs (any order on input)
+  /// Effective hardware speed cap (EngineConfig::core_speed_cap(i) /
+  /// RuntimeConfig::max_core_speed); infinity = power-bound only.
+  Speed speed_cap = std::numeric_limits<double>::infinity();
+};
+
+struct WorldView {
+  Time now = 0.0;
+  Watts power_budget = 0.0;
+  /// Not owned; must outlive the planning call.
+  const PowerModel* power_model = nullptr;
+  /// Not owned; required by weighted planning only.
+  const QualityFunction* quality = nullptr;
+  std::vector<CoreView> cores;
+
+  /// Re-arms the view for a new replan, keeping per-core vector capacity
+  /// so steady-state refills do not touch the heap.
+  void reset(Time t, Watts budget, std::size_t core_count) {
+    now = t;
+    power_budget = budget;
+    if (cores.size() != core_count) cores.resize(core_count);
+    for (CoreView& c : cores) c.jobs.clear();
+  }
+};
+
+}  // namespace qes::policy

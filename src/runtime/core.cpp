@@ -5,26 +5,16 @@
 #include <map>
 
 #include "core/assert.hpp"
-#include "multicore/power_waterfill.hpp"
 #include "obs/run_accumulator.hpp"
 #include "obs/trace.hpp"
-#include "sched/online_qe.hpp"
-#include "sched/yds.hpp"
 
 namespace qes::runtime {
-
-namespace {
-
-constexpr double kEps = kTimeEps;
-
-}  // namespace
 
 RuntimeCore::RuntimeCore(RuntimeConfig config)
     : cfg_(std::move(config)),
       crr_(static_cast<std::size_t>(std::max(cfg_.cores, 1))),
-      profiler_(std::make_unique<obs::PhaseProfiler>(
-          cfg_.registry, "qesd_replan_phase_ms",
-          "wall time per DES replan phase (ms)")) {
+      planner_(std::make_unique<policy::DesPlanner>(cfg_.registry,
+                                                    "runtime")) {
   QES_ASSERT(cfg_.cores > 0 && cfg_.power_budget > 0.0);
   if (cfg_.registry != nullptr) {
     // Pre-register the end-of-run schema (jobs_total by outcome, quality
@@ -58,12 +48,12 @@ void RuntimeCore::submit(const Job& job) {
   QES_ASSERT_MSG(job.id == jobs_.size() + 1,
                  "jobs must carry dense ids 1..n in admission order");
   QES_ASSERT(job.demand > 0.0 && job.deadline > job.release);
-  QES_ASSERT_MSG(job.release >= now_ - 1e-5,
+  QES_ASSERT_MSG(job.release >= now_ - kPlanSlackEps,
                  "admission must not travel back in time");
   if (!jobs_.empty()) {
     const Job& prev = jobs_.back().job;
-    QES_ASSERT_MSG(job.release + kEps >= prev.release &&
-                       job.deadline + kEps >= prev.deadline,
+    QES_ASSERT_MSG(job.release + kTimeEps >= prev.release &&
+                       job.deadline + kTimeEps >= prev.deadline,
                    "admitted jobs must keep agreeable deadlines");
   }
   jobs_.push_back(JobRecord{.job = job});
@@ -114,8 +104,9 @@ void RuntimeCore::finalize(JobId id) {
     q.erase(it);
   }
   st.processed = std::min(st.processed, st.job.demand);
-  st.satisfied = st.processed + 1e-6 * std::max(1.0, st.job.demand) >=
-                 st.job.demand;
+  st.satisfied =
+      st.processed + kCompletionRelEps * std::max(1.0, st.job.demand) >=
+      st.job.demand;
   if (!st.job.partial_ok) {
     st.quality =
         st.satisfied ? st.job.weight * cfg_.quality(st.job.demand) : 0.0;
@@ -143,7 +134,7 @@ void RuntimeCore::expire_due_jobs() {
       ++first_live_;
       continue;
     }
-    if (st.job.deadline <= now_ + kEps) {
+    if (st.job.deadline <= now_ + kTimeEps) {
       finalize(st.job.id);
       ++first_live_;
       continue;
@@ -157,11 +148,12 @@ void RuntimeCore::set_core_plan(int core, Schedule plan) {
   CoreState& c = cores_[static_cast<std::size_t>(core)];
   plan.check_well_formed();
   for (const Segment& s : plan.segments()) {
-    QES_ASSERT_MSG(s.t0 >= now_ - 1e-5, "plan must start at or after now");
+    QES_ASSERT_MSG(s.t0 >= now_ - kPlanSlackEps,
+                   "plan must start at or after now");
     const JobRecord& st = job(s.job);
     QES_ASSERT_MSG(st.phase == JobRecord::Phase::Assigned && st.core == core,
                    "plan segment must reference a live job on this core");
-    QES_ASSERT_MSG(s.t1 <= st.job.deadline + 1e-5,
+    QES_ASSERT_MSG(s.t1 <= st.job.deadline + kPlanSlackEps,
                    "plan segment must end by the job's deadline");
     QES_ASSERT_MSG(s.speed <= cfg_.max_core_speed + 1e-6,
                    "plan speed exceeds the core's hardware cap");
@@ -171,7 +163,7 @@ void RuntimeCore::set_core_plan(int core, Schedule plan) {
 }
 
 void RuntimeCore::advance(Time target) {
-  QES_ASSERT(target >= now_ - kEps);
+  QES_ASSERT(target >= now_ - kTimeEps);
   while (true) {
     // Sub-step end: the earliest segment boundary across cores, capped at
     // the target. Power is constant within the sub-step.
@@ -179,15 +171,15 @@ void RuntimeCore::advance(Time target) {
     for (const CoreState& c : cores_) {
       if (c.next_seg >= c.plan.size()) continue;
       const Segment& s = c.plan[c.next_seg];
-      step_end = std::min(step_end, s.t0 > now_ + kEps ? s.t0 : s.t1);
+      step_end = std::min(step_end, s.t0 > now_ + kTimeEps ? s.t0 : s.t1);
     }
 
-    if (step_end > now_ + kEps) {
+    if (step_end > now_ + kTimeEps) {
       const Time dt = step_end - now_;
       Watts total_power = 0.0;
       for (CoreState& c : cores_) {
         const bool active = c.next_seg < c.plan.size() &&
-                            c.plan[c.next_seg].t0 <= now_ + kEps;
+                            c.plan[c.next_seg].t0 <= now_ + kTimeEps;
         if (!active) continue;  // DVFS-gated cores draw no dynamic power
         const Segment& s = c.plan[c.next_seg];
         total_power += cfg_.power_model.dynamic_power(s.speed);
@@ -213,13 +205,13 @@ void RuntimeCore::advance(Time target) {
     // Process segment completions at now_.
     for (CoreState& c : cores_) {
       while (c.next_seg < c.plan.size() &&
-             c.plan[c.next_seg].t1 <= now_ + kEps) {
+             c.plan[c.next_seg].t1 <= now_ + kTimeEps) {
         const Segment done = c.plan[c.next_seg];
         ++c.next_seg;
         JobRecord& st = state(done.job);
         if (st.phase == JobRecord::Phase::Finalized) continue;
         const bool complete =
-            st.processed + 1e-6 * std::max(1.0, st.job.demand) >=
+            st.processed + kCompletionRelEps * std::max(1.0, st.job.demand) >=
             st.job.demand;
         bool more_planned = false;
         for (std::size_t k = c.next_seg; k < c.plan.size(); ++k) {
@@ -238,7 +230,7 @@ void RuntimeCore::advance(Time target) {
       }
     }
 
-    if (now_ >= target - kEps) break;
+    if (now_ >= target - kTimeEps) break;
   }
   now_ = std::max(now_, target);
   expire_due_jobs();
@@ -246,8 +238,8 @@ void RuntimeCore::advance(Time target) {
 
 bool RuntimeCore::check_triggers() {
   bool replan_due = false;
-  if (cfg_.quantum_ms > 0.0 && now_ >= next_quantum_ - kEps) {
-    while (next_quantum_ <= now_ + kEps) next_quantum_ += cfg_.quantum_ms;
+  if (cfg_.quantum_ms > 0.0 && now_ >= next_quantum_ - kTimeEps) {
+    while (next_quantum_ <= now_ + kTimeEps) next_quantum_ += cfg_.quantum_ms;
     replan_due = true;
   }
   if (cfg_.counter_trigger > 0 &&
@@ -265,89 +257,29 @@ bool RuntimeCore::check_triggers() {
   return replan_due;
 }
 
-void RuntimeCore::install_with_rigid_check(int core, Speed max_speed) {
-  // Collect the core's live jobs as the single-core algorithms see them
-  // (mirrors the simulator policy's ready snapshot).
-  auto snapshot = [&] {
-    std::vector<ReadyJob> ready;
-    bool first = true;
-    for (JobId id : cores_[static_cast<std::size_t>(core)].queue) {
+void RuntimeCore::build_view() const {
+  view_.reset(now_, cfg_.power_budget, static_cast<std::size_t>(cfg_.cores));
+  view_.power_model = &cfg_.power_model;
+  view_.quality = &cfg_.quality;
+  for (int i = 0; i < cfg_.cores; ++i) {
+    policy::CoreView& core = view_.cores[static_cast<std::size_t>(i)];
+    core.speed_cap = cfg_.max_core_speed;
+    for (JobId id : cores_[static_cast<std::size_t>(i)].queue) {
       const JobRecord& st = job(id);
-      QES_ASSERT(st.job.deadline > now_ + kEps);
-      ReadyJob rj;
-      rj.id = id;
-      rj.deadline = st.job.deadline;
-      rj.demand = st.job.demand;
-      rj.processed = st.processed;
-      rj.running = first && st.processed > kEps;
-      first = false;
-      ready.push_back(rj);
+      QES_ASSERT(st.job.deadline > now_ + kTimeEps);
+      core.jobs.push_back(policy::ViewJob{.id = id,
+                                          .deadline = st.job.deadline,
+                                          .demand = st.job.demand,
+                                          .processed = st.processed,
+                                          .weight = st.job.weight,
+                                          .partial_ok = st.job.partial_ok});
     }
-    return ready;
-  };
-
-  // Discard rigid (non-partial) jobs the plan cannot complete and
-  // recompute until stable (§V-D), then drop partially executed jobs the
-  // plan passes over — Online-QE already met their fair share and the
-  // paper's execution model never resumes them.
-  for (;;) {
-    OnlineQeResult r;
-    if (max_speed > kEps) r = online_qe(now_, snapshot(), max_speed);
-    JobId to_discard = 0;
-    for (JobId id : cores_[static_cast<std::size_t>(core)].queue) {
-      const JobRecord& st = job(id);
-      if (st.job.partial_ok) continue;
-      const auto it = r.planned.find(id);
-      const Work planned = it == r.planned.end() ? 0.0 : it->second;
-      if (st.processed + planned + 1e-6 < st.job.demand) {
-        to_discard = id;
-        break;
-      }
-    }
-    if (to_discard == 0) {
-      std::vector<JobId> drop;
-      for (JobId id : cores_[static_cast<std::size_t>(core)].queue) {
-        if (job(id).processed > kEps && !r.planned.count(id)) {
-          drop.push_back(id);
-        }
-      }
-      for (JobId id : drop) finalize(id);
-      set_core_plan(core, std::move(r.schedule));
-      return;
-    }
-    finalize(to_discard);
   }
-}
-
-RuntimeCore::BudgetFreePlan RuntimeCore::budget_free_plan(int core) const {
-  // Budget-free per-core YDS (DES step 2), identical to the simulator's
-  // policy: remaining demands, all released now.
-  BudgetFreePlan f;
-  std::vector<Job> jobs;
-  for (JobId id : cores_[static_cast<std::size_t>(core)].queue) {
-    const JobRecord& st = job(id);
-    const Work remaining = st.job.demand - st.processed;
-    if (remaining <= kEps) continue;
-    jobs.push_back(Job{.id = id,
-                       .release = now_,
-                       .deadline = st.job.deadline,
-                       .demand = remaining});
-  }
-  if (!jobs.empty()) {
-    YdsResult y = yds_schedule(AgreeableJobSet(std::move(jobs)));
-    f.max_speed = y.critical_speed;
-    f.power_at_now = cfg_.power_model.dynamic_power(y.schedule.speed_at(now_));
-    f.plan = std::move(y.schedule);
-  }
-  return f;
 }
 
 Watts RuntimeCore::power_request() const {
-  Watts total = 0.0;
-  for (int i = 0; i < cfg_.cores; ++i) {
-    total += budget_free_plan(i).power_at_now;
-  }
-  return total;
+  build_view();
+  return planner_->total_power_request(view_);
 }
 
 void RuntimeCore::set_power_budget(Watts budget) {
@@ -361,7 +293,7 @@ std::vector<AbandonedJob> RuntimeCore::abandon_unfinalized() {
     JobRecord& st = jobs_[k];
     if (st.phase == JobRecord::Phase::Finalized) continue;
     const Work remaining = st.job.demand - st.processed;
-    if (remaining <= 1e-6 * std::max(1.0, st.job.demand)) {
+    if (remaining <= kCompletionRelEps * std::max(1.0, st.job.demand)) {
       // Within completion tolerance: the work was done here, so the
       // quality is credited here instead of shipping a zero-demand stub.
       finalize(st.job.id);
@@ -399,11 +331,9 @@ void RuntimeCore::replan() {
                       .t = now_,
                       .value = static_cast<double>(waiting_.size())});
   }
-  const int m = cfg_.cores;
-
   // Step 1: ready-job distribution (C-RR with the persistent cursor).
   {
-    auto timer = profiler_->phase("crr");
+    auto timer = planner_->profiler().phase("crr");
     const std::vector<JobId> waiting(waiting_.begin(), waiting_.end());
     const auto targets = crr_.distribute(waiting.size());
     for (std::size_t k = 0; k < waiting.size(); ++k) {
@@ -411,50 +341,22 @@ void RuntimeCore::replan() {
     }
   }
 
-  // Step 2: budget-free per-core YDS.
-  std::vector<BudgetFreePlan> free_plans;
-  free_plans.reserve(static_cast<std::size_t>(m));
-  Watts total_request = 0.0;
-  Speed top_speed = 0.0;
-  {
-    auto timer = profiler_->phase("yds");
-    for (int i = 0; i < m; ++i) {
-      BudgetFreePlan f = budget_free_plan(i);
-      total_request += f.power_at_now;
-      top_speed = std::max(top_speed, f.max_speed);
-      free_plans.push_back(std::move(f));
-    }
-  }
+  // Steps 2-4 (budget-free YDS, WF power split, budget-bounded Online-QE
+  // with the §V-D rigid loop) run in the shared planner kernel against
+  // the WorldView snapshot; the runtime serves the paper's default
+  // model, i.e. PlanOptions{} on continuous C-DVFS.
+  build_view();
+  planner_->plan_c_dvfs(view_, policy::PlanOptions{}, plan_out_);
 
-  if (total_request <= cfg_.power_budget + kEps &&
-      top_speed <= cfg_.max_core_speed + kEps) {
-    // The optimistic schedules fit the budget: everyone completes.
-    auto timer = profiler_->phase("online_qe");
-    for (int i = 0; i < m; ++i) {
-      set_core_plan(i, std::move(free_plans[static_cast<std::size_t>(i)].plan));
-    }
-    return;
-  }
-
-  // Step 3: WF power distribution.
-  std::vector<Watts> budgets;
-  {
-    auto timer = profiler_->phase("wf");
-    std::vector<Watts> requests;
-    requests.reserve(static_cast<std::size_t>(m));
-    for (const BudgetFreePlan& f : free_plans) {
-      requests.push_back(f.power_at_now);
-    }
-    budgets = waterfill_power(requests, cfg_.power_budget);
-  }
-
-  // Step 4: budget-bounded per-core Online-QE planning.
-  auto timer = profiler_->phase("online_qe");
-  for (int i = 0; i < m; ++i) {
-    const Speed cap = std::min(
-        cfg_.power_model.speed_for_power(budgets[static_cast<std::size_t>(i)]),
-        cfg_.max_core_speed);
-    install_with_rigid_check(i, cap);
+  // Apply per core, in order: rigid discards (discovery order), then
+  // passed-over drops (queue order), then the plan — the same
+  // finalization sequence as the in-place legacy pipeline, keeping the
+  // quality accumulation order (and thus conformance) bitwise intact.
+  for (int i = 0; i < cfg_.cores; ++i) {
+    policy::CoreOutcome& c = plan_out_.cores[static_cast<std::size_t>(i)];
+    for (JobId id : c.rigid_discards) finalize(id);
+    for (JobId id : c.passed_over) finalize(id);
+    set_core_plan(i, std::move(c.plan));
   }
 }
 
@@ -472,7 +374,7 @@ Time RuntimeCore::next_plan_event() const {
   for (const CoreState& c : cores_) {
     if (c.next_seg >= c.plan.size()) continue;
     const Segment& s = c.plan[c.next_seg];
-    t = std::min(t, s.t0 > now_ + kEps ? s.t0 : s.t1);
+    t = std::min(t, s.t0 > now_ + kTimeEps ? s.t0 : s.t1);
   }
   return t;
 }
@@ -486,7 +388,7 @@ Watts RuntimeCore::planned_power_now() const {
   for (const CoreState& c : cores_) {
     if (c.next_seg >= c.plan.size()) continue;
     const Segment& s = c.plan[c.next_seg];
-    if (s.t0 <= now_ + kEps) total += cfg_.power_model.dynamic_power(s.speed);
+    if (s.t0 <= now_ + kTimeEps) total += cfg_.power_model.dynamic_power(s.speed);
   }
   return total;
 }
@@ -517,7 +419,7 @@ RunStats RuntimeCore::finish(Time end_time) {
   for (const JobRecord& st : jobs_) {
     if (st.abandoned) continue;  // re-dispatched; accounted at the new node
     acc.on_job(st.quality, st.job.weight * cfg_.quality(st.job.demand),
-               st.satisfied, st.processed > kEps,
+               st.satisfied, st.processed > kTimeEps,
                !st.job.partial_ok && !st.satisfied,
                st.finalized_at - st.job.release);
   }

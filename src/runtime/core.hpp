@@ -27,8 +27,9 @@
 #include "core/power.hpp"
 #include "core/quality.hpp"
 #include "core/schedule.hpp"
-#include "multicore/crr.hpp"
-#include "obs/phase_profiler.hpp"
+#include "policy/crr.hpp"
+#include "policy/des_planner.hpp"
+#include "policy/world_view.hpp"
 #include "sim/metrics.hpp"
 
 namespace qes::obs {
@@ -52,8 +53,9 @@ struct RuntimeConfig {
   Speed max_core_speed = std::numeric_limits<double>::infinity();
   /// Optional observability hooks (not owned). When set, finish()
   /// mirrors the run aggregates into `registry` under the "qesd" prefix,
-  /// replan() records per-phase wall time into qesd_replan_phase_ms, and
-  /// lifecycle events are pushed into `trace` (see src/obs/).
+  /// replan() records per-phase wall time into
+  /// qes_replan_phase_ms{plane="runtime"}, and lifecycle events are
+  /// pushed into `trace` (see src/obs/).
   obs::Registry* registry = nullptr;
   obs::TraceRing* trace = nullptr;
 };
@@ -191,31 +193,31 @@ class RuntimeCore {
     std::deque<JobId> queue;  // live assigned jobs, arrival order
   };
 
-  /// DES step 2 for one core: the YDS plan over remaining demands with no
-  /// budget, plus its instantaneous power draw (shared by replan() and
-  /// power_request()).
-  struct BudgetFreePlan {
-    Schedule plan;
-    Watts power_at_now = 0.0;
-    Speed max_speed = 0.0;
-  };
-  [[nodiscard]] BudgetFreePlan budget_free_plan(int core) const;
-
   JobRecord& state(JobId id);
   void assign_to_core(JobId id, int core);
   void finalize(JobId id);
   void expire_due_jobs();
   void set_core_plan(int core, Schedule plan);
-  void install_with_rigid_check(int core, Speed max_speed);
+  /// Reduces the live per-core queues to the planner's WorldView
+  /// (refilling view_'s buffers in place — no steady-state allocation).
+  void build_view() const;
   [[nodiscard]] bool core_idle(int core) const;
   [[nodiscard]] Watts planned_power_now() const;
 
   RuntimeConfig cfg_;
   CumulativeRoundRobin crr_;
-  // Heap-held so RuntimeCore stays movable (the cluster lockstep keeps
-  // cores in a vector); the profiler itself pins a mutex and its
-  // histogram cache.
-  std::unique_ptr<obs::PhaseProfiler> profiler_;
+  // The shared DES planner kernel (src/policy/), heap-held so
+  // RuntimeCore stays movable (the cluster lockstep keeps cores in a
+  // vector); the planner's phase profiler pins a mutex and its histogram
+  // cache. All plan construction — budget-free YDS, WF escalation,
+  // budget-bounded Online-QE, the §V-D rigid loop — happens in there;
+  // this class only owns state and applies outcomes.
+  std::unique_ptr<policy::DesPlanner> planner_;
+  // Scratch snapshot + outcome, reused across replans. Mutable because
+  // power_request() (a const observer in the cluster-broker protocol)
+  // refills the view to compute the budget-free demand signal.
+  mutable policy::WorldView view_;
+  policy::PlanOutcome plan_out_;
   std::vector<JobRecord> jobs_;  // index = id - 1
   std::vector<CoreState> cores_;
   std::vector<JobId> waiting_;   // arrived, unassigned, arrival order

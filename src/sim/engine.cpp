@@ -8,10 +8,6 @@
 
 namespace qes {
 
-namespace {
-constexpr double kEps = kTimeEps;
-}
-
 Engine::Engine(EngineConfig config, std::vector<Job> jobs,
                std::unique_ptr<SchedulingPolicy> policy)
     : cfg_(std::move(config)), policy_(std::move(policy)) {
@@ -104,11 +100,12 @@ void Engine::set_core_plan(int core, Schedule plan) {
   CoreRuntime& c = cores_[static_cast<std::size_t>(core)];
   plan.check_well_formed();
   for (const Segment& s : plan.segments()) {
-    QES_ASSERT_MSG(s.t0 >= now_ - 1e-5, "plan must start at or after now");
+    QES_ASSERT_MSG(s.t0 >= now_ - kPlanSlackEps,
+                   "plan must start at or after now");
     const JobState& st = job(s.job);
     QES_ASSERT_MSG(st.phase == JobState::Phase::Assigned && st.core == core,
                    "plan segment must reference a live job on this core");
-    QES_ASSERT_MSG(s.t1 <= st.job.deadline + 1e-5,
+    QES_ASSERT_MSG(s.t1 <= st.job.deadline + kPlanSlackEps,
                    "plan segment must end by the job's deadline");
     QES_ASSERT_MSG(s.speed <= cfg_.core_speed_cap(core) + 1e-6,
                    "plan speed exceeds the core's hardware cap");
@@ -136,8 +133,9 @@ void Engine::finalize(JobId id, bool force_zero_quality) {
     q.erase(it);
   }
   st.processed = std::min(st.processed, st.job.demand);
-  st.satisfied = st.processed + 1e-6 * std::max(1.0, st.job.demand) >=
-                 st.job.demand;
+  st.satisfied =
+      st.processed + kCompletionRelEps * std::max(1.0, st.job.demand) >=
+      st.job.demand;
   if (force_zero_quality) {
     st.quality = 0.0;
   } else if (!st.job.partial_ok) {
@@ -166,7 +164,7 @@ void Engine::expire_due_jobs() {
       continue;
     }
     if (first_live_ >= next_arrival_) break;  // not yet arrived
-    if (st.job.deadline <= now_ + kEps) {
+    if (st.job.deadline <= now_ + kTimeEps) {
       finalize(st.job.id);
       ++first_live_;
       continue;
@@ -176,7 +174,7 @@ void Engine::expire_due_jobs() {
 }
 
 void Engine::advance_to(Time target) {
-  QES_ASSERT(target >= now_ - kEps);
+  QES_ASSERT(target >= now_ - kTimeEps);
   while (true) {
     // Sub-step end: the earliest segment boundary across cores, capped at
     // the target. Power is constant within the sub-step.
@@ -184,16 +182,16 @@ void Engine::advance_to(Time target) {
     for (const CoreRuntime& c : cores_) {
       if (c.next_seg >= c.plan.size()) continue;
       const Segment& s = c.plan[c.next_seg];
-      step_end = std::min(step_end, s.t0 > now_ + kEps ? s.t0 : s.t1);
+      step_end = std::min(step_end, s.t0 > now_ + kTimeEps ? s.t0 : s.t1);
     }
 
-    if (step_end > now_ + kEps) {
+    if (step_end > now_ + kTimeEps) {
       const Time dt = step_end - now_;
       Watts total_power = 0.0;
       for (std::size_t i = 0; i < cores_.size(); ++i) {
         CoreRuntime& c = cores_[i];
         const bool active = c.next_seg < c.plan.size() &&
-                            c.plan[c.next_seg].t0 <= now_ + kEps;
+                            c.plan[c.next_seg].t0 <= now_ + kTimeEps;
         if (active) {
           const Segment& s = c.plan[c.next_seg];
           total_power += cfg_.power_model.dynamic_power(s.speed);
@@ -225,13 +223,13 @@ void Engine::advance_to(Time target) {
     // Process segment completions at now_.
     for (CoreRuntime& c : cores_) {
       while (c.next_seg < c.plan.size() &&
-             c.plan[c.next_seg].t1 <= now_ + kEps) {
+             c.plan[c.next_seg].t1 <= now_ + kTimeEps) {
         const Segment done = c.plan[c.next_seg];
         ++c.next_seg;
         JobState& st = state(done.job);
         if (st.phase == JobState::Phase::Finalized) continue;
         const bool complete =
-            st.processed + 1e-6 * std::max(1.0, st.job.demand) >=
+            st.processed + kCompletionRelEps * std::max(1.0, st.job.demand) >=
             st.job.demand;
         bool more_planned = false;
         for (std::size_t k = c.next_seg; k < c.plan.size(); ++k) {
@@ -250,7 +248,7 @@ void Engine::advance_to(Time target) {
       }
     }
 
-    if (now_ >= target - kEps) break;
+    if (now_ >= target - kTimeEps) break;
   }
   now_ = std::max(now_, target);
 }
@@ -279,7 +277,7 @@ RunResult Engine::run() {
     for (const CoreRuntime& c : cores_) {
       if (c.next_seg >= c.plan.size()) continue;
       const Segment& s = c.plan[c.next_seg];
-      t = std::min(t, s.t0 > now_ + kEps ? s.t0 : s.t1);
+      t = std::min(t, s.t0 > now_ + kTimeEps ? s.t0 : s.t1);
     }
     QES_ASSERT_MSG(std::isfinite(t), "event loop stalled with live jobs");
 
@@ -287,7 +285,7 @@ RunResult Engine::run() {
 
     // Arrivals at the current time.
     while (next_arrival_ < n &&
-           jobs_[next_arrival_].job.release <= now_ + kEps) {
+           jobs_[next_arrival_].job.release <= now_ + kTimeEps) {
       waiting_.push_back(jobs_[next_arrival_].job.id);
       if (cfg_.trace != nullptr) {
         cfg_.trace->push({.kind = obs::TraceEvent::Kind::Release,
@@ -301,8 +299,8 @@ RunResult Engine::run() {
 
     // Grouped-scheduling triggers (§IV-E).
     bool replan = false;
-    if (cfg_.quantum_ms > 0.0 && now_ >= next_quantum_ - kEps) {
-      while (next_quantum_ <= now_ + kEps) next_quantum_ += cfg_.quantum_ms;
+    if (cfg_.quantum_ms > 0.0 && now_ >= next_quantum_ - kTimeEps) {
+      while (next_quantum_ <= now_ + kTimeEps) next_quantum_ += cfg_.quantum_ms;
       replan = true;
     }
     if (cfg_.counter_trigger > 0 &&
@@ -339,7 +337,7 @@ RunResult Engine::run() {
   obs::RunAccumulator acc(cfg_.registry, "qes_sim");
   for (const JobState& st : jobs_) {
     acc.on_job(st.quality, st.job.weight * cfg_.quality(st.job.demand),
-               st.satisfied, st.processed > kEps,
+               st.satisfied, st.processed > kTimeEps,
                !st.job.partial_ok && !st.satisfied,
                st.finalized_at - st.job.release);
   }

@@ -1,4 +1,4 @@
-#include "multicore/crr.hpp"
+#include "policy/crr.hpp"
 
 #include <gtest/gtest.h>
 

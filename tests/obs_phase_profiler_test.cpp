@@ -1,6 +1,7 @@
 // Phase profiler: RAII scopes record into {phase="..."}-labeled
 // histograms, the disabled path is inert, and both execution stacks
-// actually emit their replan-phase timings.
+// emit their replan-phase timings into the one unified family
+// qes_replan_phase_ms, distinguished by the {plane="..."} base label.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -81,11 +82,26 @@ TEST(PhaseProfiler, SimEngineEmitsReplanPhaseTimings) {
   (void)engine.run();
 
   for (const char* phase : {"crr", "yds", "wf", "online_qe"}) {
-    const obs::Histogram* h =
-        reg.find_histogram("qes_sim_replan_phase_ms", {{"phase", phase}});
+    const obs::Histogram* h = reg.find_histogram(
+        "qes_replan_phase_ms", {{"plane", "sim"}, {"phase", phase}});
     ASSERT_NE(h, nullptr) << phase;
     EXPECT_GT(h->count(), 0u) << phase;
   }
+}
+
+TEST(PhaseProfiler, BaseLabelsPrefixEveryPhaseHistogram) {
+  obs::Registry reg;
+  obs::PhaseProfiler profiler(&reg, "test_phase_ms", "",
+                              {{"plane", "test"}});
+  {
+    auto timer = profiler.phase("crr");
+    (void)timer;
+  }
+  // Labeled under base + phase; the bare phase label set must not exist.
+  EXPECT_NE(reg.find_histogram("test_phase_ms",
+                               {{"plane", "test"}, {"phase", "crr"}}),
+            nullptr);
+  EXPECT_EQ(reg.find_histogram("test_phase_ms", {{"phase", "crr"}}), nullptr);
 }
 
 TEST(PhaseProfiler, RuntimeCoreEmitsReplanPhaseTimings) {
@@ -109,7 +125,7 @@ TEST(PhaseProfiler, RuntimeCoreEmitsReplanPhaseTimings) {
 
   for (const char* phase : {"crr", "yds", "wf", "online_qe"}) {
     const obs::Histogram* h = server.registry().find_histogram(
-        "qesd_replan_phase_ms", {{"phase", phase}});
+        "qes_replan_phase_ms", {{"plane", "runtime"}, {"phase", phase}});
     ASSERT_NE(h, nullptr) << phase;
     EXPECT_GT(h->count(), 0u) << phase;
   }

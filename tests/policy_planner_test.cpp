@@ -1,0 +1,279 @@
+// DesPlanner kernel unit tests: budget-free YDS requests, the all-fits
+// fast path, water-fill escalation under a tight budget, the §V-D rigid
+// discard loop, the passed-over drop rule, the No-DVFS / S-DVFS
+// variants, discrete quantization, and the scratch-reset contracts of
+// WorldView / PlanOutcome.
+#include "policy/des_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/power.hpp"
+#include "core/quality.hpp"
+#include "policy/world_view.hpp"
+
+namespace qes::policy {
+namespace {
+
+const PowerModel kPm = default_power_model();  // a=5, beta=2
+
+WorldView make_view(Time now, Watts budget, std::size_t cores) {
+  WorldView v;
+  v.reset(now, budget, cores);
+  v.power_model = &kPm;
+  return v;
+}
+
+TEST(DesPlanner, CanonicalizeSortsByDeadlineThenId) {
+  WorldView v = make_view(0.0, 10.0, 1);
+  v.cores[0].jobs = {{.id = 3, .deadline = 200.0, .demand = 1.0},
+                     {.id = 2, .deadline = 100.0, .demand = 1.0},
+                     {.id = 1, .deadline = 200.0, .demand = 1.0}};
+  DesPlanner::canonicalize(v);
+  EXPECT_EQ(v.cores[0].jobs[0].id, 2u);
+  EXPECT_EQ(v.cores[0].jobs[1].id, 1u);
+  EXPECT_EQ(v.cores[0].jobs[2].id, 3u);
+}
+
+TEST(DesPlanner, BudgetFreeIsPerCoreYds) {
+  // One job, 50 units of work over [0, 100]: YDS runs it at 0.5 GHz,
+  // requesting 5 * 0.5^2 = 1.25 W at `now`. A fully served job must not
+  // contribute.
+  WorldView v = make_view(0.0, 10.0, 1);
+  v.cores[0].jobs = {
+      {.id = 1, .deadline = 100.0, .demand = 50.0},
+      {.id = 2, .deadline = 200.0, .demand = 30.0, .processed = 30.0}};
+  DesPlanner planner;
+  const BudgetFree f = planner.budget_free(v, 0);
+  EXPECT_NEAR(f.max_speed, 0.5, 1e-12);
+  EXPECT_NEAR(f.power_at_now, 1.25, 1e-12);
+  EXPECT_NEAR(f.plan.volume_of(1), 50.0, 1e-9);
+  EXPECT_NEAR(f.plan.volume_of(2), 0.0, 1e-12);
+}
+
+TEST(DesPlanner, TotalPowerRequestSumsAllCores) {
+  WorldView v = make_view(0.0, 10.0, 3);
+  v.cores[0].jobs = {{.id = 1, .deadline = 100.0, .demand = 50.0}};
+  v.cores[1].jobs = {{.id = 2, .deadline = 100.0, .demand = 50.0}};
+  // core 2 idle
+  DesPlanner planner;
+  EXPECT_NEAR(planner.total_power_request(v), 2.5, 1e-12);
+}
+
+TEST(DesPlanner, FastPathInstallsBudgetFreePlansUnchanged) {
+  // Both optimistic schedules fit the budget: the installed plans must
+  // be the budget-free YDS plans themselves — full completion, no
+  // drops, no idle draw.
+  DesPlanner planner;
+  WorldView ref = make_view(0.0, 10.0, 2);
+  ref.cores[0].jobs = {{.id = 1, .deadline = 100.0, .demand = 50.0}};
+  ref.cores[1].jobs = {{.id = 2, .deadline = 80.0, .demand = 20.0}};
+  const BudgetFree f0 = planner.budget_free(ref, 0);
+  const BudgetFree f1 = planner.budget_free(ref, 1);
+
+  WorldView v = ref;
+  PlanOutcome out;
+  planner.plan_c_dvfs(v, PlanOptions{}, out);
+  ASSERT_EQ(out.cores.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const BudgetFree& f = i == 0 ? f0 : f1;
+    ASSERT_EQ(out.cores[i].plan.size(), f.plan.size());
+    for (std::size_t k = 0; k < f.plan.size(); ++k) {
+      EXPECT_EQ(out.cores[i].plan[k].t0, f.plan[k].t0);
+      EXPECT_EQ(out.cores[i].plan[k].t1, f.plan[k].t1);
+      EXPECT_EQ(out.cores[i].plan[k].job, f.plan[k].job);
+      EXPECT_EQ(out.cores[i].plan[k].speed, f.plan[k].speed);
+    }
+    EXPECT_EQ(out.cores[i].idle_power, 0.0);
+    EXPECT_TRUE(out.cores[i].rigid_discards.empty());
+    EXPECT_TRUE(out.cores[i].passed_over.empty());
+  }
+}
+
+TEST(DesPlanner, WaterfillCapsEachCoreAtItsBudgetShare) {
+  // Two identical cores each requesting 5 W under a 5 W budget: WF
+  // grants 2.5 W each, capping the speed at sqrt(2.5 / 5).
+  WorldView v = make_view(0.0, 5.0, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    v.cores[i].jobs = {{.id = i + 1, .deadline = 100.0, .demand = 100.0}};
+  }
+  DesPlanner planner;
+  PlanOutcome out;
+  planner.plan_c_dvfs(v, PlanOptions{}, out);
+  const Speed cap = kPm.speed_for_power(2.5);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(out.cores[i].plan.max_speed(), cap, 1e-9);
+    // The granted volume is the most the capped core can serve by the
+    // deadline — partial completion, not a drop.
+    EXPECT_NEAR(out.cores[i].plan.volume_of(i + 1), cap * 100.0, 1e-6);
+    EXPECT_TRUE(out.cores[i].rigid_discards.empty());
+    EXPECT_TRUE(out.cores[i].passed_over.empty());
+  }
+  // Together the capped plans draw exactly the budget at `now`.
+  EXPECT_NEAR(kPm.dynamic_power(out.cores[0].plan.speed_at(0.0)) +
+                  kPm.dynamic_power(out.cores[1].plan.speed_at(0.0)),
+              5.0, 1e-9);
+}
+
+TEST(DesPlanner, HardwareSpeedCapDisablesFastPathAndBoundsThePlan) {
+  // Ample power but a 0.4 GHz hardware cap below the 0.5 GHz YDS speed:
+  // the fast path must not fire, and the plan tops out at the cap.
+  WorldView v = make_view(0.0, 1000.0, 1);
+  v.cores[0].speed_cap = 0.4;
+  v.cores[0].jobs = {{.id = 1, .deadline = 100.0, .demand = 50.0}};
+  DesPlanner planner;
+  PlanOutcome out;
+  planner.plan_c_dvfs(v, PlanOptions{}, out);
+  EXPECT_LE(out.cores[0].plan.max_speed(), 0.4 + kTimeEps);
+  EXPECT_NEAR(out.cores[0].plan.volume_of(1), 40.0, 1e-6);
+}
+
+TEST(DesPlanner, RigidJobThatCannotCompleteIsDiscarded) {
+  // The rigid job needs 10 GHz; the 5 W budget caps the core at 1 GHz.
+  // The §V-D loop must discard it (erasing it from the view) and replan
+  // the remaining partial job to full completion.
+  WorldView v = make_view(0.0, 5.0, 1);
+  v.cores[0].jobs = {
+      {.id = 1, .deadline = 10.0, .demand = 100.0, .partial_ok = false},
+      {.id = 2, .deadline = 20.0, .demand = 5.0}};
+  DesPlanner planner;
+  PlanOutcome out;
+  planner.plan_c_dvfs(v, PlanOptions{}, out);
+  ASSERT_EQ(out.cores[0].rigid_discards.size(), 1u);
+  EXPECT_EQ(out.cores[0].rigid_discards[0], 1u);
+  ASSERT_EQ(v.cores[0].jobs.size(), 1u);
+  EXPECT_EQ(v.cores[0].jobs[0].id, 2u);
+  EXPECT_NEAR(out.cores[0].plan.volume_of(1), 0.0, 1e-12);
+  EXPECT_NEAR(out.cores[0].plan.volume_of(2), 5.0, 1e-9);
+}
+
+TEST(DesPlanner, RigidJobThatFitsIsKept) {
+  WorldView v = make_view(0.0, 5.0, 1);
+  v.cores[0].jobs = {
+      {.id = 1, .deadline = 100.0, .demand = 50.0, .partial_ok = false},
+      {.id = 2, .deadline = 200.0, .demand = 500.0}};
+  DesPlanner planner;
+  PlanOutcome out;
+  planner.plan_c_dvfs(v, PlanOptions{}, out);
+  EXPECT_TRUE(out.cores[0].rigid_discards.empty());
+  EXPECT_NEAR(out.cores[0].plan.volume_of(1), 50.0, 1e-6);
+}
+
+TEST(DesPlanner, PassedOverPartialJobIsDroppedUnderThePaperModel) {
+  // Job 1 already holds its full fair share; the constrained replan
+  // grants it nothing, so the paper's model discards it now.
+  WorldView v = make_view(0.0, 2.0, 1);
+  v.cores[0].jobs = {
+      {.id = 1, .deadline = 50.0, .demand = 10.0, .processed = 10.0},
+      {.id = 2, .deadline = 100.0, .demand = 100.0}};
+  DesPlanner planner;
+  PlanOutcome out;
+  planner.plan_c_dvfs(v, PlanOptions{}, out);
+  ASSERT_EQ(out.cores[0].passed_over.size(), 1u);
+  EXPECT_EQ(out.cores[0].passed_over[0], 1u);
+  ASSERT_EQ(v.cores[0].jobs.size(), 1u);
+  EXPECT_EQ(v.cores[0].jobs[0].id, 2u);
+}
+
+TEST(DesPlanner, ResumeAblationKeepsPassedOverJobsAlive) {
+  WorldView v = make_view(0.0, 2.0, 1);
+  v.cores[0].jobs = {
+      {.id = 1, .deadline = 50.0, .demand = 10.0, .processed = 10.0},
+      {.id = 2, .deadline = 100.0, .demand = 100.0}};
+  DesPlanner planner;
+  PlanOutcome out;
+  PlanOptions opt;
+  opt.resume_passed_jobs = true;
+  opt.baseline_mode = true;  // resume requires baseline-aware planning
+  planner.plan_c_dvfs(v, opt, out);
+  EXPECT_TRUE(out.cores[0].passed_over.empty());
+  EXPECT_EQ(v.cores[0].jobs.size(), 2u);
+}
+
+TEST(DesPlanner, NoDvfsPinsEveryCoreAtTheEqualShareSpeed) {
+  // H = 10 W over 2 cores: 5 W each, i.e. 1 GHz — busy or idle, every
+  // core draws the pinned speed's power.
+  WorldView v = make_view(0.0, 10.0, 2);
+  v.cores[0].jobs = {{.id = 1, .deadline = 100.0, .demand = 50.0}};
+  DesPlanner planner;
+  PlanOutcome out;
+  planner.plan_no_dvfs(v, PlanOptions{}, out);
+  EXPECT_NEAR(out.cores[0].idle_power, 5.0, 1e-12);
+  EXPECT_NEAR(out.cores[1].idle_power, 5.0, 1e-12);
+  ASSERT_EQ(out.cores[0].plan.size(), 1u);
+  EXPECT_NEAR(out.cores[0].plan[0].speed, 1.0, 1e-12);
+  EXPECT_NEAR(out.cores[0].plan.volume_of(1), 50.0, 1e-9);
+  EXPECT_TRUE(out.cores[1].plan.empty());
+}
+
+TEST(DesPlanner, SDvfsRunsTheChipAtTheHungriestRequestClamped) {
+  // Core 0 requests 5 W (1 GHz), core 1 a trickle; with H/m = 20 W the
+  // clamp is inactive, so both cores run at the chip-wide 1 GHz while
+  // busy and draw nothing idle.
+  WorldView v = make_view(0.0, 40.0, 2);
+  v.cores[0].jobs = {{.id = 1, .deadline = 100.0, .demand = 100.0}};
+  v.cores[1].jobs = {{.id = 2, .deadline = 100.0, .demand = 10.0}};
+  DesPlanner planner;
+  PlanOutcome out;
+  planner.plan_s_dvfs(v, PlanOptions{}, out);
+  for (const CoreOutcome& c : out.cores) {
+    EXPECT_EQ(c.idle_power, 0.0);
+    ASSERT_EQ(c.plan.size(), 1u);
+    EXPECT_NEAR(c.plan[0].speed, 1.0, 1e-9);
+  }
+  EXPECT_NEAR(out.cores[1].plan.volume_of(2), 10.0, 1e-9);
+}
+
+TEST(DesPlanner, DiscreteLevelsQuantizeEverySegment) {
+  // Continuous YDS wants 0.6 GHz; with levels {0.5, 1.0} and ample
+  // budget the §V-F rectification snaps up to 1.0, and every installed
+  // segment must run on a level while preserving volume.
+  const DiscreteSpeedSet levels(std::vector<Speed>{0.5, 1.0});
+  WorldView v = make_view(0.0, 10.0, 1);
+  v.cores[0].jobs = {{.id = 1, .deadline = 100.0, .demand = 60.0}};
+  DesPlanner planner;
+  PlanOutcome out;
+  PlanOptions opt;
+  opt.speed_levels = &levels;
+  planner.plan_c_dvfs(v, opt, out);
+  ASSERT_FALSE(out.cores[0].plan.empty());
+  for (const Segment& s : out.cores[0].plan.segments()) {
+    EXPECT_TRUE(s.speed == 0.5 || s.speed == 1.0) << s.speed;
+  }
+  EXPECT_NEAR(out.cores[0].plan.volume_of(1), 60.0, 1e-6);
+}
+
+TEST(DesPlanner, WorldViewResetKeepsPerCoreCapacity) {
+  WorldView v = make_view(0.0, 10.0, 2);
+  for (int k = 0; k < 64; ++k) {
+    v.cores[0].jobs.push_back(
+        {.id = static_cast<JobId>(k + 1), .deadline = 100.0, .demand = 1.0});
+  }
+  const std::size_t cap = v.cores[0].jobs.capacity();
+  ASSERT_GE(cap, 64u);
+  v.reset(5.0, 8.0, 2);
+  EXPECT_TRUE(v.cores[0].jobs.empty());
+  EXPECT_EQ(v.cores[0].jobs.capacity(), cap);
+  EXPECT_EQ(v.now, 5.0);
+  EXPECT_EQ(v.power_budget, 8.0);
+}
+
+TEST(DesPlanner, PlanOutcomeResetClearsResultsKeepingShape) {
+  PlanOutcome out;
+  out.reset(3);
+  out.cores[1].idle_power = 4.0;
+  out.cores[1].rigid_discards.push_back(7);
+  out.cores[2].passed_over.push_back(9);
+  out.reset(3);
+  ASSERT_EQ(out.cores.size(), 3u);
+  for (const CoreOutcome& c : out.cores) {
+    EXPECT_TRUE(c.plan.empty());
+    EXPECT_EQ(c.idle_power, 0.0);
+    EXPECT_TRUE(c.rigid_discards.empty());
+    EXPECT_TRUE(c.passed_over.empty());
+  }
+}
+
+}  // namespace
+}  // namespace qes::policy
