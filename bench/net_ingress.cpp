@@ -1,0 +1,243 @@
+// Wire-plane throughput on loopback.
+//
+// Scenario 1 (echo sink): the epoll ingress with a sink that admits and
+// completes every request inside submit_batch — no runtime behind it —
+// measures the raw socket -> decode -> batch -> reply path. The client
+// blasts pre-encoded SUBMIT blocks and counts REPLYs; the figure of
+// merit is aggregate requests/second (target: >= 500k/s on loopback).
+//
+// Scenario 2 (through the runtime server): qes_loadgen's engine drives
+// a real Server over the wire at an open-loop offered rate, reporting
+// the achieved reply rate, scheduled-send latency percentiles, and the
+// exact reconciliation (submitted == jobs_total + shed).
+//
+// Environment: QES_NET_REQS (echo blast size, default 1500000),
+// QES_NET_RATE (scenario 2 offered req/s, default 8000),
+// QES_NET_SECONDS (scenario 2 send window, default 2).
+//
+// The last stdout line is `RESULT_JSON {...}` — scripts/record_bench.sh
+// lifts it into BENCH_*.json.
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/ingress.hpp"
+#include "net/loadgen.hpp"
+#include "net/socket_util.hpp"
+#include "runtime/server.hpp"
+
+namespace {
+
+using namespace qes;
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+// Admits everything and replies immediately from the ingress worker's
+// own sweep: the cheapest legal sink, isolating the wire plane itself.
+class EchoSink : public net::IngressSink {
+ public:
+  explicit EchoSink(net::Ingress** ingress) : ingress_(ingress) {}
+
+  std::size_t submit_batch(const net::IngressRequest* reqs,
+                           std::size_t count) override {
+    completions_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      completions_[i].token = reqs[i].token;
+      completions_[i].status = net::ReplyStatus::kSatisfied;
+      completions_[i].quality = 1.0;
+      completions_[i].latency_ms = 0.0;
+    }
+    (*ingress_)->complete_batch(completions_.data(), count);
+    return count;
+  }
+
+ private:
+  net::Ingress** ingress_;
+  // Reused across batches; submit_batch is serialized per worker and
+  // this bench runs one worker.
+  std::vector<net::Completion> completions_;
+};
+
+struct EchoResult {
+  double rps = 0.0;
+  double seconds = 0.0;
+  std::uint64_t requests = 0;
+};
+
+EchoResult run_echo_blast(std::uint64_t total) {
+  net::Ingress* ingress_ptr = nullptr;
+  EchoSink sink(&ingress_ptr);
+  net::IngressConfig cfg;
+  cfg.port = 0;
+  cfg.workers = 1;
+  net::Ingress ingress(cfg, &sink);
+  ingress_ptr = &ingress;
+  ingress.start();
+
+  // One pre-encoded block, re-sent until `total` SUBMITs are out. The
+  // reply counter, not per-request ids, is the ledger (ids repeat).
+  std::string block;
+  for (int i = 0; i < 1024; ++i) {
+    net::SubmitFrame f;
+    f.req_id = static_cast<std::uint64_t>(i);
+    f.demand = 200.0;
+    f.deadline_ms = 100.0;
+    f.partial_ok = true;
+    net::encode_submit(f, block);
+  }
+  const std::uint64_t per_block = 1024;
+  const std::uint64_t blocks = (total + per_block - 1) / per_block;
+  const std::uint64_t to_send = blocks * per_block;
+
+  const int fd = net::connect_loopback(ingress.port());
+  net::set_tcp_nodelay(fd);
+  (void)net::set_nonblocking(fd);
+
+  // Outstanding-request window: the ingress caps a connection's write
+  // buffer (slow consumers are dropped), so the client must not let
+  // more replies accumulate than it is draining. 64k outstanding
+  // REPLYs is ~1.9 MB, comfortably under the 4 MB default cap.
+  constexpr std::uint64_t kWindow = 64 * 1024;
+
+  std::uint64_t sent_blocks = 0;
+  std::size_t block_off = 0;
+  std::uint64_t replies = 0;
+  net::FrameDecoder dec;
+  char buf[1 << 16];
+  net::Frame frame;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  while (replies < to_send) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const bool sending = sent_blocks < blocks &&
+                         sent_blocks * per_block - replies < kWindow;
+    if (sending) p.events |= POLLOUT;
+    if (::poll(&p, 1, 2000) <= 0) {
+      throw std::runtime_error("echo blast stalled (poll timeout)");
+    }
+    if (sending && (p.revents & POLLOUT) != 0) {
+      // Keep writing whole blocks while the socket takes them and the
+      // window has room.
+      while (sent_blocks < blocks &&
+             sent_blocks * per_block - replies < kWindow) {
+        const ssize_t n =
+            ::send(fd, block.data() + block_off, block.size() - block_off,
+                   MSG_NOSIGNAL);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) throw std::runtime_error("echo blast send failed");
+        block_off += static_cast<std::size_t>(n);
+        if (block_off == block.size()) {
+          block_off = 0;
+          ++sent_blocks;
+        }
+      }
+    }
+    if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) throw std::runtime_error("echo blast: server closed");
+        dec.feed(buf, static_cast<std::size_t>(n));
+        while (dec.next(&frame) == net::FrameDecoder::Result::kFrame) {
+          ++replies;
+        }
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      }
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ::close(fd);
+  ingress.stop();
+
+  EchoResult r;
+  r.requests = replies;
+  r.seconds = secs;
+  r.rps = static_cast<double>(replies) / secs;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t echo_reqs =
+      static_cast<std::uint64_t>(env_double("QES_NET_REQS", 1.5e6));
+  const double rate = env_double("QES_NET_RATE", 8000.0);
+  const double seconds = env_double("QES_NET_SECONDS", 2.0);
+
+  std::printf("=== Wire-plane loopback throughput ===\n\n");
+
+  std::printf("[1/2] echo-sink blast: %llu SUBMITs, 1 ingress worker, "
+              "1 connection\n",
+              static_cast<unsigned long long>(echo_reqs));
+  const EchoResult echo = run_echo_blast(echo_reqs);
+  std::printf("  %llu replies in %.3f s -> %.0f req/s %s\n\n",
+              static_cast<unsigned long long>(echo.requests), echo.seconds,
+              echo.rps, echo.rps >= 500e3 ? "(target 500k: PASS)"
+                                          : "(target 500k: MISS)");
+
+  std::printf("[2/2] open-loop through runtime server: %.0f req/s offered "
+              "for %.1f s\n",
+              rate, seconds);
+  runtime::ServerConfig sc;
+  sc.model.cores = 8;
+  sc.model.power_budget = 160.0;
+  sc.time_scale = 20.0;
+  sc.deadline_ms = 150.0;
+  sc.listen_port = 0;
+  sc.ingress_workers = 1;
+  runtime::Server server(sc);
+  server.start();
+
+  net::LoadgenConfig lg;
+  lg.port = server.listen_port();
+  lg.rate = rate;
+  lg.duration_s = seconds;
+  lg.connections = 4;
+  lg.seed = 17;
+  const net::LoadgenReport rep = net::run_loadgen(lg);
+  const RunStats stats = server.drain_and_stop();
+
+  std::printf("  loadgen %s\n", rep.to_json().c_str());
+  const bool reconciled = rep.lost == 0 && rep.replies == rep.submitted &&
+                          rep.replies - rep.shed == stats.jobs_total;
+  std::printf("  reconcile: submitted=%llu replies=%llu shed=%llu "
+              "jobs_total=%zu -> %s\n\n",
+              static_cast<unsigned long long>(rep.submitted),
+              static_cast<unsigned long long>(rep.replies),
+              static_cast<unsigned long long>(rep.shed), stats.jobs_total,
+              reconciled ? "EXACT" : "MISMATCH");
+
+  std::printf(
+      "RESULT_JSON {\"echo_rps\": %.0f, \"echo_requests\": %llu, "
+      "\"echo_seconds\": %.3f, \"server_offered_rps\": %.0f, "
+      "\"server_reply_rps\": %.0f, \"server_submitted\": %llu, "
+      "\"server_shed\": %llu, \"server_lost\": %llu, "
+      "\"latency_p50_ms\": %.4f, \"latency_p99_ms\": %.4f, "
+      "\"max_send_lag_ms\": %.3f, \"reconciled\": %s}\n",
+      echo.rps, static_cast<unsigned long long>(echo.requests), echo.seconds,
+      rep.offered_rate, rep.reply_rate,
+      static_cast<unsigned long long>(rep.submitted),
+      static_cast<unsigned long long>(rep.shed),
+      static_cast<unsigned long long>(rep.lost), rep.latency.quantile(0.5),
+      rep.latency.quantile(0.99), rep.max_send_lag_ms,
+      reconciled ? "true" : "false");
+  return reconciled && echo.requests > 0 ? 0 : 1;
+}

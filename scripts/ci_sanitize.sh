@@ -11,10 +11,17 @@
 # scrape ports — so `-L obs` under TSan exercises the exporter thread
 # against concurrent serving traffic.
 #
+# The net label covers the wire plane: frame codec, the epoll ingress
+# (binary + HTTP adapters, shed reconciliation against the runtime
+# server), the loadgen end-to-end loopback run, and the qesd/qes_loadgen
+# process-level smoke — `-L net` under TSan races the ingress workers,
+# the trigger thread's completion forwarding, and the generator.
+#
 #   $ scripts/ci_sanitize.sh                     # both sanitizers, all tests
 #   $ scripts/ci_sanitize.sh -L obs              # both, obs+runtime suite only
 #   $ scripts/ci_sanitize.sh -L cluster          # both, multi-node cluster suite
 #   $ scripts/ci_sanitize.sh -L policy           # both, DES planner kernel suite
+#   $ scripts/ci_sanitize.sh -L net              # both, wire-plane suite
 #   $ scripts/ci_sanitize.sh thread              # just TSan
 #   $ scripts/ci_sanitize.sh address -R runtime  # one sanitizer + ctest args
 set -euo pipefail

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Records the per-PR performance snapshot (ROADMAP item 2): runs the
+# replan-kernel latency bench, the cluster weak-scaling bench, and the
+# wire-plane loopback bench, and distills their headline numbers into a
+# single BENCH_<tag>.json at the repo root. No jq — the benches print
+# fixed-format tables (awk-parsed) or a RESULT_JSON line (lifted
+# verbatim).
+#
+#   $ scripts/record_bench.sh            # writes BENCH_pr6.json
+#   $ scripts/record_bench.sh pr7        # writes BENCH_pr7.json
+#
+# Env: QES_SIM_SECONDS / QES_SEEDS bound the cluster bench's replay
+# horizon (defaults below keep the whole script a few minutes on one
+# CPU); QES_NET_REQS / QES_NET_RATE tune the wire bench.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-pr6}"
+BENCH_DIR="${BENCH_DIR:-build/bench}"
+OUT="BENCH_${TAG}.json"
+
+for b in replan_kernel cluster_scaling net_ingress; do
+  if [[ ! -x "${BENCH_DIR}/${b}" ]]; then
+    echo "record_bench: ${BENCH_DIR}/${b} not built (cmake --build build)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+echo "=== replan_kernel ==="
+"${BENCH_DIR}/replan_kernel" | tee "${workdir}/replan.out"
+echo
+echo "=== cluster_scaling (QES_SIM_SECONDS=${QES_SIM_SECONDS:-10}," \
+  "QES_SEEDS=${QES_SEEDS:-1}) ==="
+QES_SIM_SECONDS="${QES_SIM_SECONDS:-10}" QES_SEEDS="${QES_SEEDS:-1}" \
+  "${BENCH_DIR}/cluster_scaling" | tee "${workdir}/cluster.out"
+echo
+echo "=== net_ingress ==="
+"${BENCH_DIR}/net_ingress" | tee "${workdir}/net.out"
+echo
+
+# replan_kernel table: `ready_jobs mean_us best_us refill_allocs ...`
+# rows keyed by the load level in column 1.
+replan_mean() {
+  awk -v jobs="$1" '$1 == jobs { print $2; exit }' "${workdir}/replan.out"
+}
+replan_8="$(replan_mean 8)"
+replan_32="$(replan_mean 32)"
+replan_128="$(replan_mean 128)"
+
+# cluster_scaling table: `nodes dispatch norm_quality ...`; take the
+# crr row at 1 and 8 nodes as the scaling anchors.
+cluster_q() {
+  awk -v n="$1" '$1 == n && $2 == "crr" { print $3; exit }' \
+    "${workdir}/cluster.out"
+}
+cluster_q1="$(cluster_q 1)"
+cluster_q8="$(cluster_q 8)"
+
+# net_ingress prints its whole result as one RESULT_JSON line.
+net_json="$(sed -n 's/^RESULT_JSON //p' "${workdir}/net.out" | tail -n 1)"
+
+for v in replan_8 replan_32 replan_128 cluster_q1 cluster_q8 net_json; do
+  if [[ -z "${!v}" ]]; then
+    echo "record_bench: failed to parse ${v} from bench output" >&2
+    exit 1
+  fi
+done
+
+cat > "${OUT}" <<EOF
+{
+  "tag": "${TAG}",
+  "recorded_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": {
+    "nproc": $(nproc),
+    "kernel": "$(uname -r)"
+  },
+  "replan_kernel": {
+    "mean_us_at_8_jobs": ${replan_8},
+    "mean_us_at_32_jobs": ${replan_32},
+    "mean_us_at_128_jobs": ${replan_128}
+  },
+  "cluster_scaling": {
+    "sim_seconds": ${QES_SIM_SECONDS:-10},
+    "norm_quality_crr_1_node": ${cluster_q1},
+    "norm_quality_crr_8_nodes": ${cluster_q8}
+  },
+  "net_ingress": ${net_json}
+}
+EOF
+echo "record_bench: wrote ${OUT}"

@@ -151,7 +151,9 @@ Options parse_options(const std::vector<std::string>& args) {
       }
     } else if (a == "--producers") {
       opt.producers = to_int(a, need_value(i, a));
-      if (opt.producers <= 0) fail("--producers: must be positive");
+      // 0 is legal: a wire-driven run (--listen-port) needs no in-process
+      // producers.
+      if (opt.producers < 0) fail("--producers: must be >= 0");
     } else if (a == "--metrics-interval-ms") {
       opt.metrics_interval_ms = to_double(a, need_value(i, a));
       if (opt.metrics_interval_ms <= 0.0) {
@@ -177,6 +179,21 @@ Options parse_options(const std::vector<std::string>& args) {
       opt.node_http_base_port = to_int(a, need_value(i, a));
       if (opt.node_http_base_port < 0 || opt.node_http_base_port > 65535) {
         fail("--node-http-base-port: must be in [0, 65535] (0 = ephemeral)");
+      }
+    } else if (a == "--listen-port") {
+      opt.listen_port = to_int(a, need_value(i, a));
+      if (opt.listen_port < 0 || opt.listen_port > 65535) {
+        fail("--listen-port: must be in [0, 65535] (0 = ephemeral)");
+      }
+    } else if (a == "--ingress-workers") {
+      opt.ingress_workers = to_int(a, need_value(i, a));
+      if (opt.ingress_workers <= 0 || opt.ingress_workers > 64) {
+        fail("--ingress-workers: must be in [1, 64]");
+      }
+    } else if (a == "--node-listen-base-port") {
+      opt.node_listen_base_port = to_int(a, need_value(i, a));
+      if (opt.node_listen_base_port < 0 || opt.node_listen_base_port > 65535) {
+        fail("--node-listen-base-port: must be in [0, 65535] (0 = ephemeral)");
       }
     } else if (a == "--trace-chrome") {
       opt.trace_chrome = need_value(i, a);
@@ -287,6 +304,12 @@ qesd runtime driver (ignored by qes_sim):
   --http-port P               serve /metrics, /metrics.json, /healthz,
                               /tracez on 127.0.0.1:P while the run is
                               live (0 = ephemeral port, printed at start)
+  --listen-port P             accept wire-level requests (SUBMIT/REPLY
+                              frames or HTTP POST /submit) on
+                              127.0.0.1:P (0 = ephemeral, printed at
+                              start); pairs with qes_loadgen
+  --ingress-workers N (2)     epoll ingress workers (SO_REUSEPORT
+                              accept sharding)
   --trace-chrome FILE         write the request spans as a Chrome
                               trace-event file (load in Perfetto)
   --trace-out FILE            (qesd) write the job lifecycle trace as
@@ -305,6 +328,9 @@ qes_cluster driver (ignored by qes_sim and qesd):
   --node-http-base-port P     per-node scrape endpoints: node i serves
                               on P + i (0 = ephemeral ports); --http-port
                               adds the cluster-aggregate endpoint
+  --node-listen-base-port P   per-node wire ingress: node i accepts
+                              SUBMIT frames on P + i (0 = ephemeral
+                              ports)
   --kill-node I --kill-at-s S fault injection: node I dies at S virtual
                               seconds (both flags required together)
   --compare-dispatch          run crr, jsq, and p2c on identical traffic

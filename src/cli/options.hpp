@@ -66,6 +66,11 @@ struct Options {
   /// Write a Chrome-trace-event (Perfetto-loadable) export of the
   /// request spans assembled from the lifecycle trace.
   std::optional<std::string> trace_chrome;
+  /// Wire-level ingress (SUBMIT/REPLY frames + HTTP POST /submit):
+  /// -1 disables, 0 binds an ephemeral port.
+  int listen_port = -1;
+  /// epoll ingress workers (SO_REUSEPORT accept sharding).
+  int ingress_workers = 2;
 
   // qes_cluster driver (ignored by qes_sim and qesd).
   /// Number of in-process server shards.
@@ -80,6 +85,9 @@ struct Options {
   /// Per-node scrape endpoints: node i binds this port + i (0 gives
   /// every node an ephemeral port; -1 disables).
   int node_http_base_port = -1;
+  /// Per-node wire ingress: node i listens on this port + i (0 gives
+  /// every node an ephemeral port; -1 disables).
+  int node_listen_base_port = -1;
   /// Fault injection: kill this node at --kill-at-s (both or neither).
   int kill_node = -1;
   double kill_at_s = -1.0;

@@ -52,6 +52,11 @@ Cluster::Cluster(ClusterConfig config)
                          ? 0
                          : cfg_.node_http_base_port + node_id;
     }
+    if (cfg_.node_listen_base_port >= 0) {
+      sc.listen_port = cfg_.node_listen_base_port == 0
+                           ? 0
+                           : cfg_.node_listen_base_port + node_id;
+    }
     n.server = std::make_unique<runtime::Server>(std::move(sc));
     n.budget = share;
     ++node_id;

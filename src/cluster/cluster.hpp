@@ -68,6 +68,12 @@ struct ClusterConfig {
   /// disables, 0 gives every node an ephemeral port, else node i binds
   /// base + i. Read ports back via node_server(i).http_port().
   int node_http_base_port = -1;
+  /// Per-node wire ingress (src/net/): -1 disables, 0 gives every node
+  /// an ephemeral listener, else node i binds base + i. Read ports back
+  /// via node_server(i).listen_port(). Clients address one node's
+  /// request plane directly; cross-node balancing stays with the
+  /// dispatcher (in-process submit()).
+  int node_listen_base_port = -1;
   /// When > 0 and node.model.trace is unset, the cluster owns one
   /// TraceRing of this capacity per node (per-node job ids are dense
   /// 1..n, so nodes must not share a ring); see node_trace().

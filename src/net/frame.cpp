@@ -1,0 +1,171 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace qes::net {
+
+namespace {
+
+// Explicit little-endian serialization: the wire format must not depend
+// on host byte order or struct layout.
+
+void put_u8(std::uint8_t v, std::string& out) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::uint32_t v, std::string& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_u64(std::uint64_t v, std::string& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_f64(double v, std::string& out) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits, out);
+}
+
+std::uint8_t get_u8(const char* p) { return static_cast<std::uint8_t>(*p); }
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+double get_f64(const char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+constexpr std::size_t kSubmitBody = 8 + 8 + 8 + 8 + 1;  // 33
+constexpr std::size_t kAckBody = 8 + 1;                 // 9
+constexpr std::size_t kReplyBody = 8 + 1 + 8 + 8;       // 25
+
+constexpr std::uint8_t kFlagPartialOk = 1u << 0;
+constexpr std::uint8_t kFlagWantAck = 1u << 1;
+
+}  // namespace
+
+std::size_t encode_submit(const SubmitFrame& f, std::string& out) {
+  const std::size_t before = out.size();
+  put_u32(static_cast<std::uint32_t>(1 + kSubmitBody), out);
+  put_u8(static_cast<std::uint8_t>(FrameType::kSubmit), out);
+  put_u64(f.req_id, out);
+  put_f64(f.demand, out);
+  put_f64(f.deadline_ms, out);
+  put_f64(f.weight, out);
+  std::uint8_t flags = 0;
+  if (f.partial_ok) flags |= kFlagPartialOk;
+  if (f.want_ack) flags |= kFlagWantAck;
+  put_u8(flags, out);
+  return out.size() - before;
+}
+
+std::size_t encode_ack(const AckFrame& f, std::string& out) {
+  const std::size_t before = out.size();
+  put_u32(static_cast<std::uint32_t>(1 + kAckBody), out);
+  put_u8(static_cast<std::uint8_t>(FrameType::kAck), out);
+  put_u64(f.req_id, out);
+  put_u8(f.accepted ? 1 : 0, out);
+  return out.size() - before;
+}
+
+std::size_t encode_reply(const ReplyFrame& f, std::string& out) {
+  const std::size_t before = out.size();
+  put_u32(static_cast<std::uint32_t>(1 + kReplyBody), out);
+  put_u8(static_cast<std::uint8_t>(FrameType::kReply), out);
+  put_u64(f.req_id, out);
+  put_u8(static_cast<std::uint8_t>(f.status), out);
+  put_f64(f.quality, out);
+  put_f64(f.latency_ms, out);
+  return out.size() - before;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (errored_) return;
+  // Compact before growing: consumed prefix bytes must not accumulate on
+  // a long-lived connection.
+  if (off_ > 0 && (off_ == buf_.size() || off_ >= 4096)) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(data, size);
+}
+
+FrameDecoder::Result FrameDecoder::fail(const std::string& why) {
+  errored_ = true;
+  error_ = why;
+  return Result::kError;
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame* out) {
+  if (errored_) return Result::kError;
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < 4) return Result::kNeedMore;
+  const char* base = buf_.data() + off_;
+  const std::uint32_t length = get_u32(base);
+  if (length < 1 || length > kMaxFrameBytes) {
+    return fail("bad frame length " + std::to_string(length));
+  }
+  if (avail < 4 + length) return Result::kNeedMore;
+  const char* body = base + 5;  // past length + type
+  const std::size_t body_len = length - 1;
+  switch (static_cast<FrameType>(get_u8(base + 4))) {
+    case FrameType::kSubmit: {
+      if (body_len != kSubmitBody) return fail("bad SUBMIT body size");
+      out->type = FrameType::kSubmit;
+      out->submit.req_id = get_u64(body);
+      out->submit.demand = get_f64(body + 8);
+      out->submit.deadline_ms = get_f64(body + 16);
+      out->submit.weight = get_f64(body + 24);
+      const std::uint8_t flags = get_u8(body + 32);
+      out->submit.partial_ok = (flags & kFlagPartialOk) != 0;
+      out->submit.want_ack = (flags & kFlagWantAck) != 0;
+      break;
+    }
+    case FrameType::kAck: {
+      if (body_len != kAckBody) return fail("bad ACK body size");
+      out->type = FrameType::kAck;
+      out->ack.req_id = get_u64(body);
+      out->ack.accepted = get_u8(body + 8) != 0;
+      break;
+    }
+    case FrameType::kReply: {
+      if (body_len != kReplyBody) return fail("bad REPLY body size");
+      out->type = FrameType::kReply;
+      out->reply.req_id = get_u64(body);
+      const std::uint8_t status = get_u8(body + 8);
+      if (status > 2) return fail("bad REPLY status");
+      out->reply.status = static_cast<ReplyStatus>(status);
+      out->reply.quality = get_f64(body + 9);
+      out->reply.latency_ms = get_f64(body + 17);
+      break;
+    }
+    default:
+      return fail("unknown frame type");
+  }
+  off_ += 4 + length;
+  return Result::kFrame;
+}
+
+}  // namespace qes::net

@@ -1,0 +1,116 @@
+// The qes wire protocol: small length-prefixed binary frames.
+//
+// Layout (all integers and floats little-endian):
+//
+//   u32 length   -- bytes that FOLLOW the length field (type + body)
+//   u8  type     -- FrameType
+//   ... body
+//
+// SUBMIT (client -> server), body 33 bytes:
+//   u64 req_id       client-chosen correlation id (echoed in ACK/REPLY)
+//   f64 demand       service demand (work units, > 0)
+//   f64 deadline_ms  relative deadline; 0 = server default
+//   f64 weight       job weight (> 0)
+//   u8  flags        bit0 = partial_ok, bit1 = want_ack
+//
+// ACK (server -> client, only when want_ack), body 9 bytes:
+//   u64 req_id
+//   u8  accepted     1 = admitted, 0 = shed (a REPLY still follows)
+//
+// REPLY (server -> client, exactly one per SUBMIT), body 25 bytes:
+//   u64 req_id
+//   u8  status       ReplyStatus
+//   f64 quality      achieved quality (0 when shed)
+//   f64 latency_ms   virtual ms from admission to finalization (0 when shed)
+//
+// The first byte a connection sends discriminates the protocol: frame
+// lengths are tiny (< kMaxFrameBytes), so byte 0 of a binary stream is
+// always < 0x41, while every HTTP method starts with an ASCII letter.
+// That lets one ingress port speak both.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qes::net {
+
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,
+  kAck = 2,
+  kReply = 3,
+};
+
+enum class ReplyStatus : std::uint8_t {
+  kShed = 0,       // rejected at admission (queue full or draining)
+  kSatisfied = 1,  // full demand served by the deadline
+  kPartial = 2,    // finalized with partial (possibly zero) quality
+};
+
+/// Upper bound on `length`; anything larger is a protocol error. Keeps a
+/// malicious length prefix from ballooning connection buffers.
+inline constexpr std::uint32_t kMaxFrameBytes = 512;
+
+struct SubmitFrame {
+  std::uint64_t req_id = 0;
+  double demand = 0.0;
+  double deadline_ms = 0.0;  // 0 = server default
+  double weight = 1.0;
+  bool partial_ok = true;
+  bool want_ack = false;
+};
+
+struct AckFrame {
+  std::uint64_t req_id = 0;
+  bool accepted = false;
+};
+
+struct ReplyFrame {
+  std::uint64_t req_id = 0;
+  ReplyStatus status = ReplyStatus::kShed;
+  double quality = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// A decoded frame; exactly one of the bodies is meaningful per `type`.
+struct Frame {
+  FrameType type = FrameType::kSubmit;
+  SubmitFrame submit;
+  AckFrame ack;
+  ReplyFrame reply;
+};
+
+// ---- encoding (append to `out`, returns bytes appended) ----
+
+std::size_t encode_submit(const SubmitFrame& f, std::string& out);
+std::size_t encode_ack(const AckFrame& f, std::string& out);
+std::size_t encode_reply(const ReplyFrame& f, std::string& out);
+
+/// Incremental decoder over a byte stream. feed() appends raw bytes;
+/// next() pops one complete frame at a time. A malformed stream (oversize
+/// length, unknown type, wrong body size) puts the decoder into a sticky
+/// error state — the connection must be dropped.
+class FrameDecoder {
+ public:
+  enum class Result { kFrame, kNeedMore, kError };
+
+  void feed(const char* data, std::size_t size);
+
+  /// Decodes the next complete frame into `*out`.
+  Result next(Frame* out);
+
+  [[nodiscard]] bool errored() const { return errored_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed (0 on a clean stream boundary).
+  [[nodiscard]] std::size_t pending() const { return buf_.size() - off_; }
+
+ private:
+  Result fail(const std::string& why);
+
+  std::string buf_;
+  std::size_t off_ = 0;
+  bool errored_ = false;
+  std::string error_;
+};
+
+}  // namespace qes::net

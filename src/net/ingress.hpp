@@ -1,0 +1,161 @@
+// Epoll ingress: the wire-level request plane in front of the runtime.
+//
+// Design (ISSUE 6 / ROADMAP item 1):
+//
+//   * N worker threads, each with its own epoll instance and its own
+//     SO_REUSEPORT listener on the same port — the kernel shards accepts
+//     across workers, so there is no shared accept lock.
+//   * Bounded per-connection state: a FrameDecoder, a write buffer with
+//     a hard cap (slow consumers are disconnected, never buffered
+//     unboundedly), and a slab slot reused via a freelist.
+//   * Batched admission: one epoll_wait sweep drains every readable
+//     connection into a local SubmitFrame batch and hands the whole
+//     batch to the sink in ONE call (one queue lock per sweep instead of
+//     one per request). The sink accepts a prefix and the remainder is
+//     shed — shed REPLYs go back on the wire immediately, so wire-level
+//     shed accounting is exact.
+//   * Completion routing: the runtime finalizes jobs on its trigger
+//     thread and calls complete_batch(); completions land in a
+//     per-worker inbox and an eventfd wakes the worker to write REPLYs.
+//     Tokens carry a generation so a completion for a closed connection
+//     is dropped, never mis-delivered.
+//
+// Protocol: the binary SUBMIT/ACK/REPLY framing (frame.hpp), plus an
+// HTTP/1.1 adapter on the same port (first byte discriminates). HTTP
+// clients POST /submit with an urlencoded-style body
+// (demand=..&deadline=..&weight=..&partial=0|1&id=..) and get the REPLY
+// as a JSON response when the job finalizes; GET /healthz answers
+// immediately. HTTP responses are Connection: close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace qes::obs {
+class Registry;
+}  // namespace qes::obs
+
+namespace qes::net {
+
+/// One admission candidate handed to the sink. `token` identifies the
+/// (connection, entry) to reply to; it is opaque to the sink and must be
+/// echoed back through Ingress::complete*.
+struct IngressRequest {
+  std::uint64_t token = 0;
+  SubmitFrame submit;
+};
+
+/// A finalized (or shed) job's result on its way back to the wire.
+struct Completion {
+  std::uint64_t token = 0;
+  ReplyStatus status = ReplyStatus::kShed;
+  double quality = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// The runtime side of batched admission. submit_batch() must be
+/// thread-safe (ingress workers call it concurrently) and must accept a
+/// PREFIX: the return value k means requests [0, k) were admitted and
+/// [k, n) are shed. Every admitted request eventually produces exactly
+/// one Ingress::complete*() call with its token.
+class IngressSink {
+ public:
+  virtual ~IngressSink() = default;
+  virtual std::size_t submit_batch(const IngressRequest* reqs,
+                                   std::size_t count) = 0;
+};
+
+struct IngressConfig {
+  /// 0 binds an ephemeral port (read back via Ingress::port()).
+  int port = 0;
+  int workers = 2;
+  /// Per-worker connection cap; accepts beyond it are closed.
+  int max_connections = 4096;
+  /// Max SUBMITs per sink call; a sweep yielding more submits in chunks.
+  std::size_t max_batch = 512;
+  /// recv() chunk size — one syscall's worth of frames (~64 KiB is
+  /// ~1900 SUBMIT frames).
+  std::size_t read_chunk = 64 * 1024;
+  /// Bound on a buffered HTTP request head+body.
+  std::size_t max_http_request = 8192;
+  /// Write-buffer cap per connection; beyond it the peer is dropped.
+  std::size_t max_write_buffer = 4 * 1024 * 1024;
+  /// Optional instrument sink (counters under `metric_prefix`).
+  obs::Registry* registry = nullptr;
+  std::string metric_prefix = "qesd_ingress";
+};
+
+class Ingress {
+ public:
+  /// `sink` must outlive the ingress.
+  Ingress(IngressConfig config, IngressSink* sink);
+  ~Ingress();
+
+  Ingress(const Ingress&) = delete;
+  Ingress& operator=(const Ingress&) = delete;
+
+  /// Binds all worker listeners and launches the worker threads. Throws
+  /// std::runtime_error when the port cannot be bound.
+  void start();
+
+  /// Stops accepting, flushes pending write buffers (bounded), joins the
+  /// workers, and closes every socket. Idempotent. Pending completions
+  /// delivered before stop() are flushed; completions after stop() are
+  /// dropped.
+  void stop();
+
+  /// Delivers results for previously admitted requests; safe from any
+  /// thread. Unknown/stale tokens are ignored.
+  void complete(const Completion& c);
+  void complete_batch(const Completion* batch, std::size_t count);
+
+  /// The bound port. Valid after start().
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Lifetime totals (relaxed; exact once the workers have stopped).
+  [[nodiscard]] std::uint64_t connections_total() const;
+  [[nodiscard]] std::uint64_t frames_in_total() const;
+  [[nodiscard]] std::uint64_t shed_on_wire_total() const;
+  [[nodiscard]] std::uint64_t replies_total() const;
+
+ private:
+  struct Worker;
+
+  void worker_loop(Worker& w);
+  void accept_ready(Worker& w);
+  void handle_readable(Worker& w, std::uint32_t ci);
+  /// Validates one SUBMIT and appends it to the sweep batch. Returns
+  /// false on a protocol violation (caller closes the connection).
+  bool on_submit(Worker& w, std::uint32_t ci, const SubmitFrame& f, bool http);
+  /// Consumes buffered HTTP input; returns false when the connection
+  /// must be closed immediately.
+  bool handle_http_input(Worker& w, std::uint32_t ci);
+  void flush_batch(Worker& w);
+  void drain_inbox(Worker& w);
+  void deliver(Worker& w, const Completion& c);
+  void queue_out(Worker& w, std::uint32_t ci, const std::string& data);
+  void flush_out(Worker& w, std::uint32_t ci);
+  void flush_dirty(Worker& w);
+  void close_conn(Worker& w, std::uint32_t ci);
+
+  IngressConfig cfg_;
+  IngressSink* sink_;
+  int port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace qes::net

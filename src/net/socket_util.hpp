@@ -1,0 +1,54 @@
+// Shared loopback-socket plumbing for the wire plane.
+//
+// Both the obs HTTP exporter and the net ingress own plain BSD sockets
+// (dependency-free by design). The bind/listen/ephemeral-port-discovery,
+// nonblocking, and "write everything" boilerplate is identical, so it
+// lives here exactly once. Everything binds 127.0.0.1: the request plane
+// is a loopback/behind-a-proxy surface, not an internet-facing one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace qes::net {
+
+/// A bound, listening TCP socket on 127.0.0.1.
+struct Listener {
+  int fd = -1;
+  int port = -1;
+};
+
+struct ListenOptions {
+  int backlog = 128;
+  /// SO_REUSEPORT: lets several listeners shard accepts of one port
+  /// (the ingress binds one listener per worker).
+  bool reuseport = false;
+  bool nonblocking = false;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned; the bound
+/// port is read back into Listener::port). Throws std::runtime_error on
+/// failure.
+[[nodiscard]] Listener listen_loopback(int port, const ListenOptions& opt = {});
+
+/// O_NONBLOCK on/off. Returns false on fcntl failure.
+bool set_nonblocking(int fd, bool enable = true);
+
+/// TCP_NODELAY — the request plane writes whole frames and must not wait
+/// out Nagle. Best effort.
+void set_tcp_nodelay(int fd);
+
+/// Blocking connect to 127.0.0.1:`port` with SO_RCVTIMEO/SO_SNDTIMEO set
+/// to `timeout_s`. Throws std::runtime_error when the connect fails.
+[[nodiscard]] int connect_loopback(int port, int timeout_s = 2);
+
+/// Writes the whole buffer (MSG_NOSIGNAL, retrying short writes).
+/// Returns false when the peer goes away mid-write.
+bool send_all(int fd, const char* data, std::size_t size);
+bool send_all(int fd, const std::string& data);
+
+/// Reads until EOF or error and returns everything received. Used by the
+/// one-shot HTTP client helper.
+[[nodiscard]] std::string recv_until_eof(int fd);
+
+}  // namespace qes::net

@@ -1,17 +1,16 @@
 #include "obs/http_exporter.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <cstring>
-#include <stdexcept>
+#include <chrono>
+#include <vector>
 
 #include "core/assert.hpp"
+#include "net/socket_util.hpp"
 
 namespace qes::obs {
 
@@ -21,19 +20,17 @@ namespace {
 // anything larger is a client error.
 constexpr std::size_t kMaxRequestBytes = 8192;
 
-// Poll granularity of the accept loop — bounds stop() latency.
+// Poll granularity of the sweep — bounds stop() latency.
 constexpr int kPollMs = 50;
 
-void send_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    // MSG_NOSIGNAL: a scraper hanging up mid-response must not SIGPIPE
-    // the process.
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;  // client went away; nothing to clean up
-    off += static_cast<std::size_t>(n);
-  }
+// A connection that has not produced a full request (or taken delivery
+// of its response) within this window is dropped.
+constexpr double kConnDeadlineMs = 2000.0;
+
+double steady_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 std::string response(const std::string& status, const std::string& type,
@@ -65,30 +62,12 @@ void HttpExporter::handle(std::string path, std::string content_type,
 void HttpExporter::start() {
   QES_ASSERT_MSG(!started_, "start() may be called once");
   started_ = true;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error("http exporter: socket() failed");
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(requested_port_));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, 16) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("http exporter: cannot listen on port " +
-                             std::to_string(requested_port_) + ": " + err);
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  bound_port_ = static_cast<int>(ntohs(addr.sin_port));
-
+  net::ListenOptions lo;
+  lo.backlog = 16;
+  lo.nonblocking = true;
+  const net::Listener listener = net::listen_loopback(requested_port_, lo);
+  listen_fd_ = listener.fd;
+  bound_port_ = listener.port;
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { serve_loop(); });
 }
@@ -105,42 +84,97 @@ void HttpExporter::stop() {
 }
 
 void HttpExporter::serve_loop() {
+  // The ready-connection sweep: every accepted fd progresses whenever it
+  // is ready, so one stalled scraper cannot stall the rest (regression:
+  // obs_http_test.SlowScraperDoesNotStallOtherClients).
+  std::vector<Conn> conns;
+  std::vector<pollfd> pfds;
   while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int r = ::poll(&pfd, 1, kPollMs);
-    if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    // A stuck client must not wedge the exporter: bound both directions.
-    timeval tv{};
-    tv.tv_sec = 2;
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    serve_one(client);
-    ::close(client);
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns) {
+      short events = POLLIN;
+      if (c.out_off < c.out.size()) events |= POLLOUT;
+      pfds.push_back({c.fd, events, 0});
+    }
+    (void)::poll(pfds.data(), pfds.size(), kPollMs);
+    if (stop_.load(std::memory_order_acquire)) break;
+    const double now = steady_ms();
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) break;
+        (void)net::set_nonblocking(client);
+        Conn c;
+        c.fd = client;
+        c.deadline_ms = now + kConnDeadlineMs;
+        conns.push_back(std::move(c));
+      }
+    }
+
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      Conn& c = conns[i];
+      const short rev = pfds[i + 1].revents;
+      bool drop = now >= c.deadline_ms;
+      if (!drop && (rev & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+          !c.responded) {
+        char buf[1024];
+        for (;;) {
+          const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n <= 0) {
+            drop = true;  // peer went away before completing a request
+            break;
+          }
+          c.in.append(buf, static_cast<std::size_t>(n));
+          if (c.in.size() >= kMaxRequestBytes) break;
+        }
+        if (!drop && (c.in.find("\r\n\r\n") != std::string::npos ||
+                      c.in.size() >= kMaxRequestBytes)) {
+          c.out = respond(c.in);
+          c.responded = true;
+          requests_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!drop && c.responded && c.out_off < c.out.size()) {
+        while (c.out_off < c.out.size()) {
+          const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                                   c.out.size() - c.out_off, MSG_NOSIGNAL);
+          if (n > 0) {
+            c.out_off += static_cast<std::size_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          drop = true;
+          break;
+        }
+      }
+      if (drop || (c.responded && c.out_off >= c.out.size())) {
+        ::close(c.fd);
+        c.fd = -1;
+      }
+    }
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Conn& c) { return c.fd < 0; }),
+                conns.end());
+  }
+  for (Conn& c : conns) {
+    if (c.fd >= 0) ::close(c.fd);
   }
 }
 
-void HttpExporter::serve_one(int client_fd) {
-  std::string req;
-  char buf[1024];
-  while (req.size() < kMaxRequestBytes &&
-         req.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    req.append(buf, static_cast<std::size_t>(n));
-  }
-  requests_.fetch_add(1, std::memory_order_relaxed);
-
+std::string HttpExporter::respond(const std::string& req) {
   // Request line: METHOD SP PATH SP VERSION.
   const std::size_t eol = req.find("\r\n");
   const std::string line = eol == std::string::npos ? req : req.substr(0, eol);
   const std::size_t sp1 = line.find(' ');
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    send_all(client_fd, response("400 Bad Request", "text/plain",
-                                 "malformed request line\n"));
-    return;
+    return response("400 Bad Request", "text/plain",
+                    "malformed request line\n");
   }
   const std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
@@ -148,51 +182,33 @@ void HttpExporter::serve_one(int client_fd) {
   if (query != std::string::npos) path.resize(query);
 
   if (method != "GET") {
-    send_all(client_fd, response("405 Method Not Allowed", "text/plain",
-                                 "only GET is supported\n"));
-    return;
+    return response("405 Method Not Allowed", "text/plain",
+                    "only GET is supported\n");
   }
   for (const Route& route : routes_) {
     if (route.path != path) continue;
-    send_all(client_fd,
-             response("200 OK", route.content_type, route.handler()));
-    return;
+    return response("200 OK", route.content_type, route.handler());
   }
   std::string known;
   for (const Route& route : routes_) known += route.path + "\n";
-  send_all(client_fd,
-           response("404 Not Found", "text/plain",
-                    "no handler for " + path + "; try:\n" + known));
+  return response("404 Not Found", "text/plain",
+                  "no handler for " + path + "; try:\n" + known);
 }
 
 std::string http_get(int port, const std::string& path,
                      std::string* status_line) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("http_get: socket() failed");
-  timeval tv{};
-  tv.tv_sec = 2;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
+  int fd = -1;
+  try {
+    fd = net::connect_loopback(port);
+  } catch (const std::runtime_error&) {
     throw std::runtime_error("http_get: cannot connect to port " +
                              std::to_string(port));
   }
   const std::string req = "GET " + path +
                           " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
                           "Connection: close\r\n\r\n";
-  send_all(fd, req);
-  std::string resp;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    resp.append(buf, static_cast<std::size_t>(n));
-  }
+  (void)net::send_all(fd, req);
+  const std::string resp = net::recv_until_eof(fd);
   ::close(fd);
   const std::size_t eol = resp.find("\r\n");
   if (status_line != nullptr) {

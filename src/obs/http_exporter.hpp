@@ -7,9 +7,13 @@
 // instruments' current values. The server speaks just enough HTTP/1.1
 // for Prometheus scrapers and curl: GET only, Connection: close, no
 // keep-alive, bounded request size. Scrapes are rare and cheap compared
-// to the serving hot paths, so requests are handled sequentially on the
-// exporter thread — no connection ever touches model state except
-// through the registered (thread-safe) handlers.
+// to the serving hot paths, so one thread serves them all — but with a
+// ready-connection sweep (poll over the listener plus every accepted
+// fd, nonblocking I/O, per-connection deadline) rather than one blocking
+// client at a time, so a slow or stalled scraper can never wedge
+// /healthz for everyone else. No connection ever touches model state
+// except through the registered (thread-safe) handlers. The raw socket
+// plumbing is shared with the net ingress via net/socket_util.
 //
 // The runtime::Server and cluster::Cluster own their exporters and stop
 // them during teardown; tests bind port 0 and read the kernel-assigned
@@ -68,8 +72,20 @@ class HttpExporter {
     std::function<std::string()> handler;
   };
 
+  // One in-flight scrape connection (nonblocking; swept by poll).
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t out_off = 0;
+    bool responded = false;
+    /// Wall deadline (steady-clock ms) after which the peer is dropped.
+    double deadline_ms = 0.0;
+  };
+
   void serve_loop();
-  void serve_one(int client_fd);
+  /// Renders the full HTTP response for a buffered request head.
+  [[nodiscard]] std::string respond(const std::string& request);
 
   int requested_port_;
   int bound_port_ = -1;

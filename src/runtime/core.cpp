@@ -118,6 +118,10 @@ void RuntimeCore::finalize(JobId id) {
   ++finalized_count_;
   if (st.satisfied) ++satisfied_count_;
   quality_sum_ += st.quality;
+  if (cfg_.record_completions) {
+    completions_.push_back(
+        {id, st.satisfied, st.quality, now_ - st.job.release});
+  }
   if (cfg_.trace != nullptr) {
     cfg_.trace->push({.kind = obs::TraceEvent::Kind::Finalize,
                       .t = now_,
@@ -407,6 +411,11 @@ CoreCounters RuntimeCore::counters() const {
   c.peak_power = peak_power_;
   c.replans = replans_;
   return c;
+}
+
+void RuntimeCore::drain_completions(std::vector<JobCompletion>& out) {
+  out.insert(out.end(), completions_.begin(), completions_.end());
+  completions_.clear();
 }
 
 RunStats RuntimeCore::finish(Time end_time) {

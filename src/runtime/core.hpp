@@ -58,6 +58,20 @@ struct RuntimeConfig {
   /// pushed into `trace` (see src/obs/).
   obs::Registry* registry = nullptr;
   obs::TraceRing* trace = nullptr;
+  /// When set, finalize() appends a JobCompletion per finalized job
+  /// (abandoned jobs excluded) for drain_completions() — the hook the
+  /// wire ingress uses to send REPLY frames. Off by default: lockstep
+  /// conformance and the plain producer path never pay for it.
+  bool record_completions = false;
+};
+
+/// One finalized job's outcome (only recorded when record_completions
+/// is set). latency_ms is virtual time from release to finalization.
+struct JobCompletion {
+  JobId id = 0;
+  bool satisfied = false;
+  double quality = 0.0;
+  Time latency_ms = 0.0;
 };
 
 /// Runtime-side view of one admitted job (mirrors sim::JobState).
@@ -186,6 +200,10 @@ class RuntimeCore {
 
   [[nodiscard]] CoreCounters counters() const;
 
+  /// Moves every completion recorded since the last call into `out`
+  /// (appending, finalization order). Empty unless record_completions.
+  void drain_completions(std::vector<JobCompletion>& out);
+
  private:
   struct CoreState {
     Schedule plan;
@@ -218,6 +236,7 @@ class RuntimeCore {
   // refills the view to compute the budget-free demand signal.
   mutable policy::WorldView view_;
   policy::PlanOutcome plan_out_;
+  std::vector<JobCompletion> completions_;  // pending drain_completions()
   std::vector<JobRecord> jobs_;  // index = id - 1
   std::vector<CoreState> cores_;
   std::vector<JobId> waiting_;   // arrived, unassigned, arrival order

@@ -16,6 +16,21 @@ std::chrono::duration<double, std::milli> wall_ms(double ms) {
 
 }  // namespace
 
+/// Adapter handing ingress admission batches to the server. A separate
+/// object (not Server inheriting IngressSink) keeps the wire plane out
+/// of Server's public API surface.
+class ServerIngressSink final : public net::IngressSink {
+ public:
+  explicit ServerIngressSink(Server* server) : server_(server) {}
+  std::size_t submit_batch(const net::IngressRequest* reqs,
+                           std::size_t count) override {
+    return server_->ingress_admit(reqs, count);
+  }
+
+ private:
+  Server* server_;
+};
+
 std::string MetricsSnapshot::to_json() const {
   char buf[512];
   std::snprintf(
@@ -36,8 +51,12 @@ Server::Server(ServerConfig config)
       clock_(cfg_.time_scale),
       admission_(cfg_.admission_capacity),
       // Point the model at the server-owned registry before RuntimeCore
-      // copies its config (registry_ is declared ahead of core_).
-      core_((cfg_.model.registry = &registry_, cfg_.model)),
+      // copies its config (registry_ is declared ahead of core_), and
+      // turn on completion recording when the wire plane will need it.
+      core_((cfg_.model.registry = &registry_,
+             cfg_.model.record_completions =
+                 cfg_.model.record_completions || cfg_.listen_port >= 0,
+             cfg_.model)),
       plans_(static_cast<std::size_t>(cfg_.model.cores)),
       current_job_(static_cast<std::size_t>(cfg_.model.cores)),
       worker_stats_(static_cast<std::size_t>(cfg_.model.cores)) {
@@ -81,10 +100,59 @@ void Server::start() {
   for (int i = 0; i < cfg_.model.cores; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
+  // The wire plane comes up last: nothing arrives before the trigger
+  // thread exists to admit it.
+  if (cfg_.listen_port >= 0) {
+    net::IngressConfig ic;
+    ic.port = cfg_.listen_port;
+    ic.workers = cfg_.ingress_workers;
+    ic.max_connections = cfg_.ingress_max_connections;
+    ic.registry = &registry_;
+    ingress_sink_ = std::make_unique<ServerIngressSink>(this);
+    ingress_ = std::make_unique<net::Ingress>(ic, ingress_sink_.get());
+    ingress_->start();
+  }
 }
 
 int Server::http_port() const {
   return exporter_ ? exporter_->port() : -1;
+}
+
+int Server::listen_port() const {
+  return ingress_ ? ingress_->port() : -1;
+}
+
+std::size_t Server::ingress_admit(const net::IngressRequest* reqs,
+                                  std::size_t count) {
+  // Convert the wire batch and push it with ONE queue lock; the rejected
+  // suffix is shed here (counted exactly once) and the ingress writes
+  // the shed REPLYs back on the wire.
+  std::vector<Request> batch(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::SubmitFrame& f = reqs[i].submit;
+    batch[i].demand = f.demand;
+    batch[i].partial_ok = f.partial_ok;
+    batch[i].weight = f.weight;
+    batch[i].deadline_ms = f.deadline_ms;
+    batch[i].tag = reqs[i].token;
+  }
+  const std::size_t accepted = admission_.try_push_batch(batch.data(), count);
+  const std::size_t rejected = count - accepted;
+  if (rejected > 0) {
+    shed_.fetch_add(rejected, std::memory_order_relaxed);
+    registry_
+        .counter("qesd_shed_total",
+                 "requests rejected at admission (queue full or draining)")
+        .add(static_cast<double>(rejected));
+    if (cfg_.model.trace != nullptr) {
+      const Time t = clock_.now();
+      for (std::size_t i = 0; i < rejected; ++i) {
+        cfg_.model.trace->push({.kind = obs::TraceEvent::Kind::Shed, .t = t});
+      }
+    }
+  }
+  if (accepted > 0) poke_trigger();
+  return accepted;
 }
 
 bool Server::submit(const Request& request,
@@ -135,32 +203,69 @@ void Server::process_tick() {
       .gauge("qesd_admission_queue_depth",
              "admission queue occupancy at the last trigger tick")
       .set(static_cast<double>(admission_.size()));
-  std::lock_guard<std::mutex> lock(mu_);
-  // Drained under mu_ so drain_and_stop() can never observe an empty
-  // queue while a batch is still waiting to be admitted.
-  admission_.drain(batch);
-  core_.advance(std::max(vnow, core_.now()));
-  for (const Request& r : batch) {
-    Job j;
-    j.id = core_.admitted() + 1;
-    j.release = core_.now();
-    j.deadline = core_.now() + cfg_.deadline_ms;
-    j.demand = r.demand;
-    j.partial_ok = r.partial_ok;
-    j.weight = r.weight;
-    core_.submit(j);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Drained under mu_ so drain_and_stop() can never observe an empty
+    // queue while a batch is still waiting to be admitted.
+    admission_.drain(batch);
+    core_.advance(std::max(vnow, core_.now()));
+    for (const Request& r : batch) {
+      Job j;
+      j.id = core_.admitted() + 1;
+      j.release = core_.now();
+      // Per-request deadlines are clamped to stay agreeable (monotone in
+      // admission order) — with the constant server default this clamp
+      // never fires, so the in-process path is byte-identical.
+      const Time rel = r.deadline_ms > 0.0 ? r.deadline_ms : cfg_.deadline_ms;
+      j.deadline = std::max(core_.now() + rel, last_deadline_);
+      last_deadline_ = j.deadline;
+      j.demand = r.demand;
+      j.partial_ok = r.partial_ok;
+      j.weight = r.weight;
+      core_.submit(j);
+      tags_.push_back(r.tag);
+    }
+    if (core_.check_triggers()) {
+      const auto t0 = VirtualClock::WallClock::now();
+      core_.replan();
+      publish_plans();
+      const std::chrono::duration<double, std::milli> dt =
+          VirtualClock::WallClock::now() - t0;
+      registry_
+          .histogram("qesd_replan_publish_ms",
+                     "wall time to replan and publish all core plans (ms)", {},
+                     obs::Histogram(0.001, 2.0, 24))
+          .record(dt.count());
+    }
   }
-  if (core_.check_triggers()) {
-    const auto t0 = VirtualClock::WallClock::now();
-    core_.replan();
-    publish_plans();
-    const std::chrono::duration<double, std::milli> dt =
-        VirtualClock::WallClock::now() - t0;
-    registry_
-        .histogram("qesd_replan_publish_ms",
-                   "wall time to replan and publish all core plans (ms)", {},
-                   obs::Histogram(0.001, 2.0, 24))
-        .record(dt.count());
+  // Outside mu_: pushing REPLY frames to the ingress inboxes must never
+  // hold the model lock.
+  forward_completions();
+}
+
+void Server::forward_completions() {
+  if (!ingress_) return;
+  completions_scratch_.clear();
+  wire_completions_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    core_.drain_completions(completions_scratch_);
+    for (const JobCompletion& c : completions_scratch_) {
+      QES_ASSERT(c.id >= 1 && c.id <= tags_.size());
+      const std::uint64_t token = tags_[static_cast<std::size_t>(c.id - 1)];
+      if (token == 0) continue;  // in-process submission, no wire client
+      net::Completion wc;
+      wc.token = token;
+      wc.status =
+          c.satisfied ? net::ReplyStatus::kSatisfied : net::ReplyStatus::kPartial;
+      wc.quality = c.quality;
+      wc.latency_ms = c.latency_ms;
+      wire_completions_.push_back(wc);
+    }
+  }
+  if (!wire_completions_.empty()) {
+    ingress_->complete_batch(wire_completions_.data(),
+                             wire_completions_.size());
   }
 }
 
@@ -332,6 +437,11 @@ RunStats Server::drain_and_stop() {
   for (std::thread& t : threads_) t.join();
   threads_.clear();
   stopped_ = true;
+  // The trigger thread is gone: flush any completions it finalized but
+  // had not yet forwarded, then stop the ingress — its workers deliver
+  // the buffered REPLY frames before closing the connections.
+  forward_completions();
+  if (ingress_) ingress_->stop();
   {
     std::lock_guard<std::mutex> lock(mu_);
     final_stats_ = core_.finish(core_.horizon());
@@ -392,7 +502,10 @@ Server::KillReport Server::kill() {
     final_stats_valid_ = true;
     report.stats = final_stats_;
   }
-  if (exporter_) exporter_->stop();  // a killed node answers no scrapes
+  // A killed node answers nothing: undelivered REPLY frames die with it
+  // (clients observe the closed connections), and no scrapes are served.
+  if (ingress_) ingress_->stop();
+  if (exporter_) exporter_->stop();
   return report;
 }
 

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/ingress.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/registry.hpp"
 #include "runtime/clock.hpp"
@@ -49,6 +50,12 @@ struct Request {
   Work demand = 0.0;
   bool partial_ok = true;
   double weight = 1.0;
+  /// Relative deadline override (virtual ms); 0 uses the server default.
+  /// Stamped deadlines are clamped to stay agreeable (never earlier than
+  /// an already-admitted job's), matching the paper's job model.
+  Time deadline_ms = 0.0;
+  /// Opaque completion routing tag (the wire ingress token); 0 = none.
+  std::uint64_t tag = 0;
 };
 
 struct ServerConfig {
@@ -70,6 +77,15 @@ struct ServerConfig {
   /// Serves /metrics, /metrics.json, /healthz, and /tracez on 127.0.0.1
   /// from start() until the final statistics exist.
   int http_port = -1;
+  /// Wire-level request plane (src/net/): -1 disables it, 0 binds an
+  /// ephemeral port (read back via Server::listen_port()), anything else
+  /// binds that port. Jobs submitted over the wire get REPLY frames on
+  /// finalization; admission overload sheds on the wire.
+  int listen_port = -1;
+  /// Ingress accept-sharding worker threads (listen_port >= 0 only).
+  int ingress_workers = 2;
+  /// Per-ingress-worker connection cap.
+  int ingress_max_connections = 4096;
 };
 
 /// One periodic observation of the live system.
@@ -173,7 +189,16 @@ class Server {
   /// after start().
   [[nodiscard]] int http_port() const;
 
+  /// The bound wire-ingress port, or -1 when disabled. Valid after
+  /// start().
+  [[nodiscard]] int listen_port() const;
+
+  /// The wire ingress (nullptr when disabled); exposed for tests that
+  /// reconcile wire-level counters against the run statistics.
+  [[nodiscard]] const net::Ingress* ingress() const { return ingress_.get(); }
+
  private:
+  friend class ServerIngressSink;
   struct PlanSnapshot {
     Schedule plan;
     std::uint64_t gen = 0;
@@ -192,6 +217,11 @@ class Server {
   void worker_loop(int core);
   void metrics_loop();
   void process_tick();
+  /// IngressSink admission: batched try-push with exact shed accounting.
+  std::size_t ingress_admit(const net::IngressRequest* reqs,
+                            std::size_t count);
+  /// Forwards pending finalizations to the wire (trigger thread only).
+  void forward_completions();
   void publish_plans();  // requires mu_
   void poke_trigger();
   void take_snapshot();
@@ -207,8 +237,17 @@ class Server {
   // it so RuntimeCore::finish() mirrors its aggregates here.
   obs::Registry registry_;
 
-  mutable std::mutex mu_;  // guards core_
+  mutable std::mutex mu_;  // guards core_, tags_, last_deadline_
   RuntimeCore core_;
+  /// Completion routing tag per admitted job (index = id - 1); 0 for
+  /// in-process submissions.
+  std::vector<std::uint64_t> tags_;
+  /// Latest stamped absolute deadline — per-request deadlines are
+  /// clamped to keep admissions agreeable (core asserts it).
+  Time last_deadline_ = 0.0;
+  // Scratch for forward_completions (trigger thread only).
+  std::vector<JobCompletion> completions_scratch_;
+  std::vector<net::Completion> wire_completions_;
   // finish() records into the registry, so it must run exactly once;
   // drain_and_stop() caches its result for repeat callers.
   bool final_stats_valid_ = false;
@@ -237,6 +276,12 @@ class Server {
   // so it stays answerable while the server drains; drain_and_stop() and
   // kill() stop it once the final statistics exist.
   std::unique_ptr<obs::HttpExporter> exporter_;
+  // Wire request plane (nullptr when cfg_.listen_port < 0). Stays up
+  // through the drain so buffered REPLY frames reach their clients;
+  // stopped after the final completion flush. kill() drops undelivered
+  // completions — replies die with the node.
+  std::unique_ptr<net::IngressSink> ingress_sink_;
+  std::unique_ptr<net::Ingress> ingress_;
   bool started_ = false;
   bool stopped_ = false;
 };

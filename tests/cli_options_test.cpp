@@ -179,10 +179,34 @@ TEST(CliOptions, ScrapePlaneFlags) {
 TEST(CliOptions, RuntimeDriverRejectsBadValues) {
   EXPECT_THROW(parse({"--duration-s", "0"}), std::invalid_argument);
   EXPECT_THROW(parse({"--arrival-rate", "-1"}), std::invalid_argument);
-  EXPECT_THROW(parse({"--producers", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--producers", "-1"}), std::invalid_argument);
   EXPECT_THROW(parse({"--metrics-interval-ms", "-5"}), std::invalid_argument);
   EXPECT_THROW(parse({"--time-scale", "0"}), std::invalid_argument);
   EXPECT_THROW(parse({"--producers"}), std::invalid_argument);
+  // 0 producers is legal since the wire plane: a --listen-port run can
+  // be driven entirely from the network.
+  EXPECT_EQ(parse({"--producers", "0"}).producers, 0);
+}
+
+TEST(CliOptions, WirePlaneFlags) {
+  const Options defaults = parse({});
+  EXPECT_EQ(defaults.listen_port, -1);
+  EXPECT_EQ(defaults.ingress_workers, 2);
+  EXPECT_EQ(defaults.node_listen_base_port, -1);
+
+  const Options o = parse({"--listen-port", "0", "--ingress-workers", "4",
+                           "--node-listen-base-port", "19300"});
+  EXPECT_EQ(o.listen_port, 0);
+  EXPECT_EQ(o.ingress_workers, 4);
+  EXPECT_EQ(o.node_listen_base_port, 19300);
+  EXPECT_EQ(parse({"--listen-port", "7400"}).listen_port, 7400);
+
+  EXPECT_THROW(parse({"--listen-port", "-2"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--listen-port", "65536"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--ingress-workers", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--ingress-workers", "65"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--node-listen-base-port", "70000"}),
+               std::invalid_argument);
 }
 
 TEST(CliOptions, ClusterDriverDefaults) {

@@ -1,0 +1,107 @@
+// Wire-level shed accounting: blast a tiny-admission-queue server with
+// more SUBMITs than it can take and verify the three shed ledgers agree
+// exactly — REPLY(shed) frames observed by the client, the ingress's
+// shed_on_wire counter, Server::shed() / qesd_shed_total, and the final
+// RunStats (submitted == jobs_total + shed).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket_util.hpp"
+#include "obs/registry.hpp"
+#include "runtime/server.hpp"
+
+namespace qes {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+runtime::ServerConfig tiny_queue_config() {
+  runtime::ServerConfig sc;
+  sc.model.cores = 8;
+  sc.model.power_budget = 160.0;
+  sc.time_scale = 20.0;
+  sc.deadline_ms = 150.0;
+  // The shed pressure: a blast of hundreds of SUBMITs meets an
+  // admission queue of 8 drained every 50 wall ms.
+  sc.admission_capacity = 8;
+  sc.tick_wall_ms = 50.0;
+  sc.metrics_interval_ms = 10000.0;
+  sc.listen_port = 0;
+  sc.ingress_workers = 1;
+  return sc;
+}
+
+TEST(NetIngressShed, WireShedsReconcileWithServerAccounting) {
+  constexpr std::uint64_t kBlast = 500;
+
+  runtime::Server server(tiny_queue_config());
+  server.start();
+  ASSERT_GT(server.listen_port(), 0);
+
+  const int fd = net::connect_loopback(server.listen_port());
+  net::set_tcp_nodelay(fd);
+  std::string wire;
+  for (std::uint64_t i = 0; i < kBlast; ++i) {
+    net::SubmitFrame f;
+    f.req_id = i;
+    f.demand = 200.0;
+    f.partial_ok = true;
+    net::encode_submit(f, wire);
+  }
+  ASSERT_TRUE(net::send_all(fd, wire));
+
+  // Every request resolves as either a shed or a finalized job.
+  const steady_clock::time_point deadline =
+      steady_clock::now() + milliseconds(5000);
+  for (;;) {
+    const runtime::MetricsSnapshot snap = server.snapshot();
+    if (snap.shed + snap.finalized >= kBlast) break;
+    ASSERT_LT(steady_clock::now(), deadline)
+        << "shed=" << snap.shed << " finalized=" << snap.finalized;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+
+  const RunStats stats = server.drain_and_stop();
+
+  // drain_and_stop() flushed the reply buffers and closed the sockets,
+  // so the client's view is complete at EOF.
+  const std::string raw = net::recv_until_eof(fd);
+  ::close(fd);
+  net::FrameDecoder dec;
+  dec.feed(raw.data(), raw.size());
+  net::Frame frame;
+  std::uint64_t replies = 0;
+  std::uint64_t wire_shed = 0;
+  while (dec.next(&frame) == net::FrameDecoder::Result::kFrame) {
+    ASSERT_EQ(frame.type, net::FrameType::kReply);
+    ++replies;
+    if (frame.reply.status == net::ReplyStatus::kShed) ++wire_shed;
+  }
+
+  // One REPLY per SUBMIT, no loss, no duplication.
+  EXPECT_EQ(replies, kBlast);
+  EXPECT_GT(wire_shed, 0u) << "blast failed to overload the tiny queue";
+
+  // The four ledgers: client-observed sheds, ingress wire counter,
+  // server counter (+ registry mirror), and the run statistics.
+  ASSERT_NE(server.ingress(), nullptr);
+  EXPECT_EQ(server.ingress()->shed_on_wire_total(), wire_shed);
+  EXPECT_EQ(server.shed(), wire_shed);
+  const obs::Counter* shed_counter =
+      server.registry().find_counter("qesd_shed_total");
+  ASSERT_NE(shed_counter, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(shed_counter->value()), wire_shed);
+  EXPECT_EQ(stats.jobs_total + wire_shed, kBlast);
+  EXPECT_EQ(server.ingress()->replies_total(), kBlast);
+}
+
+}  // namespace
+}  // namespace qes

@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "obs/http_exporter.hpp"
@@ -101,6 +102,46 @@ TEST(HttpExporter, RejectsUnknownPathMethodAndGarbage) {
             std::string::npos);
   EXPECT_NE(raw_request(exporter.port(), "garbage\r\n\r\n").find("400"),
             std::string::npos);
+  exporter.stop();
+}
+
+TEST(HttpExporter, SlowScraperDoesNotStallOtherClients) {
+  // Regression: the exporter used to serve one connection at a time, so
+  // a client that connected and never finished its request blocked every
+  // later scrape until it went away. The ready-connection sweep must
+  // answer healthy clients while stalled ones sit on half a request.
+  obs::HttpExporter exporter(0);
+  exporter.handle("/healthz", "application/json",
+                  [] { return std::string("{\"status\": \"ok\"}\n"); });
+  exporter.start();
+
+  // Three stalled scrapers: connected, half a request line sent, no
+  // terminating blank line — and they stay open for the whole test.
+  std::vector<int> stalled;
+  for (int i = 0; i < 3; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(exporter.port()));
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const char half[] = "GET /healthz HT";
+    ASSERT_GT(::send(fd, half, sizeof(half) - 1, 0), 0);
+    stalled.push_back(fd);
+  }
+  // Give the exporter time to accept the stalled trio first.
+  std::this_thread::sleep_for(milliseconds(100));
+
+  // A healthy client must still be served promptly (http_get's 2 s
+  // socket timeout would throw if it were queued behind the stall).
+  std::string status;
+  const std::string body = obs::http_get(exporter.port(), "/healthz", &status);
+  EXPECT_NE(status.find("200"), std::string::npos);
+  EXPECT_NE(body.find("\"ok\""), std::string::npos);
+
+  for (int fd : stalled) ::close(fd);
   exporter.stop();
 }
 

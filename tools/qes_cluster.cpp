@@ -139,6 +139,8 @@ int run_live(const cli::Options& opt) {
   cc.dispatch_seed = opt.workload.seed;
   cc.http_port = opt.http_port;
   cc.node_http_base_port = opt.node_http_base_port;
+  cc.node_listen_base_port = opt.node_listen_base_port;
+  cc.node.ingress_workers = opt.ingress_workers;
   if (opt.trace_chrome) cc.node_trace_capacity = 1u << 20;
   cluster::Cluster cluster(cc);
   cluster.start();
@@ -150,6 +152,15 @@ int run_live(const cli::Options& opt) {
     }
     std::printf("http {\"cluster_port\": %d, \"node_ports\": [%s]}\n",
                 cluster.http_port(), node_ports.c_str());
+    std::fflush(stdout);
+  }
+  if (opt.node_listen_base_port >= 0) {
+    std::string listen_ports;
+    for (int i = 0; i < cluster.nodes(); ++i) {
+      if (!listen_ports.empty()) listen_ports += ", ";
+      listen_ports += std::to_string(cluster.node_server(i).listen_port());
+    }
+    std::printf("listen {\"node_ports\": [%s]}\n", listen_ports.c_str());
     std::fflush(stdout);
   }
 
@@ -183,6 +194,13 @@ int run_live(const cli::Options& opt) {
     });
   }
   for (std::thread& t : producers) t.join();
+  // Wire-driven runs (--node-listen-base-port) must keep serving the full
+  // window even when no in-process producer advances past the duration.
+  if (opt.node_listen_base_port >= 0) {
+    while (cluster.now() < duration_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
   if (killer.joinable()) killer.join();
   const cluster::ClusterRunStats stats = cluster.drain_and_stop();
   watcher.stop();

@@ -98,6 +98,8 @@ int run_live(const cli::Options& opt) {
   sc.deadline_ms = opt.workload.deadline_ms;
   sc.metrics_interval_ms = opt.metrics_interval_ms;
   sc.http_port = opt.http_port;
+  sc.listen_port = opt.listen_port;
+  sc.ingress_workers = opt.ingress_workers;
   std::unique_ptr<obs::TraceRing> trace;
   if (opt.trace_out || opt.trace_chrome) {
     trace = std::make_unique<obs::TraceRing>(1u << 20);
@@ -107,6 +109,10 @@ int run_live(const cli::Options& opt) {
   server.start();
   if (server.http_port() >= 0) {
     std::printf("http {\"port\": %d}\n", server.http_port());
+    std::fflush(stdout);
+  }
+  if (server.listen_port() >= 0) {
+    std::printf("listen {\"port\": %d}\n", server.listen_port());
     std::fflush(stdout);
   }
 
@@ -122,6 +128,14 @@ int run_live(const cli::Options& opt) {
         [&server, &opt, p, duration_ms] { produce(server, opt, p, duration_ms); });
   }
   for (std::thread& t : producers) t.join();
+  // With no (or few) producers the virtual clock may not have reached the
+  // duration yet; a wire-driven run (--listen-port) must keep serving the
+  // full window before draining.
+  if (server.listen_port() >= 0) {
+    while (server.now() < duration_ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
   const RunStats stats = server.drain_and_stop();
   watcher.stop();
 
