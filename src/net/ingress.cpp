@@ -393,6 +393,10 @@ void Ingress::handle_readable(Worker& w, std::uint32_t ci) {
           close_conn(w, ci);
           return;
         }
+        // on_submit can flush a full batch, whose shed replies may
+        // overflow this connection's write buffer and close it; stop
+        // decoding instead of admitting jobs for a dead client.
+        if (c.fd < 0) return;
       }
     }
     if (got < buf.size()) return;  // short read: kernel buffer drained
@@ -403,6 +407,7 @@ bool Ingress::on_submit(Worker& w, std::uint32_t ci, const SubmitFrame& f,
                         bool http) {
   if (!submit_sane(f)) return false;
   Worker::Conn& c = w.conns[ci];
+  if (c.fd < 0) return false;  // closed mid-sweep: nothing to admit
   std::uint32_t ei;
   if (!w.entry_free.empty()) {
     ei = w.entry_free.back();

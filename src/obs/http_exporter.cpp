@@ -101,6 +101,9 @@ void HttpExporter::serve_loop() {
     if (stop_.load(std::memory_order_acquire)) break;
     const double now = steady_ms();
 
+    // Only the connections that existed when pfds was built have a
+    // pollfd slot; ones accepted below are swept next iteration.
+    const std::size_t swept = conns.size();
     if ((pfds[0].revents & POLLIN) != 0) {
       for (;;) {
         const int client = ::accept(listen_fd_, nullptr, nullptr);
@@ -113,7 +116,7 @@ void HttpExporter::serve_loop() {
       }
     }
 
-    for (std::size_t i = 0; i < conns.size(); ++i) {
+    for (std::size_t i = 0; i < swept; ++i) {
       Conn& c = conns[i];
       const short rev = pfds[i + 1].revents;
       bool drop = now >= c.deadline_ms;

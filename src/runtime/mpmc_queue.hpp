@@ -76,7 +76,13 @@ class BoundedMpmcQueue {
         }
       }
     }
-    if (accepted > 0) not_empty_.notify_one();
+    // One item can satisfy only one waiter, but a batch may unblock
+    // several consumers parked in pop().
+    if (accepted == 1) {
+      not_empty_.notify_one();
+    } else if (accepted > 1) {
+      not_empty_.notify_all();
+    }
     return accepted;
   }
 

@@ -9,8 +9,10 @@
 // (open-loop), so a stalling server inflates the recorded latencies
 // instead of silencing them — see src/net/loadgen.hpp for the
 // coordinated-omission rationale.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -68,9 +70,31 @@ double to_double(const std::string& flag, const std::string& v) {
 
 int to_int(const std::string& flag, const std::string& v) {
   const double d = to_double(flag, v);
+  // The range check must precede the cast: float-to-int conversion of a
+  // value outside int's range is undefined behavior.
+  if (d < static_cast<double>(std::numeric_limits<int>::min()) ||
+      d > static_cast<double>(std::numeric_limits<int>::max())) {
+    fail(flag + ": out of range '" + v + "'");
+  }
   const int i = static_cast<int>(d);
   if (static_cast<double>(i) != d) fail(flag + ": expected an integer");
   return i;
+}
+
+std::uint64_t to_u64(const std::string& flag, const std::string& v) {
+  if (v.empty() || v[0] == '-') {
+    fail(flag + ": expected a non-negative integer, got '" + v + "'");
+  }
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t u = std::stoull(v, &pos);
+    if (pos != v.size()) fail(flag + ": malformed number '" + v + "'");
+    return u;
+  } catch (const std::invalid_argument&) {
+    fail(flag + ": malformed number '" + v + "'");
+  } catch (const std::out_of_range&) {
+    fail(flag + ": out of range '" + v + "'");
+  }
 }
 
 LoadgenConfig parse(const std::vector<std::string>& args, bool* help) {
@@ -132,7 +156,7 @@ LoadgenConfig parse(const std::vector<std::string>& args, bool* help) {
     } else if (a == "--want-ack") {
       cfg.want_ack = true;
     } else if (a == "--seed") {
-      cfg.seed = static_cast<std::uint64_t>(to_int(a, need_value(i, a)));
+      cfg.seed = to_u64(a, need_value(i, a));
     } else if (a == "--drain-timeout-s") {
       cfg.drain_timeout_s = to_double(a, need_value(i, a));
       if (cfg.drain_timeout_s < 0.0) fail("--drain-timeout-s: must be >= 0");
