@@ -17,11 +17,20 @@
 # process-level smoke — `-L net` under TSan races the ingress workers,
 # the trigger thread's completion forwarding, and the generator.
 #
+# The scenario label covers the declarative scenario matrix
+# (docs/SCENARIOS.md): the JSON spec parser's malformed-input suite, the
+# curated small-N sub-matrix in scenario_matrix_test (every arrival
+# regime, substrate, and chaos operation with the conservation / power-
+# cap / QE-OPT invariants as hard assertions), and the qes_scenarios
+# smoke cells — so `-L scenario` under ASan+UBSan sweeps the calendar-
+# queue event core and the chaos redistribution path for memory errors.
+#
 #   $ scripts/ci_sanitize.sh                     # both sanitizers, all tests
 #   $ scripts/ci_sanitize.sh -L obs              # both, obs+runtime suite only
 #   $ scripts/ci_sanitize.sh -L cluster          # both, multi-node cluster suite
 #   $ scripts/ci_sanitize.sh -L policy           # both, DES planner kernel suite
 #   $ scripts/ci_sanitize.sh -L net              # both, wire-plane suite
+#   $ scripts/ci_sanitize.sh -L scenario         # both, scenario-matrix suite
 #   $ scripts/ci_sanitize.sh thread              # just TSan
 #   $ scripts/ci_sanitize.sh address -R runtime  # one sanitizer + ctest args
 set -euo pipefail

@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
 # Records the per-PR performance snapshot (ROADMAP item 2): runs the
-# replan-kernel latency bench, the cluster weak-scaling bench, and the
-# wire-plane loopback bench, and distills their headline numbers into a
-# single BENCH_<tag>.json at the repo root. No jq — the benches print
-# fixed-format tables (awk-parsed) or a RESULT_JSON line (lifted
-# verbatim).
+# replan-kernel latency bench, the cluster weak-scaling bench, the
+# wire-plane loopback bench, and the 10M-job diurnal scenario cell, and
+# distills their headline numbers into a single BENCH_<tag>.json at the
+# repo root. No jq — the benches print fixed-format tables (awk-parsed)
+# or a RESULT_JSON line (lifted verbatim).
 #
-#   $ scripts/record_bench.sh            # writes BENCH_pr6.json
-#   $ scripts/record_bench.sh pr7        # writes BENCH_pr7.json
+#   $ scripts/record_bench.sh            # writes BENCH_pr7.json
+#   $ scripts/record_bench.sh pr8        # writes BENCH_pr8.json
 #
 # Env: QES_SIM_SECONDS / QES_SEEDS bound the cluster bench's replay
 # horizon (defaults below keep the whole script a few minutes on one
-# CPU); QES_NET_REQS / QES_NET_RATE tune the wire bench.
+# CPU); QES_NET_REQS / QES_NET_RATE tune the wire bench;
+# QES_SCENARIO_WALL_BUDGET_S gates the 10M cell's wall clock (the
+# simulation-scale acceptance bar; 0 disables the gate).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TAG="${1:-pr6}"
+TAG="${1:-pr7}"
 BENCH_DIR="${BENCH_DIR:-build/bench}"
+TOOLS_DIR="${TOOLS_DIR:-build/tools}"
 OUT="BENCH_${TAG}.json"
+SCENARIO_WALL_BUDGET_S="${QES_SCENARIO_WALL_BUDGET_S:-30}"
 
 for b in replan_kernel cluster_scaling net_ingress; do
   if [[ ! -x "${BENCH_DIR}/${b}" ]]; then
@@ -25,6 +29,10 @@ for b in replan_kernel cluster_scaling net_ingress; do
     exit 1
   fi
 done
+if [[ ! -x "${TOOLS_DIR}/qes_scenarios" ]]; then
+  echo "record_bench: ${TOOLS_DIR}/qes_scenarios not built" >&2
+  exit 1
+fi
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "${workdir}"' EXIT
@@ -39,6 +47,10 @@ QES_SIM_SECONDS="${QES_SIM_SECONDS:-10}" QES_SEEDS="${QES_SEEDS:-1}" \
 echo
 echo "=== net_ingress ==="
 "${BENCH_DIR}/net_ingress" | tee "${workdir}/net.out"
+echo
+echo "=== scenario: diurnal_10m (wall budget ${SCENARIO_WALL_BUDGET_S}s) ==="
+"${TOOLS_DIR}/qes_scenarios" --spec scenarios/diurnal_10m.json \
+  | tee "${workdir}/scenario.out"
 echo
 
 # replan_kernel table: `ready_jobs mean_us best_us refill_allocs ...`
@@ -62,12 +74,29 @@ cluster_q8="$(cluster_q 8)"
 # net_ingress prints its whole result as one RESULT_JSON line.
 net_json="$(sed -n 's/^RESULT_JSON //p' "${workdir}/net.out" | tail -n 1)"
 
-for v in replan_8 replan_32 replan_128 cluster_q1 cluster_q8 net_json; do
+# qes_scenarios prints the cell's row as one RESULT_JSON line; the
+# wall-clock gate enforces the simulation-scale acceptance bar (10M
+# jobs in <= the budget, single-threaded).
+scenario_json="$(sed -n 's/^RESULT_JSON //p' "${workdir}/scenario.out" \
+  | tail -n 1)"
+scenario_wall="$(printf '%s\n' "${scenario_json}" \
+  | sed -n 's/.*"run_wall_s": \([0-9.]*\).*/\1/p')"
+
+for v in replan_8 replan_32 replan_128 cluster_q1 cluster_q8 net_json \
+         scenario_json scenario_wall; do
   if [[ -z "${!v}" ]]; then
     echo "record_bench: failed to parse ${v} from bench output" >&2
     exit 1
   fi
 done
+
+if [[ "${SCENARIO_WALL_BUDGET_S}" != "0" ]] &&
+   awk -v w="${scenario_wall}" -v b="${SCENARIO_WALL_BUDGET_S}" \
+       'BEGIN { exit !(w > b) }'; then
+  echo "record_bench: diurnal_10m took ${scenario_wall}s" \
+    "(budget ${SCENARIO_WALL_BUDGET_S}s)" >&2
+  exit 1
+fi
 
 cat > "${OUT}" <<EOF
 {
@@ -87,7 +116,11 @@ cat > "${OUT}" <<EOF
     "norm_quality_crr_1_node": ${cluster_q1},
     "norm_quality_crr_8_nodes": ${cluster_q8}
   },
-  "net_ingress": ${net_json}
+  "net_ingress": ${net_json},
+  "scenario": {
+    "wall_budget_s": ${SCENARIO_WALL_BUDGET_S},
+    "diurnal_10m": ${scenario_json}
+  }
 }
 EOF
 echo "record_bench: wrote ${OUT}"

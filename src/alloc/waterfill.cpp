@@ -15,13 +15,15 @@ Work clamp_alloc(double level, Work baseline, Work cap) {
 
 }  // namespace
 
-WaterfillResult waterfill_volumes(std::span<const Work> caps,
-                                  std::span<const Work> baselines,
-                                  Work capacity) {
+void waterfill_volumes_into(std::span<const Work> caps,
+                            std::span<const Work> baselines, Work capacity,
+                            WaterfillScratch& scratch, WaterfillResult& out) {
   QES_ASSERT(caps.size() == baselines.size());
   const std::size_t n = caps.size();
-  WaterfillResult r;
-  r.alloc.assign(n, 0.0);
+  out.alloc.assign(n, 0.0);
+  out.level = 0.0;
+  out.all_satisfied = false;
+  out.used = 0.0;
 
   Work remaining_total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -33,12 +35,12 @@ WaterfillResult waterfill_volumes(std::span<const Work> caps,
 
   if (capacity + kTimeEps >= remaining_total) {
     for (std::size_t i = 0; i < n; ++i) {
-      r.alloc[i] = std::max(0.0, caps[i] - baselines[i]);
+      out.alloc[i] = std::max(0.0, caps[i] - baselines[i]);
     }
-    r.level = std::numeric_limits<double>::infinity();
-    r.all_satisfied = true;
-    r.used = remaining_total;
-    return r;
+    out.level = std::numeric_limits<double>::infinity();
+    out.all_satisfied = true;
+    out.used = remaining_total;
+    return;
   }
   if (capacity <= 0.0 || n == 0) {
     double min_base = std::numeric_limits<double>::infinity();
@@ -47,18 +49,16 @@ WaterfillResult waterfill_volumes(std::span<const Work> caps,
         min_base = std::min(min_base, static_cast<double>(baselines[i]));
       }
     }
-    r.level = std::isfinite(min_base) ? min_base : 0.0;
-    return r;
+    out.level = std::isfinite(min_base) ? min_base : 0.0;
+    return;
   }
 
   // Sweep the water level across the breakpoints {b_i} (item becomes
   // active) and {w_i} (item saturates); between breakpoints the fill rate
   // is the number of active items.
-  struct Event {
-    double value;
-    int delta;  // +1 item starts filling, -1 item saturates
-  };
-  std::vector<Event> events;
+  using Event = WaterfillScratch::Event;
+  std::vector<Event>& events = scratch.events;
+  events.clear();
   events.reserve(2 * n);
   for (std::size_t i = 0; i < n; ++i) {
     if (caps[i] > baselines[i] + kTimeEps) {
@@ -97,17 +97,33 @@ WaterfillResult waterfill_volumes(std::span<const Work> caps,
   QES_ASSERT_MSG(poured <= capacity + kTimeEps,
                  "water-fill must not exceed capacity");
 
-  r.level = level;
+  out.level = level;
   for (std::size_t i = 0; i < n; ++i) {
-    r.alloc[i] = clamp_alloc(level, baselines[i], caps[i]);
-    r.used += r.alloc[i];
+    out.alloc[i] = clamp_alloc(level, baselines[i], caps[i]);
+    out.used += out.alloc[i];
   }
+}
+
+void waterfill_volumes_into(std::span<const Work> caps, Work capacity,
+                            WaterfillScratch& scratch, WaterfillResult& out) {
+  scratch.zeros.assign(caps.size(), 0.0);
+  waterfill_volumes_into(caps, scratch.zeros, capacity, scratch, out);
+}
+
+WaterfillResult waterfill_volumes(std::span<const Work> caps,
+                                  std::span<const Work> baselines,
+                                  Work capacity) {
+  WaterfillScratch scratch;
+  WaterfillResult r;
+  waterfill_volumes_into(caps, baselines, capacity, scratch, r);
   return r;
 }
 
 WaterfillResult waterfill_volumes(std::span<const Work> caps, Work capacity) {
-  const std::vector<Work> zeros(caps.size(), 0.0);
-  return waterfill_volumes(caps, zeros, capacity);
+  WaterfillScratch scratch;
+  WaterfillResult r;
+  waterfill_volumes_into(caps, capacity, scratch, r);
+  return r;
 }
 
 }  // namespace qes

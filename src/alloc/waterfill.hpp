@@ -37,4 +37,25 @@ struct WaterfillResult {
 [[nodiscard]] WaterfillResult waterfill_volumes(std::span<const Work> caps,
                                                 Work capacity);
 
+/// Reusable buffers for the scratch variant below (contents are
+/// implementation detail; callers just keep one alive across calls).
+struct WaterfillScratch {
+  struct Event {
+    double value;
+    int delta;  // +1 item starts filling, -1 item saturates
+  };
+  std::vector<Event> events;
+  std::vector<Work> zeros;
+};
+
+/// Identical arithmetic to waterfill_volumes, but fills `out` and draws
+/// temporaries from `scratch` so steady-state callers stay off the heap.
+void waterfill_volumes_into(std::span<const Work> caps,
+                            std::span<const Work> baselines, Work capacity,
+                            WaterfillScratch& scratch, WaterfillResult& out);
+
+/// Zero-baseline scratch variant.
+void waterfill_volumes_into(std::span<const Work> caps, Work capacity,
+                            WaterfillScratch& scratch, WaterfillResult& out);
+
 }  // namespace qes

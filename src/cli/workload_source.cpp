@@ -1,0 +1,143 @@
+#include "cli/workload_source.hpp"
+
+#include <stdexcept>
+
+#include "workload/trace_io.hpp"
+
+namespace qes::cli {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("workload spec: " + what);
+}
+
+void validate_common(const WorkloadConfig& wl) {
+  require(wl.arrival_rate > 0.0, "arrival rate must be positive");
+  require(wl.horizon_ms > 0.0, "horizon must be positive");
+  require(wl.deadline_ms > 0.0, "deadline must be positive");
+  require(wl.partial_fraction >= 0.0 && wl.partial_fraction <= 1.0,
+          "partial fraction must be in [0, 1]");
+  require(wl.premium_fraction >= 0.0 && wl.premium_fraction <= 1.0,
+          "premium fraction must be in [0, 1]");
+  require(wl.pareto_alpha > 0.0, "pareto alpha must be positive");
+  require(wl.demand_min > 0.0 && wl.demand_max >= wl.demand_min,
+          "demand bounds must satisfy 0 < min <= max");
+}
+
+}  // namespace
+
+const std::vector<std::string>& workload_regimes() {
+  static const std::vector<std::string> kRegimes = {
+      "poisson", "uniform", "diurnal", "mmpp", "flash", "trace"};
+  return kRegimes;
+}
+
+std::vector<Job> make_jobs(const WorkloadSourceSpec& spec) {
+  const WorkloadConfig& wl = spec.workload;
+
+  if (spec.regime == "trace") {
+    require(!spec.trace_path.empty(), "trace regime needs a trace path");
+    return load_job_trace(spec.trace_path);  // throws if unreadable
+  }
+
+  validate_common(wl);
+
+  if (spec.regime == "poisson") {
+    return generate_websearch_jobs(wl);
+  }
+
+  if (spec.regime == "uniform") {
+    // Evenly spaced arrivals with the websearch demand model: assemble
+    // through the generic arrival interface.
+    Xoshiro256 rng(wl.seed);
+    const UniformArrivals arrivals(wl.arrival_rate);
+    const BoundedPareto demands(wl.pareto_alpha, wl.demand_min,
+                                wl.demand_max);
+    std::vector<Job> jobs;
+    JobId next_id = 1;
+    for (Time t : generate_arrivals(arrivals, wl.horizon_ms, rng)) {
+      Job j;
+      j.id = next_id++;
+      j.release = t;
+      j.deadline = t + wl.deadline_ms;
+      j.demand = demands.sample(rng);
+      j.partial_ok = rng.bernoulli(wl.partial_fraction);
+      jobs.push_back(j);
+    }
+    return jobs;
+  }
+
+  if (spec.regime == "diurnal") {
+    require(spec.diurnal_amplitude >= 0.0 && spec.diurnal_amplitude < 1.0,
+            "diurnal amplitude must be in [0, 1)");
+    require(spec.diurnal_period_ms > 0.0,
+            "diurnal period must be positive");
+    DiurnalConfig dc;
+    dc.base_rate = wl.arrival_rate;
+    dc.amplitude = spec.diurnal_amplitude;
+    dc.period_ms = spec.diurnal_period_ms;
+    dc.horizon_ms = wl.horizon_ms;
+    dc.deadline_ms = wl.deadline_ms;
+    dc.partial_fraction = wl.partial_fraction;
+    dc.pareto_alpha = wl.pareto_alpha;
+    dc.demand_min = wl.demand_min;
+    dc.demand_max = wl.demand_max;
+    dc.seed = wl.seed;
+    return generate_diurnal_jobs(dc);
+  }
+
+  if (spec.regime == "mmpp") {
+    const double hi = spec.mmpp_rate_hi > 0.0 ? spec.mmpp_rate_hi
+                                              : 4.0 * wl.arrival_rate;
+    require(hi >= wl.arrival_rate,
+            "mmpp high rate must be at least the low rate");
+    require(spec.mmpp_dwell_lo_ms > 0.0 && spec.mmpp_dwell_hi_ms > 0.0,
+            "mmpp dwell times must be positive");
+    MmppConfig mc;
+    mc.rate_lo = wl.arrival_rate;
+    mc.rate_hi = hi;
+    mc.dwell_lo_ms = spec.mmpp_dwell_lo_ms;
+    mc.dwell_hi_ms = spec.mmpp_dwell_hi_ms;
+    mc.horizon_ms = wl.horizon_ms;
+    mc.deadline_ms = wl.deadline_ms;
+    mc.partial_fraction = wl.partial_fraction;
+    mc.pareto_alpha = wl.pareto_alpha;
+    mc.demand_min = wl.demand_min;
+    mc.demand_max = wl.demand_max;
+    mc.seed = wl.seed;
+    return generate_mmpp_jobs(mc);
+  }
+
+  if (spec.regime == "flash") {
+    require(spec.flash_factor >= 1.0, "flash factor must be >= 1");
+    FlashConfig fc;
+    fc.base_rate = wl.arrival_rate;
+    fc.spike_factor = spec.flash_factor;
+    fc.spike_at_ms =
+        spec.flash_at_ms > 0.0 ? spec.flash_at_ms : wl.horizon_ms / 4.0;
+    fc.spike_len_ms =
+        spec.flash_len_ms > 0.0 ? spec.flash_len_ms : wl.horizon_ms / 8.0;
+    require(fc.spike_at_ms < wl.horizon_ms,
+            "flash spike must start inside the horizon");
+    fc.horizon_ms = wl.horizon_ms;
+    fc.deadline_ms = wl.deadline_ms;
+    fc.partial_fraction = wl.partial_fraction;
+    fc.pareto_alpha = wl.pareto_alpha;
+    fc.demand_min = wl.demand_min;
+    fc.demand_max = wl.demand_max;
+    fc.seed = wl.seed;
+    return generate_flash_jobs(fc);
+  }
+
+  std::string known;
+  for (const std::string& r : workload_regimes()) {
+    if (!known.empty()) known += ", ";
+    known += r;
+  }
+  throw std::invalid_argument("workload spec: unknown arrival regime \"" +
+                              spec.regime + "\" (expected one of: " + known +
+                              ")");
+}
+
+}  // namespace qes::cli

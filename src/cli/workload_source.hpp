@@ -1,0 +1,56 @@
+// Declarative workload source shared by the CLI tools (qes_sim,
+// qes_cluster) and the scenario runner (tools/qes_scenarios): one spec
+// names either a synthetic arrival regime (poisson / uniform / diurnal
+// / mmpp / flash) or a CSV trace file, and make_jobs() validates it and
+// materializes the job list. The tools used to hand-roll this choice
+// independently; keeping it here means every front end rejects
+// malformed specs with the same errors (cli_workload_source_test).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "workload/generator.hpp"
+
+namespace qes::cli {
+
+struct WorkloadSourceSpec {
+  /// Arrival regime: "poisson", "uniform", "diurnal", "mmpp", "flash",
+  /// or "trace" (replay trace_path verbatim).
+  std::string regime = "poisson";
+  /// Base parameters — rate, horizon, deadline, demand distribution,
+  /// partial/premium fractions, seed — shared by every regime.
+  WorkloadConfig workload;
+
+  // diurnal: rate(t) = rate * (1 + amplitude * sin(2*pi*t/period - pi/2))
+  double diurnal_amplitude = 0.6;
+  Time diurnal_period_ms = 60'000.0;
+
+  // mmpp: workload.arrival_rate is the LOW state; <= 0 defaults below
+  // to 4x the low rate.
+  double mmpp_rate_hi = 0.0;
+  Time mmpp_dwell_lo_ms = 20'000.0;
+  Time mmpp_dwell_hi_ms = 5'000.0;
+
+  // flash: spike window defaults (when <= 0) to the middle half-quarter
+  // of the horizon.
+  double flash_factor = 4.0;
+  Time flash_at_ms = 0.0;
+  Time flash_len_ms = 0.0;
+
+  // trace
+  std::string trace_path;
+};
+
+/// Validates `spec` and builds the job list. Throws
+/// std::invalid_argument on a malformed spec (unknown regime,
+/// non-positive rate / horizon / deadline, out-of-range fractions,
+/// missing trace path) and std::runtime_error when the trace file
+/// cannot be read.
+[[nodiscard]] std::vector<Job> make_jobs(const WorkloadSourceSpec& spec);
+
+/// The regime names make_jobs accepts, for help text and error messages.
+[[nodiscard]] const std::vector<std::string>& workload_regimes();
+
+}  // namespace qes::cli

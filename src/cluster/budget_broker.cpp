@@ -12,6 +12,11 @@ BudgetBroker::BudgetBroker(Watts total_budget, Time period_ms)
   QES_ASSERT(total_budget > 0.0 && period_ms > 0.0);
 }
 
+void BudgetBroker::set_total_budget(Watts h) {
+  QES_ASSERT_MSG(h > 0.0, "budget step must keep H positive");
+  total_budget_ = h;
+}
+
 BrokerSplit broker_split(const std::vector<Watts>& demands,
                          Watts total_budget) {
   QES_ASSERT(total_budget > 0.0 && !demands.empty());

@@ -64,6 +64,11 @@ class BudgetBroker {
   [[nodiscard]] Watts total_budget() const { return total_budget_; }
   [[nodiscard]] Time period_ms() const { return period_ms_; }
 
+  /// Mid-run budget step (brownout / recovery chaos): subsequent splits
+  /// water-fill the new H. The owner must force a re-split immediately
+  /// so no node keeps running against the old bound.
+  void set_total_budget(Watts h);
+
  private:
   Watts total_budget_;
   Time period_ms_;

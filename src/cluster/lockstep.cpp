@@ -28,6 +28,18 @@ constexpr Watts kMinLiveBudget = 1e-9;
 ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
                                      std::vector<Job> jobs,
                                      std::vector<NodeKill> kills) {
+  std::vector<ChaosEvent> chaos;
+  chaos.reserve(kills.size());
+  for (const NodeKill& k : kills) {
+    chaos.push_back({k.t, ChaosEvent::Kind::Kill, k.node, 0.0});
+  }
+  return run_cluster_lockstep_chaos(config, std::move(jobs),
+                                    std::move(chaos));
+}
+
+ClusterRunStats run_cluster_lockstep_chaos(const LockstepClusterConfig& config,
+                                           std::vector<Job> jobs,
+                                           std::vector<ChaosEvent> chaos) {
   QES_ASSERT(config.nodes >= 1 && config.total_budget > 0.0 &&
              config.broker_period_ms > 0.0 &&
              config.redispatch_deadline_ms > 0.0);
@@ -36,8 +48,8 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
   QES_ASSERT_MSG(deadlines_agreeable(jobs),
                  "cluster replay requires agreeable deadlines");
   QES_ASSERT(std::is_sorted(
-      kills.begin(), kills.end(),
-      [](const NodeKill& a, const NodeKill& b) { return a.t < b.t; }));
+      chaos.begin(), chaos.end(),
+      [](const ChaosEvent& a, const ChaosEvent& b) { return a.t < b.t; }));
 
   // Every node starts at the broker's zero-demand split: an equal share
   // of H (== H exactly for N=1, matching a standalone run_lockstep).
@@ -48,6 +60,7 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
   for (std::size_t i = 0; i < nn; ++i) cores.emplace_back(node_cfg);
 
   std::vector<bool> dead(nn, false);
+  std::vector<bool> drained(nn, false);
   std::vector<Watts> budget(nn, node_cfg.power_budget);
   Dispatcher dispatcher(nn, config.dispatch, config.dispatch_seed);
   BudgetBroker broker(config.total_budget, config.broker_period_ms);
@@ -57,11 +70,12 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
   out.killed.assign(nn, false);
 
   // Routing signal: live jobs on the node (what the obs queue-depth
-  // gauges report live); infinite depth marks a dead node unroutable.
+  // gauges report live); infinite depth marks a dead or drained node
+  // unroutable.
   auto depths = [&] {
     std::vector<double> d(nn);
     for (std::size_t i = 0; i < nn; ++i) {
-      if (dead[i]) {
+      if (dead[i] || drained[i]) {
         d[i] = kInf;
       } else {
         const runtime::CoreCounters c = cores[i].counters();
@@ -71,18 +85,20 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
     return d;
   };
 
-  auto sample_cluster_power = [&] {
+  auto sample_cluster_power = [&](Time t) {
     Watts total = 0.0;
     for (std::size_t i = 0; i < nn; ++i) {
       if (!dead[i]) total += cores[i].counters().planned_power;
     }
     out.max_cluster_power = std::max(out.max_cluster_power, total);
+    out.power_samples.push_back({t, total, broker.total_budget()});
   };
 
   // One broker decision: re-water-fill H from the nodes' budget-free
   // power requests. Budget-only — never advances a node's clock. A node
   // whose budget changed replans immediately (mandatory on decrease so
-  // installed plans never exceed the new bound).
+  // installed plans never exceed the new bound). Drained nodes still get
+  // budget: they keep executing their assigned work.
   auto apply_broker = [&](Time t) {
     std::vector<Watts> demands(nn);
     std::size_t live = 0;
@@ -102,7 +118,7 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
       }
     }
     out.broker_log.push_back({t, split.budgets});
-    sample_cluster_power();
+    sample_cluster_power(t);
   };
 
   auto all_done = [&] {
@@ -124,7 +140,7 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
   const std::size_t n = jobs.size();
   const Time final_deadline = jobs.empty() ? 0.0 : jobs.back().deadline;
   std::size_t next = 0;
-  std::size_t kill_idx = 0;
+  std::size_t chaos_idx = 0;
   Time next_broker = config.broker_period_ms;
   apply_broker(0.0);  // log the initial equal split
 
@@ -134,18 +150,38 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
     for (std::size_t i = 0; i < nn; ++i) {
       if (!dead[i]) t_nodes = std::min(t_nodes, node_event(i));
     }
-    const Time t_kill = kill_idx < kills.size() ? kills[kill_idx].t : kInf;
-    const Time t = std::min({t_nodes, t_kill, next_broker});
+    const Time t_chaos = chaos_idx < chaos.size() ? chaos[chaos_idx].t : kInf;
+    const Time t = std::min({t_nodes, t_chaos, next_broker});
     QES_ASSERT_MSG(std::isfinite(t), "cluster event loop stalled");
 
-    if (t_kill <= t + kTimeEps) {
-      const int k = kills[kill_idx].node;
-      ++kill_idx;
-      QES_ASSERT(k >= 0 && static_cast<std::size_t>(k) < nn);
-      if (dead[static_cast<std::size_t>(k)]) continue;
-      const std::size_t ks = static_cast<std::size_t>(k);
+    if (t_chaos <= t + kTimeEps) {
+      const ChaosEvent ev = chaos[chaos_idx];
+      ++chaos_idx;
+
+      if (ev.kind == ChaosEvent::Kind::BudgetStep) {
+        broker.set_total_budget(ev.budget);
+        // Re-split immediately: no node may keep planning against the
+        // old H for even one event.
+        apply_broker(ev.t);
+        continue;
+      }
+
+      QES_ASSERT(ev.node >= 0 && static_cast<std::size_t>(ev.node) < nn);
+      const std::size_t ks = static_cast<std::size_t>(ev.node);
+
+      if (ev.kind == ChaosEvent::Kind::Drain) {
+        if (!dead[ks]) drained[ks] = true;
+        continue;
+      }
+      if (ev.kind == ChaosEvent::Kind::Revive) {
+        if (!dead[ks]) drained[ks] = false;
+        continue;
+      }
+
+      // Kill.
+      if (dead[ks]) continue;
       runtime::RuntimeCore& victim = cores[ks];
-      victim.advance(std::max(t_kill, victim.now()));
+      victim.advance(std::max(ev.t, victim.now()));
       const std::vector<runtime::AbandonedJob> orphans =
           victim.abandon_unfinalized();
       out.node_stats[ks] = victim.finish(victim.now());
@@ -163,12 +199,12 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
         }
         ++out.redistributed;
         runtime::RuntimeCore& dst = cores[static_cast<std::size_t>(j)];
-        dst.advance(std::max(t_kill, dst.now()));
+        dst.advance(std::max(ev.t, dst.now()));
         Job nj;
         nj.id = dst.admitted() + 1;
         nj.release = dst.now();
         nj.deadline =
-            std::max(t_kill + config.redispatch_deadline_ms, dst.horizon());
+            std::max(ev.t + config.redispatch_deadline_ms, dst.horizon());
         nj.demand = ab.remaining;
         nj.partial_ok = ab.partial_ok;
         nj.weight = ab.weight;
@@ -180,7 +216,7 @@ ClusterRunStats run_cluster_lockstep(const LockstepClusterConfig& config,
       }
       // The dead node's budget is redistributed immediately — the
       // broker reconverges within one period by construction.
-      apply_broker(t_kill);
+      apply_broker(ev.t);
       continue;
     }
 

@@ -53,11 +53,35 @@ struct NodeKill {
   int node = 0;
 };
 
+/// One entry of a chaos schedule, applied when virtual time reaches `t`:
+///   Kill        node `node` dies permanently (work re-dispatched, as
+///               NodeKill).
+///   Drain       node `node` stops receiving new routes but finishes its
+///               assigned work (maintenance mode).
+///   Revive      un-drains node `node` (no-op on a dead or never-drained
+///               node — kills are permanent, state is lost).
+///   BudgetStep  the global budget becomes `budget` watts; the broker
+///               re-splits immediately, forcing replans on every node
+///               whose slice changed (so Σ budgets == H(t) always).
+struct ChaosEvent {
+  enum class Kind { Kill, Drain, Revive, BudgetStep };
+  Time t = 0.0;
+  Kind kind = Kind::Kill;
+  int node = 0;
+  Watts budget = 0.0;
+};
+
 /// Replays `jobs` (dense ids 1..n in arrival order, agreeable deadlines)
 /// through the cluster. `kills` must be sorted by time; a kill after the
 /// run drains is a no-op. Killing every node sheds the remaining work.
 [[nodiscard]] ClusterRunStats run_cluster_lockstep(
     const LockstepClusterConfig& config, std::vector<Job> jobs,
     std::vector<NodeKill> kills = {});
+
+/// Chaos-schedule variant: `chaos` must be sorted by time. With an empty
+/// schedule this is exactly run_cluster_lockstep with no kills.
+[[nodiscard]] ClusterRunStats run_cluster_lockstep_chaos(
+    const LockstepClusterConfig& config, std::vector<Job> jobs,
+    std::vector<ChaosEvent> chaos);
 
 }  // namespace qes::cluster

@@ -53,6 +53,17 @@ struct ClusterRunStats {
     std::vector<Watts> budgets;
   };
   std::vector<BrokerDecision> broker_log;
+
+  /// Total planned cluster power and the global budget H in force,
+  /// sampled at every broker decision — the observable form of the
+  /// "Σ applied power <= H at every broker tick" invariant (H varies
+  /// under budget-step chaos).
+  struct PowerSample {
+    Time t = 0.0;
+    Watts power = 0.0;
+    Watts budget = 0.0;
+  };
+  std::vector<PowerSample> power_samples;
 };
 
 /// Recomputes the aggregate fields from node_stats.

@@ -1,0 +1,69 @@
+// FlatVolumeMap: a sorted-vector map from JobId to a planned Work
+// volume, replacing std::map<JobId, Work> on the replan hot path.
+//
+// The planners insert volumes in ascending id order (FIFO/EDF over
+// agreeable jobs), so insertion is an O(1) append in the common case
+// with an O(n) sorted-insert fallback. Iteration yields std::pair<JobId,
+// Work> in ascending id order — exactly std::map's order — so every
+// consumer (rigid-discard loop, eager timetable, volume reconciliation,
+// tests) sees identical sequences. clear() keeps capacity, which is what
+// lets a steady-state replan run without heap allocations.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/job.hpp"
+
+namespace qes {
+
+class FlatVolumeMap {
+ public:
+  using value_type = std::pair<JobId, Work>;
+  using iterator = std::vector<value_type>::iterator;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  void clear() { items_.clear(); }
+
+  [[nodiscard]] iterator begin() { return items_.begin(); }
+  [[nodiscard]] iterator end() { return items_.end(); }
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+
+  [[nodiscard]] const_iterator find(JobId id) const {
+    const auto it = lower(id);
+    return it != items_.end() && it->first == id ? it : items_.end();
+  }
+
+  [[nodiscard]] std::size_t count(JobId id) const {
+    return find(id) == items_.end() ? 0 : 1;
+  }
+
+  /// Inserts (default 0.0) or finds; appends in O(1) when ids arrive in
+  /// ascending order, as the planners produce them.
+  [[nodiscard]] Work& operator[](JobId id) {
+    if (items_.empty() || items_.back().first < id) {
+      items_.emplace_back(id, 0.0);
+      return items_.back().second;
+    }
+    auto it = items_.begin() + (lower(id) - items_.cbegin());
+    if (it == items_.end() || it->first != id) {
+      it = items_.insert(it, {id, 0.0});
+    }
+    return it->second;
+  }
+
+ private:
+  [[nodiscard]] const_iterator lower(JobId id) const {
+    return std::lower_bound(
+        items_.begin(), items_.end(), id,
+        [](const value_type& a, JobId b) { return a.first < b; });
+  }
+
+  std::vector<value_type> items_;  // sorted by JobId
+};
+
+}  // namespace qes

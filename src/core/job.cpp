@@ -41,4 +41,21 @@ AgreeableJobSet::AgreeableJobSet(std::vector<Job> jobs)
   }
 }
 
+void AgreeableJobSet::assign(std::span<const Job> jobs) {
+  jobs_.assign(jobs.begin(), jobs.end());
+  sort_by_release(jobs_);
+  for (std::size_t k = 1; k < jobs_.size(); ++k) {
+    QES_ASSERT_MSG(jobs_[k].deadline >= jobs_[k - 1].deadline - kTimeEps,
+                   "job set must have agreeable deadlines");
+  }
+  for (const Job& j : jobs_) {
+    QES_ASSERT_MSG(j.demand >= 0.0 && j.deadline > j.release,
+                   "job must have non-negative demand and a positive window");
+  }
+  prefix_.assign(jobs_.size() + 1, 0.0);
+  for (std::size_t k = 0; k < jobs_.size(); ++k) {
+    prefix_[k + 1] = prefix_[k] + jobs_[k].demand;
+  }
+}
+
 }  // namespace qes

@@ -53,6 +53,10 @@ class AgreeableJobSet {
   AgreeableJobSet() = default;
   explicit AgreeableJobSet(std::vector<Job> jobs);
 
+  /// Rebuilds the set from `jobs` in place, reusing capacity (scratch
+  /// reuse on the replan hot path). Exactly the constructor's semantics.
+  void assign(std::span<const Job> jobs);
+
   [[nodiscard]] std::size_t size() const { return jobs_.size(); }
   [[nodiscard]] bool empty() const { return jobs_.empty(); }
   [[nodiscard]] const Job& operator[](std::size_t i) const { return jobs_[i]; }

@@ -42,6 +42,10 @@ class Schedule {
   /// Adjacent segments with the same job and speed are merged.
   void push(Segment seg);
 
+  /// Drops all segments, keeping capacity (scratch reuse on the replan
+  /// hot path).
+  void clear() { segments_.clear(); }
+
   /// Total processed volume per job.
   [[nodiscard]] std::map<JobId, Work> volumes() const;
 

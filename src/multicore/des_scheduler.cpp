@@ -91,7 +91,8 @@ class DesPolicy final : public SchedulingPolicy {
 
   void distribute_jobs(Engine& eng) {
     if (opt_.rebalance_unstarted) {
-      std::vector<JobId> pull;
+      std::vector<JobId>& pull = pull_;
+      pull.clear();
       for (int i = 0; i < eng.cores(); ++i) {
         for (JobId id : eng.assigned(i)) {
           if (eng.job(id).processed <= kTimeEps) pull.push_back(id);
@@ -99,16 +100,16 @@ class DesPolicy final : public SchedulingPolicy {
       }
       for (JobId id : pull) eng.unassign_from_core(id);
     }
-    const std::vector<JobId> waiting(eng.waiting().begin(),
-                                     eng.waiting().end());
-    std::vector<std::size_t> targets;
+    std::vector<JobId>& waiting = waiting_;
+    waiting.assign(eng.waiting().begin(), eng.waiting().end());
+    std::vector<std::size_t>& targets = targets_;
     if (opt_.capacity_aware_distribution) {
-      targets = capacity_dealer(eng).distribute(waiting.size());
+      capacity_dealer(eng).distribute_into(waiting.size(), targets);
     } else if (opt_.plain_round_robin) {
-      targets = PlainRoundRobin(static_cast<std::size_t>(eng.cores()))
-                    .distribute(waiting.size());
+      PlainRoundRobin(static_cast<std::size_t>(eng.cores()))
+          .distribute_into(waiting.size(), targets);
     } else {
-      targets = crr_->distribute(waiting.size());
+      crr_->distribute_into(waiting.size(), targets);
     }
     for (std::size_t k = 0; k < waiting.size(); ++k) {
       eng.assign_to_core(waiting[k], static_cast<int>(targets[k]));
@@ -160,7 +161,7 @@ class DesPolicy final : public SchedulingPolicy {
       policy::CoreOutcome& c = out_.cores[static_cast<std::size_t>(i)];
       for (JobId id : c.rigid_discards) eng.discard_job(id);
       for (JobId id : c.passed_over) eng.discard_job(id);
-      eng.set_core_plan(i, std::move(c.plan));
+      eng.set_core_plan(i, c.plan);
       eng.set_core_idle_power(i, c.idle_power);
     }
   }
@@ -172,6 +173,9 @@ class DesPolicy final : public SchedulingPolicy {
   // Reused across replans so steady-state view refills stay off the heap.
   policy::WorldView view_;
   policy::PlanOutcome out_;
+  std::vector<JobId> pull_;
+  std::vector<JobId> waiting_;
+  std::vector<std::size_t> targets_;
 };
 
 }  // namespace

@@ -24,12 +24,18 @@ class CumulativeRoundRobin {
   /// persistent cursor.
   [[nodiscard]] std::vector<std::size_t> distribute(std::size_t count) {
     std::vector<std::size_t> targets;
+    distribute_into(count, targets);
+    return targets;
+  }
+
+  /// Scratch-reusing variant of distribute (replan hot path).
+  void distribute_into(std::size_t count, std::vector<std::size_t>& targets) {
+    targets.clear();
     targets.reserve(count);
     for (std::size_t k = 0; k < count; ++k) {
       targets.push_back(cursor_);
       cursor_ = (cursor_ + 1) % cores_;
     }
-    return targets;
   }
 
   /// Core the next job would be assigned to.
@@ -53,9 +59,15 @@ class PlainRoundRobin {
 
   [[nodiscard]] std::vector<std::size_t> distribute(std::size_t count) const {
     std::vector<std::size_t> targets;
+    distribute_into(count, targets);
+    return targets;
+  }
+
+  void distribute_into(std::size_t count,
+                       std::vector<std::size_t>& targets) const {
+    targets.clear();
     targets.reserve(count);
     for (std::size_t k = 0; k < count; ++k) targets.push_back(k % cores_);
-    return targets;
   }
 
  private:
@@ -90,9 +102,14 @@ class SmoothWeightedRoundRobin {
 
   [[nodiscard]] std::vector<std::size_t> distribute(std::size_t count) {
     std::vector<std::size_t> targets;
+    distribute_into(count, targets);
+    return targets;
+  }
+
+  void distribute_into(std::size_t count, std::vector<std::size_t>& targets) {
+    targets.clear();
     targets.reserve(count);
     for (std::size_t k = 0; k < count; ++k) targets.push_back(next());
-    return targets;
   }
 
  private:

@@ -7,7 +7,6 @@
 #include <utility>
 
 #include "core/assert.hpp"
-#include "policy/power_waterfill.hpp"
 #include "sched/quality_opt.hpp"
 #include "sched/weighted_quality.hpp"
 #include "sched/yds.hpp"
@@ -31,13 +30,16 @@ void DesPlanner::canonicalize(WorldView& view) {
   }
 }
 
-BudgetFree DesPlanner::budget_free_core(const CoreView& core, Time now,
-                                        const PowerModel& pm) {
+void DesPlanner::budget_free_core_into(const CoreView& core, Time now,
+                                       const PowerModel& pm, BudgetFree& out) {
   // Budget-free per-core YDS (DES step 2): remaining demands, all
-  // released now. Returns the plan, its power request at `now`, and its
+  // released now. Yields the plan, its power request at `now`, and its
   // top speed.
-  BudgetFree out;
-  std::vector<Job> jobs;
+  out.plan.clear();
+  out.power_at_now = 0.0;
+  out.max_speed = 0.0;
+  std::vector<Job>& jobs = jobs_tmp_;
+  jobs.clear();
   jobs.reserve(core.jobs.size());
   for (const ViewJob& vj : core.jobs) {
     const Work remaining = vj.demand - vj.processed;
@@ -47,24 +49,28 @@ BudgetFree DesPlanner::budget_free_core(const CoreView& core, Time now,
                        .deadline = vj.deadline,
                        .demand = remaining});
   }
-  if (jobs.empty()) return out;
-  YdsResult y = yds_schedule(AgreeableJobSet(std::move(jobs)));
-  out.max_speed = y.critical_speed;
-  out.power_at_now = pm.dynamic_power(y.schedule.speed_at(now));
-  out.plan = std::move(y.schedule);
-  return out;
+  if (jobs.empty()) return;
+  set_tmp_.assign(jobs);
+  yds_schedule_into(set_tmp_, yds_scratch_, yds_out_);
+  out.max_speed = yds_out_.critical_speed;
+  out.power_at_now = pm.dynamic_power(yds_out_.schedule.speed_at(now));
+  out.plan = yds_out_.schedule;
 }
 
 BudgetFree DesPlanner::budget_free(const WorldView& view, std::size_t core) {
   QES_ASSERT(view.power_model != nullptr && core < view.cores.size());
-  return budget_free_core(view.cores[core], view.now, *view.power_model);
+  BudgetFree out;
+  budget_free_core_into(view.cores[core], view.now, *view.power_model, out);
+  return out;
 }
 
 Watts DesPlanner::total_power_request(const WorldView& view) {
   QES_ASSERT(view.power_model != nullptr);
   Watts total = 0.0;
+  BudgetFree f;
   for (const CoreView& core : view.cores) {
-    total += budget_free_core(core, view.now, *view.power_model).power_at_now;
+    budget_free_core_into(core, view.now, *view.power_model, f);
+    total += f.power_at_now;
   }
   return total;
 }
@@ -72,13 +78,15 @@ Watts DesPlanner::total_power_request(const WorldView& view) {
 // Fixed-speed planning used by the No-DVFS and S-DVFS variants: run
 // Quality-OPT (with the running job's release rewound exactly as in
 // Online-QE step 1) and lay the granted volumes out FIFO from `now`.
-DesPlanner::CorePlan DesPlanner::fixed_speed_plan(const CoreView& core,
-                                                  Time now, Speed speed,
-                                                  bool baseline_mode) {
-  CorePlan out;
-  if (speed <= kTimeEps || core.jobs.empty()) return out;
+void DesPlanner::fixed_speed_plan_into(const CoreView& core, Time now,
+                                       Speed speed, bool baseline_mode,
+                                       CorePlan& out) {
+  out.plan.clear();
+  out.planned.clear();
+  if (speed <= kTimeEps || core.jobs.empty()) return;
 
-  std::vector<Job> adjusted;
+  std::vector<Job>& adjusted = jobs_tmp_;
+  adjusted.clear();
   adjusted.reserve(core.jobs.size());
   baselines_.clear();
   bool first = true;
@@ -95,10 +103,12 @@ DesPlanner::CorePlan DesPlanner::fixed_speed_plan(const CoreView& core,
     baselines_.push_back(vj.processed);
     adjusted.push_back(j);
   }
-  const AgreeableJobSet set(std::move(adjusted));
-  const QualityOptResult q =
-      baseline_mode ? quality_opt_schedule(set, speed, baselines_)
-                    : quality_opt_schedule(set, speed);
+  set_tmp_.assign(adjusted);
+  const AgreeableJobSet& set = set_tmp_;
+  quality_opt_into(set, speed, baseline_mode ? std::span<const Work>(baselines_)
+                                             : std::span<const Work>{},
+                   qopt_scratch_, qopt_out_);
+  const QualityOptResult& q = qopt_out_;
 
   Time t = now;
   for (std::size_t k = 0; k < set.size(); ++k) {
@@ -114,16 +124,15 @@ DesPlanner::CorePlan DesPlanner::fixed_speed_plan(const CoreView& core,
     out.planned[set[k].id] = rem;
     t = finish;
   }
-  return out;
 }
 
 // Re-time granted volumes flat-out at the core's max speed (the eager
 // ablation): jobs only finish earlier than in the stretched plan, so
 // deadlines keep holding.
-Schedule DesPlanner::eager_timetable(const CoreView& core, Time now,
-                                     const std::map<JobId, Work>& planned,
-                                     Speed max_speed) {
-  Schedule out;
+void DesPlanner::eager_timetable_into(const CoreView& core, Time now,
+                                      const FlatVolumeMap& planned,
+                                      Speed max_speed, Schedule& out) {
+  out.clear();
   Time t = now;
   for (const ViewJob& vj : core.jobs) {
     const auto it = planned.find(vj.id);
@@ -134,19 +143,18 @@ Schedule DesPlanner::eager_timetable(const CoreView& core, Time now,
     out.push({t, finish, vj.id, max_speed});
     t = finish;
   }
-  return out;
 }
 
 // Budget-bounded planning for one core (DES step 4). In the paper's
 // execution model this is Online-QE; in the resume ablation the
 // baseline-aware Quality-OPT + YDS pair replaces it so previously served
 // non-running jobs keep their credit.
-DesPlanner::CorePlan DesPlanner::budget_bounded_plan(const CoreView& core,
-                                                     Time now, Speed max_speed,
-                                                     bool eager,
-                                                     bool baseline_mode) {
-  CorePlan out;
-  if (max_speed <= kTimeEps) return out;
+void DesPlanner::budget_bounded_plan_into(const CoreView& core, Time now,
+                                          Speed max_speed, bool eager,
+                                          bool baseline_mode, CorePlan& out) {
+  out.plan.clear();
+  out.planned.clear();
+  if (max_speed <= kTimeEps) return;
 
   // The paper's Online-QE rewinds the running job's release, which
   // requires the earliest-deadline job to be the one with prior volume.
@@ -164,17 +172,18 @@ DesPlanner::CorePlan DesPlanner::budget_bounded_plan(const CoreView& core,
                                 .running = first && vj.processed > kTimeEps});
       first = false;
     }
-    OnlineQeResult r = online_qe(now, ready_, max_speed);
-    out.plan = std::move(r.schedule);
-    out.planned = std::move(r.planned);
+    online_qe_into(now, ready_, max_speed, oqe_scratch_, oqe_out_);
+    out.plan = oqe_out_.schedule;
+    out.planned = oqe_out_.planned;
     if (eager) {
-      out.plan = eager_timetable(core, now, out.planned, max_speed);
+      eager_timetable_into(core, now, out.planned, max_speed, out.plan);
     }
-    return out;
+    return;
   }
 
   // Baseline mode: every job may carry prior volume as a baseline.
-  std::vector<Job> jobs;
+  std::vector<Job>& jobs = jobs_tmp_;
+  jobs.clear();
   jobs.reserve(core.jobs.size());
   baselines_.clear();
   for (const ViewJob& vj : core.jobs) {
@@ -184,11 +193,14 @@ DesPlanner::CorePlan DesPlanner::budget_bounded_plan(const CoreView& core,
                        .demand = vj.demand});
     baselines_.push_back(vj.processed);
   }
-  if (jobs.empty()) return out;
-  const AgreeableJobSet set(std::move(jobs));
-  const QualityOptResult q = quality_opt_schedule(set, max_speed, baselines_);
+  if (jobs.empty()) return;
+  set_tmp_.assign(jobs);
+  const AgreeableJobSet& set = set_tmp_;
+  quality_opt_into(set, max_speed, baselines_, qopt_scratch_, qopt_out_);
+  const QualityOptResult& q = qopt_out_;
 
-  std::vector<Job> step2;
+  std::vector<Job>& step2 = jobs_tmp2_;
+  step2.clear();
   for (std::size_t k = 0; k < set.size(); ++k) {
     if (q.volumes[k] <= kTimeEps) continue;
     Job j = set[k];
@@ -196,25 +208,26 @@ DesPlanner::CorePlan DesPlanner::budget_bounded_plan(const CoreView& core,
     out.planned[j.id] = q.volumes[k];
     step2.push_back(j);
   }
-  if (step2.empty()) return out;
-  YdsResult y =
-      yds_schedule_capped(AgreeableJobSet(std::move(step2)), max_speed);
-  out.plan = std::move(y.schedule);
+  if (step2.empty()) return;
+  set_tmp2_.assign(step2);
+  yds_schedule_capped_into(set_tmp2_, max_speed, yds_scratch_, yds_out_);
+  out.plan = yds_out_.schedule;
   for (auto& [id, planned] : out.planned) {
     planned = std::min(planned, out.plan.volume_of(id));
   }
-  return out;
 }
 
 // Weighted budget-bounded planning (extension): allocate volumes by
 // weighted quality (baseline-aware, so mid-queue prior volume is fine),
 // then YDS the granted volumes.
-DesPlanner::CorePlan DesPlanner::weighted_budget_bounded_plan(
+void DesPlanner::weighted_budget_bounded_plan_into(
     const CoreView& core, Time now, const QualityFunction& quality,
-    Speed max_speed, bool eager) {
-  CorePlan out;
-  if (max_speed <= kTimeEps || core.jobs.empty()) return out;
-  std::vector<Job> jobs;
+    Speed max_speed, bool eager, CorePlan& out) {
+  out.plan.clear();
+  out.planned.clear();
+  if (max_speed <= kTimeEps || core.jobs.empty()) return;
+  std::vector<Job>& jobs = jobs_tmp_;
+  jobs.clear();
   jobs.reserve(core.jobs.size());
   for (const ViewJob& vj : core.jobs) {
     jobs.push_back(Job{.id = vj.id,
@@ -223,7 +236,8 @@ DesPlanner::CorePlan DesPlanner::weighted_budget_bounded_plan(
                        .demand = vj.demand,
                        .weight = vj.weight});
   }
-  const AgreeableJobSet set(std::move(jobs));
+  set_tmp_.assign(jobs);
+  const AgreeableJobSet& set = set_tmp_;
   // AgreeableJobSet sorts by (release, deadline, id); with every release
   // equal to `now` that is exactly the canonical view order, so weights
   // and baselines align by index.
@@ -237,7 +251,8 @@ DesPlanner::CorePlan DesPlanner::weighted_budget_bounded_plan(
   const auto q = weighted_quality_opt_schedule(set, max_speed, weights_,
                                                quality, baselines_);
 
-  std::vector<Job> step2;
+  std::vector<Job>& step2 = jobs_tmp2_;
+  step2.clear();
   for (std::size_t k = 0; k < set.size(); ++k) {
     if (q.volumes[k] <= kTimeEps) continue;
     Job j = set[k];
@@ -245,26 +260,26 @@ DesPlanner::CorePlan DesPlanner::weighted_budget_bounded_plan(
     out.planned[j.id] = q.volumes[k];
     step2.push_back(j);
   }
-  if (step2.empty()) return out;
+  if (step2.empty()) return;
   if (eager) {
-    out.plan = eager_timetable(core, now, out.planned, max_speed);
-    return out;
+    eager_timetable_into(core, now, out.planned, max_speed, out.plan);
+    return;
   }
-  YdsResult y =
-      yds_schedule_capped(AgreeableJobSet(std::move(step2)), max_speed);
-  out.plan = std::move(y.schedule);
+  set_tmp2_.assign(step2);
+  yds_schedule_capped_into(set_tmp2_, max_speed, yds_scratch_, yds_out_);
+  out.plan = yds_out_.schedule;
   for (auto& [id, planned] : out.planned) {
     planned = std::min(planned, out.plan.volume_of(id));
   }
-  return out;
 }
 
 // Re-time a plan onto discrete speed levels: each segment's volume runs
 // at the snapped-up level (never above `cap`, itself a level), packed
 // back-to-back from `now`. Jobs only finish earlier, so deadlines hold.
-Schedule DesPlanner::quantize_plan(const Schedule& plan, Time now,
-                                   const DiscreteSpeedSet& levels, Speed cap) {
-  Schedule out;
+void DesPlanner::quantize_plan_into(const Schedule& plan, Time now,
+                                    const DiscreteSpeedSet& levels, Speed cap,
+                                    Schedule& out) {
+  out.clear();
   Time t = now;
   for (const Segment& s : plan.segments()) {
     const auto snapped = levels.snap_up(s.speed);
@@ -274,7 +289,6 @@ Schedule DesPlanner::quantize_plan(const Schedule& plan, Time now,
     out.push({t, t + dur, s.job, *snapped});
     t += dur;
   }
-  return out;
 }
 
 template <typename MakePlan>
@@ -283,7 +297,7 @@ void DesPlanner::install_with_rigid_check(CoreView& core,
                                           MakePlan make_plan,
                                           CoreOutcome& out) {
   for (;;) {
-    CorePlan p = make_plan();
+    const CorePlan& p = make_plan();
     JobId to_discard = 0;
     std::size_t discard_at = 0;
     for (std::size_t k = 0; k < core.jobs.size(); ++k) {
@@ -312,7 +326,7 @@ void DesPlanner::install_with_rigid_check(CoreView& core,
           return vj.processed > kTimeEps && !p.planned.count(vj.id);
         });
       }
-      out.plan = std::move(p.plan);
+      out.plan = p.plan;
       return;
     }
     out.rigid_discards.push_back(to_discard);
@@ -334,9 +348,10 @@ void DesPlanner::plan_no_dvfs(WorldView& view, const PlanOptions& opt,
     const Speed s0 = std::min(share, view.cores[i].speed_cap);
     install_with_rigid_check(
         view.cores[i], opt,
-        [&, i] {
-          return fixed_speed_plan(view.cores[i], view.now, s0,
-                                  opt.baseline_mode);
+        [&, i]() -> const CorePlan& {
+          fixed_speed_plan_into(view.cores[i], view.now, s0,
+                                opt.baseline_mode, plan_tmp_);
+          return plan_tmp_;
         },
         out.cores[i]);
     out.cores[i].idle_power = pm.dynamic_power(s0);
@@ -353,9 +368,12 @@ void DesPlanner::plan_s_dvfs(WorldView& view, const PlanOptions& opt,
   // Step 2 with the chip-wide constraint: every core is granted the
   // hungriest core's request, clamped to the equal share H/m.
   Watts max_request = 0.0;
-  for (std::size_t i = 0; i < m; ++i) {
-    max_request = std::max(
-        max_request, budget_free_core(view.cores[i], view.now, pm).power_at_now);
+  {
+    BudgetFree f;
+    for (std::size_t i = 0; i < m; ++i) {
+      budget_free_core_into(view.cores[i], view.now, pm, f);
+      max_request = std::max(max_request, f.power_at_now);
+    }
   }
   const Watts common =
       std::min(max_request, view.power_budget / static_cast<double>(m));
@@ -364,9 +382,10 @@ void DesPlanner::plan_s_dvfs(WorldView& view, const PlanOptions& opt,
         std::min(pm.speed_for_power(common), view.cores[i].speed_cap);
     install_with_rigid_check(
         view.cores[i], opt,
-        [&, i] {
-          return fixed_speed_plan(view.cores[i], view.now, sc,
-                                  opt.baseline_mode);
+        [&, i]() -> const CorePlan& {
+          fixed_speed_plan_into(view.cores[i], view.now, sc,
+                                opt.baseline_mode, plan_tmp_);
+          return plan_tmp_;
         },
         out.cores[i]);
     // DVFS-capable cores draw no dynamic power while idle (clock
@@ -388,11 +407,11 @@ void DesPlanner::plan_c_dvfs(WorldView& view, const PlanOptions& opt,
   Speed top_speed = 0.0;
   {
     auto timer = profiler_.phase("yds");
-    free_plans_.clear();
+    if (free_plans_.size() != m) free_plans_.resize(m);
     for (std::size_t i = 0; i < m; ++i) {
-      free_plans_.push_back(budget_free_core(view.cores[i], view.now, pm));
-      total_request += free_plans_.back().power_at_now;
-      top_speed = std::max(top_speed, free_plans_.back().max_speed);
+      budget_free_core_into(view.cores[i], view.now, pm, free_plans_[i]);
+      total_request += free_plans_[i].power_at_now;
+      top_speed = std::max(top_speed, free_plans_[i].max_speed);
     }
   }
 
@@ -407,7 +426,7 @@ void DesPlanner::plan_c_dvfs(WorldView& view, const PlanOptions& opt,
     // The optimistic schedules fit the budget: everyone completes.
     auto timer = profiler_.phase("online_qe");
     for (std::size_t i = 0; i < m; ++i) {
-      out.cores[i].plan = std::move(free_plans_[i].plan);
+      out.cores[i].plan = free_plans_[i].plan;
     }
     return;
   }
@@ -423,7 +442,7 @@ void DesPlanner::plan_c_dvfs(WorldView& view, const PlanOptions& opt,
     for (const BudgetFree& f : free_plans_) {
       requests_.push_back(f.power_at_now);
     }
-    budgets_ = waterfill_power(requests_, view.power_budget);
+    waterfill_power_into(requests_, view.power_budget, wfp_scratch_, budgets_);
     if (opt.eager_execution) {
       // Requests reflect the energy-stretched plans; eager execution
       // wants to finish early, so hand the WF surplus to the active
@@ -452,14 +471,18 @@ void DesPlanner::plan_c_dvfs(WorldView& view, const PlanOptions& opt,
           std::min(pm.speed_for_power(budgets_[i]), view.cores[i].speed_cap);
       install_with_rigid_check(
           view.cores[i], opt,
-          [&, i] {
-            return opt.weighted
-                       ? weighted_budget_bounded_plan(view.cores[i], view.now,
-                                                      *view.quality, cap,
-                                                      opt.eager_execution)
-                       : budget_bounded_plan(view.cores[i], view.now, cap,
-                                             opt.eager_execution,
-                                             opt.baseline_mode);
+          [&, i]() -> const CorePlan& {
+            if (opt.weighted) {
+              weighted_budget_bounded_plan_into(view.cores[i], view.now,
+                                                *view.quality, cap,
+                                                opt.eager_execution,
+                                                plan_tmp_);
+            } else {
+              budget_bounded_plan_into(view.cores[i], view.now, cap,
+                                       opt.eager_execution, opt.baseline_mode,
+                                       plan_tmp_);
+            }
+            return plan_tmp_;
           },
           out.cores[i]);
     }
@@ -485,12 +508,14 @@ void DesPlanner::plan_c_dvfs(WorldView& view, const PlanOptions& opt,
     }
     install_with_rigid_check(
         view.cores[i], opt,
-        [&, i, cap] {
-          CorePlan p = budget_bounded_plan(view.cores[i], view.now, *cap,
-                                           opt.eager_execution,
-                                           opt.baseline_mode);
-          p.plan = quantize_plan(p.plan, view.now, levels, *cap);
-          return p;
+        [&, i, cap]() -> const CorePlan& {
+          budget_bounded_plan_into(view.cores[i], view.now, *cap,
+                                   opt.eager_execution, opt.baseline_mode,
+                                   plan_tmp_);
+          quantize_plan_into(plan_tmp_.plan, view.now, levels, *cap,
+                             sched_tmp_);
+          plan_tmp_.plan = sched_tmp_;
+          return plan_tmp_;
         },
         out.cores[i]);
   }

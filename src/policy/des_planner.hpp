@@ -11,22 +11,25 @@
 // invoke one of the plan_* pipelines, and apply the PlanOutcome back to
 // their own state (see docs/ARCHITECTURE.md).
 //
-// The planner owns reusable scratch buffers so the snapshot-handling
-// side of a steady-state replan performs zero heap allocations
-// (bench/replan_kernel gates this); the single-core sub-algorithms
-// (YDS, Quality-OPT, Online-QE) keep their value-returning interfaces.
+// The planner owns reusable scratch buffers for the whole pipeline —
+// snapshot handling AND the single-core sub-algorithms (YDS,
+// Quality-OPT, Online-QE run through their *_into scratch variants) —
+// so a steady-state replan on the paper's continuous path performs zero
+// heap allocations (bench/replan_kernel and bench/sim_event_core gate
+// this).
 //
 // Phase timings for every pipeline stage go to the unified histogram
 // family `qes_replan_phase_ms{plane=...,phase=...}` — one family for all
 // planes, distinguished by the `plane` label passed at construction.
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
+#include "core/flat_map.hpp"
 #include "core/schedule.hpp"
 #include "obs/phase_profiler.hpp"
+#include "policy/power_waterfill.hpp"
 #include "policy/world_view.hpp"
 #include "sched/online_qe.hpp"
 
@@ -86,7 +89,7 @@ struct PlanOutcome {
   void reset(std::size_t core_count) {
     if (cores.size() != core_count) cores.resize(core_count);
     for (CoreOutcome& c : cores) {
-      c.plan = Schedule{};
+      c.plan.clear();
       c.idle_power = 0.0;
       c.rigid_discards.clear();
       c.passed_over.clear();
@@ -151,38 +154,39 @@ class DesPlanner {
   // Planned additional volume per job plus the executable timetable.
   struct CorePlan {
     Schedule plan;
-    std::map<JobId, Work> planned;
+    FlatVolumeMap planned;
   };
 
-  [[nodiscard]] BudgetFree budget_free_core(const CoreView& core, Time now,
-                                            const PowerModel& pm);
-  [[nodiscard]] CorePlan fixed_speed_plan(const CoreView& core, Time now,
-                                          Speed speed, bool baseline_mode);
-  [[nodiscard]] CorePlan budget_bounded_plan(const CoreView& core, Time now,
-                                             Speed max_speed, bool eager,
-                                             bool baseline_mode);
-  [[nodiscard]] CorePlan weighted_budget_bounded_plan(
-      const CoreView& core, Time now, const QualityFunction& quality,
-      Speed max_speed, bool eager);
-  [[nodiscard]] static Schedule eager_timetable(
-      const CoreView& core, Time now, const std::map<JobId, Work>& planned,
-      Speed max_speed);
-  [[nodiscard]] static Schedule quantize_plan(const Schedule& plan, Time now,
-                                              const DiscreteSpeedSet& levels,
-                                              Speed cap);
+  void budget_free_core_into(const CoreView& core, Time now,
+                             const PowerModel& pm, BudgetFree& out);
+  void fixed_speed_plan_into(const CoreView& core, Time now, Speed speed,
+                             bool baseline_mode, CorePlan& out);
+  void budget_bounded_plan_into(const CoreView& core, Time now,
+                                Speed max_speed, bool eager,
+                                bool baseline_mode, CorePlan& out);
+  void weighted_budget_bounded_plan_into(const CoreView& core, Time now,
+                                         const QualityFunction& quality,
+                                         Speed max_speed, bool eager,
+                                         CorePlan& out);
+  static void eager_timetable_into(const CoreView& core, Time now,
+                                   const FlatVolumeMap& planned,
+                                   Speed max_speed, Schedule& out);
+  static void quantize_plan_into(const Schedule& plan, Time now,
+                                 const DiscreteSpeedSet& levels, Speed cap,
+                                 Schedule& out);
 
   /// §V-D: recomputes `make_plan` until no rigid job is left incomplete,
   /// erasing discarded jobs from `core` and recording them (and the
-  /// passed-over drops) into `out`.
+  /// passed-over drops) into `out`. `make_plan` returns a reference to a
+  /// planner-owned scratch CorePlan, valid until the next call.
   template <typename MakePlan>
   void install_with_rigid_check(CoreView& core, const PlanOptions& opt,
                                 MakePlan make_plan, CoreOutcome& out);
 
   obs::PhaseProfiler profiler_;
-  // Reusable scratch (cleared, never shrunk) for the snapshot-handling
-  // side of a replan; see the zero-allocation note in the file comment.
-  // (Vectors consumed by value — AgreeableJobSet input — are local to
-  // their functions; scratch only helps where callees take spans.)
+  // Reusable scratch (cleared, never shrunk) covering the full replan:
+  // snapshot handling plus the single-core sub-algorithms via their
+  // *_into variants; see the zero-allocation note in the file comment.
   std::vector<ReadyJob> ready_;
   std::vector<Work> baselines_;
   std::vector<double> weights_;
@@ -190,6 +194,19 @@ class DesPlanner {
   std::vector<Watts> requests_;
   std::vector<Watts> budgets_;
   std::vector<Speed> speeds_;
+  std::vector<Job> jobs_tmp_;
+  std::vector<Job> jobs_tmp2_;
+  AgreeableJobSet set_tmp_;
+  AgreeableJobSet set_tmp2_;
+  YdsScratch yds_scratch_;
+  YdsResult yds_out_;
+  QualityOptScratch qopt_scratch_;
+  QualityOptResult qopt_out_;
+  OnlineQeScratch oqe_scratch_;
+  OnlineQeResult oqe_out_;
+  WaterfillPowerScratch wfp_scratch_;
+  CorePlan plan_tmp_;
+  Schedule sched_tmp_;
 };
 
 }  // namespace qes::policy

@@ -7,17 +7,20 @@
 
 namespace qes {
 
-std::vector<Watts> waterfill_power(std::span<const Watts> requested,
-                                   Watts budget) {
+void waterfill_power_into(std::span<const Watts> requested, Watts budget,
+                          WaterfillPowerScratch& scratch,
+                          std::vector<Watts>& out) {
   QES_ASSERT(budget >= 0.0);
   const std::size_t m = requested.size();
-  std::vector<Watts> assigned(m, 0.0);
+  std::vector<Watts>& assigned = out;
+  assigned.assign(m, 0.0);
   Watts remaining = budget;
 
   // The paper's iterative formulation: repeatedly raise every unsatisfied
   // core by the smallest outstanding request, or split the remainder
   // evenly when it no longer covers that raise.
-  std::vector<Watts> outstanding(requested.begin(), requested.end());
+  std::vector<Watts>& outstanding = scratch.outstanding;
+  outstanding.assign(requested.begin(), requested.end());
   for (Watts& h : outstanding) QES_ASSERT(h >= 0.0);
   while (true) {
     std::size_t unsatisfied = 0;
@@ -49,7 +52,13 @@ std::vector<Watts> waterfill_power(std::span<const Watts> requested,
       }
     }
   }
+}
 
+std::vector<Watts> waterfill_power(std::span<const Watts> requested,
+                                   Watts budget) {
+  WaterfillPowerScratch scratch;
+  std::vector<Watts> assigned;
+  waterfill_power_into(requested, budget, scratch, assigned);
   return assigned;
 }
 

@@ -22,6 +22,18 @@ namespace qes {
 [[nodiscard]] std::vector<Watts> waterfill_power(
     std::span<const Watts> requested, Watts budget);
 
+/// Reusable buffer for the scratch variant.
+struct WaterfillPowerScratch {
+  std::vector<Watts> outstanding;
+};
+
+/// Identical arithmetic to waterfill_power, writing the assignment into
+/// `out` and drawing temporaries from `scratch` (zero-allocation steady
+/// state).
+void waterfill_power_into(std::span<const Watts> requested, Watts budget,
+                          WaterfillPowerScratch& scratch,
+                          std::vector<Watts>& out);
+
 /// §V-F discrete rectification. `continuous` holds the per-core speeds
 /// implied by a WF assignment whose powers sum to <= budget. Starting
 /// from the core with the lowest assigned power, each speed is snapped

@@ -1,0 +1,273 @@
+#include "scenario/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace qes::scenario {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t at, const std::string& what) {
+  throw std::runtime_error("json: " + what + " at byte " +
+                           std::to_string(at));
+}
+
+[[noreturn]] void type_fail(const char* want) {
+  throw std::runtime_error(std::string("json: value is not a ") + want);
+}
+
+}  // namespace
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::Bool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::Number;
+  j.num_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::String;
+  j.str_ = std::move(s);
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) type_fail("boolean");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) type_fail("number");
+  return num_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) type_fail("string");
+  return str_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+  if (type_ != Type::Array) type_fail("array");
+  return arr_;
+}
+
+const std::map<std::string, Json>& Json::as_object() const {
+  if (type_ != Type::Object) type_fail("object");
+  return obj_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  const Json* f = find(key);
+  return f == nullptr ? fallback : f->as_number();
+}
+
+bool Json::bool_or(const std::string& key, bool fallback) const {
+  const Json* f = find(key);
+  return f == nullptr ? fallback : f->as_bool();
+}
+
+std::string Json::string_or(const std::string& key,
+                            std::string fallback) const {
+  const Json* f = find(key);
+  return f == nullptr ? std::move(fallback) : f->as_string();
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        return Json::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        return Json::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return Json::null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json j;
+    j.type_ = Json::Type::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return j;
+    }
+    for (;;) {
+      if (peek() != '"') fail(pos_, "expected object key");
+      std::string key = parse_string();
+      expect(':');
+      j.obj_.emplace(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return j;
+      if (c != ',') fail(pos_ - 1, "expected ',' or '}'");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json j;
+    j.type_ = Json::Type::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return j;
+    }
+    for (;;) {
+      j.arr_.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return j;
+      if (c != ',') fail(pos_ - 1, "expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail(pos_, "bad \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail(pos_ - 1, "bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (specs are ASCII in
+          // practice; surrogate pairs are out of scope).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(pos_ - 1, "bad escape");
+      }
+    }
+    fail(pos_, "unterminated string");
+  }
+
+  Json parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail(start, "expected a value");
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail(start, "bad number");
+    return Json::number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace qes::scenario

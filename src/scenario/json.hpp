@@ -1,0 +1,63 @@
+// Minimal JSON value + recursive-descent parser for the scenario specs
+// (tools/qes_scenarios). Supports the full JSON grammar the specs need —
+// objects, arrays, strings (with escapes), numbers, booleans, null —
+// and nothing more (no comments, no trailing commas). Parse errors
+// throw std::runtime_error with a byte offset; type mismatches on
+// accessors throw too, so spec validation can surface every mistake as
+// one clean exception instead of a crash.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qes::scenario {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& as_array() const;
+  [[nodiscard]] const std::map<std::string, Json>& as_object() const;
+
+  /// Object field lookup; returns nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+
+  /// Convenience lookups with defaults (throw only on type mismatch of a
+  /// PRESENT field — absent fields yield the fallback).
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+
+  /// Parses a complete JSON document; trailing non-whitespace is an
+  /// error. Throws std::runtime_error.
+  static Json parse(const std::string& text);
+
+ private:
+  friend class Parser;
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace qes::scenario

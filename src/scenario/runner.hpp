@@ -1,0 +1,60 @@
+// Executes one scenario cell (spec.hpp) and asserts the core invariants
+// inline, aborting the process on any violation (QES_ASSERT — the
+// scenario matrix runs these as hard assertions under ctest and the
+// sanitizers):
+//
+//   power cap      instantaneous power never exceeds the budget in
+//                  force — the engine asserts it at every integration
+//                  step; the cluster additionally checks every broker
+//                  tick's sampled Σ planned power against H(t).
+//   conservation   no job is lost, exactly: every arrival is finalized
+//                  by some node or counted shed (cluster routing /
+//                  redistribution sheds).
+//   optimality     with compare_opt, online quality <= the QE-OPT
+//                  offline bound at the aggregate speed the budget
+//                  supports (a relaxation of the partitioned multicore
+//                  problem, so always an upper bound).
+//
+// Each cell returns one comparable row; json_row() renders it as a
+// single-line JSON object for scripts/record_bench.sh.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/spec.hpp"
+
+namespace qes::scenario {
+
+struct ScenarioOutcome {
+  std::string name;
+  std::string substrate;
+  std::string regime;
+  std::string policy;
+
+  std::size_t jobs = 0;  ///< arrivals offered to the cell
+  std::size_t shed = 0;  ///< cluster routing + redistribution sheds
+  std::size_t satisfied = 0;
+  double quality = 0.0;
+  double norm_quality = 0.0;
+  Joules energy = 0.0;
+  Watts peak_power = 0.0;
+  std::size_t replans = 0;
+  /// Calendar-queue pops (sim / vod substrate; 0 for cluster cells).
+  std::uint64_t events = 0;
+  /// QE-OPT bound when compare_opt was set, else -1.
+  double opt_quality = -1.0;
+
+  double gen_wall_s = 0.0;  ///< workload generation
+  double run_wall_s = 0.0;  ///< simulation proper
+  double peak_rss_mb = 0.0;
+
+  [[nodiscard]] std::string json_row() const;
+};
+
+/// Runs the cell. Invariant violations abort (QES_ASSERT); malformed
+/// workloads throw (std::invalid_argument / std::runtime_error from
+/// cli::make_jobs).
+[[nodiscard]] ScenarioOutcome run_scenario(const ScenarioSpec& spec);
+
+}  // namespace qes::scenario

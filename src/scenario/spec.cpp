@@ -1,0 +1,175 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qes::scenario {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument("scenario spec: " + what);
+}
+
+void parse_workload(const Json& j, cli::WorkloadSourceSpec& w) {
+  w.regime = j.string_or("regime", w.regime);
+  w.workload.arrival_rate = j.number_or("rate", w.workload.arrival_rate);
+  w.workload.horizon_ms = j.number_or("horizon_ms", w.workload.horizon_ms);
+  w.workload.deadline_ms = j.number_or("deadline_ms", w.workload.deadline_ms);
+  w.workload.partial_fraction =
+      j.number_or("partial_fraction", w.workload.partial_fraction);
+  w.workload.premium_fraction =
+      j.number_or("premium_fraction", w.workload.premium_fraction);
+  w.workload.pareto_alpha =
+      j.number_or("pareto_alpha", w.workload.pareto_alpha);
+  w.workload.demand_min = j.number_or("demand_min", w.workload.demand_min);
+  w.workload.demand_max = j.number_or("demand_max", w.workload.demand_max);
+  w.workload.seed = static_cast<std::uint64_t>(
+      j.number_or("seed", static_cast<double>(w.workload.seed)));
+  w.diurnal_amplitude = j.number_or("amplitude", w.diurnal_amplitude);
+  w.diurnal_period_ms = j.number_or("period_ms", w.diurnal_period_ms);
+  w.mmpp_rate_hi = j.number_or("rate_hi", w.mmpp_rate_hi);
+  w.mmpp_dwell_lo_ms = j.number_or("dwell_lo_ms", w.mmpp_dwell_lo_ms);
+  w.mmpp_dwell_hi_ms = j.number_or("dwell_hi_ms", w.mmpp_dwell_hi_ms);
+  w.flash_factor = j.number_or("flash_factor", w.flash_factor);
+  w.flash_at_ms = j.number_or("flash_at_ms", w.flash_at_ms);
+  w.flash_len_ms = j.number_or("flash_len_ms", w.flash_len_ms);
+  w.trace_path = j.string_or("trace", w.trace_path);
+  const auto& known = cli::workload_regimes();
+  require(std::find(known.begin(), known.end(), w.regime) != known.end(),
+          "unknown arrival regime \"" + w.regime + "\"");
+}
+
+cluster::ChaosEvent parse_chaos_event(const Json& j) {
+  cluster::ChaosEvent ev;
+  ev.t = j.number_or("at_ms", -1.0);
+  require(ev.t >= 0.0, "chaos event needs a non-negative at_ms");
+  const std::string op = j.string_or("op", "");
+  if (op == "kill") {
+    ev.kind = cluster::ChaosEvent::Kind::Kill;
+  } else if (op == "drain") {
+    ev.kind = cluster::ChaosEvent::Kind::Drain;
+  } else if (op == "revive") {
+    ev.kind = cluster::ChaosEvent::Kind::Revive;
+  } else if (op == "budget") {
+    ev.kind = cluster::ChaosEvent::Kind::BudgetStep;
+    ev.budget = j.number_or("budget", 0.0);
+    require(ev.budget > 0.0, "budget chaos event needs a positive budget");
+    return ev;
+  } else {
+    require(false, "unknown chaos op \"" + op +
+                       "\" (expected kill, drain, revive, or budget)");
+  }
+  ev.node = static_cast<int>(j.number_or("node", -1.0));
+  require(ev.node >= 0, "chaos event needs a node index");
+  return ev;
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const Json& j) {
+  require(j.is_object(), "top level must be a JSON object");
+  ScenarioSpec s;
+  s.name = j.string_or("name", s.name);
+  s.substrate = j.string_or("substrate", s.substrate);
+  require(s.substrate == "sim" || s.substrate == "vod" ||
+              s.substrate == "cluster",
+          "unknown substrate \"" + s.substrate +
+              "\" (expected sim, vod, or cluster)");
+  s.policy = j.string_or("policy", s.policy);
+  require(s.policy == "des" || s.policy == "sdvfs" || s.policy == "nodvfs",
+          "unknown policy \"" + s.policy +
+              "\" (expected des, sdvfs, or nodvfs)");
+
+  if (const Json* w = j.find("workload")) parse_workload(*w, s.workload);
+
+  if (const Json* e = j.find("engine")) {
+    s.cores = static_cast<int>(e->number_or("cores", s.cores));
+    s.power_budget = e->number_or("power_budget", s.power_budget);
+    s.quantum_ms = e->number_or("quantum_ms", s.quantum_ms);
+    s.counter_trigger =
+        static_cast<int>(e->number_or("counter_trigger", s.counter_trigger));
+    s.idle_trigger = e->bool_or("idle_trigger", s.idle_trigger);
+    s.quality_c = e->number_or("quality_c", s.quality_c);
+    s.max_core_speed = e->number_or("max_core_speed", s.max_core_speed);
+    s.record = e->bool_or("record", s.record);
+    require(s.cores >= 1, "engine needs at least one core");
+    require(s.power_budget > 0.0, "power budget must be positive");
+    require(s.quality_c > 0.0, "quality_c must be positive");
+  }
+
+  if (const Json* b = j.find("budget_steps")) {
+    for (const Json& e : b->as_array()) {
+      EngineBudgetStep step;
+      step.at = e.number_or("at_ms", -1.0);
+      step.budget = e.number_or("budget", 0.0);
+      require(step.at >= 0.0, "budget step needs a non-negative at_ms");
+      require(step.budget > 0.0, "budget step needs a positive budget");
+      s.budget_steps.push_back(step);
+    }
+    require(std::is_sorted(s.budget_steps.begin(), s.budget_steps.end(),
+                           [](const EngineBudgetStep& a,
+                              const EngineBudgetStep& b2) {
+                             return a.at < b2.at;
+                           }),
+            "budget steps must be sorted by at_ms");
+  }
+
+  if (const Json* c = j.find("cluster")) {
+    s.nodes = static_cast<int>(c->number_or("nodes", s.nodes));
+    s.total_budget = c->number_or("total_budget", s.total_budget);
+    s.broker_period_ms = c->number_or("broker_period_ms", s.broker_period_ms);
+    s.dispatch = c->string_or("dispatch", s.dispatch);
+    require(s.nodes >= 1, "cluster needs at least one node");
+    require(s.broker_period_ms > 0.0, "broker period must be positive");
+    require(s.dispatch == "crr" || s.dispatch == "jsq" || s.dispatch == "p2c",
+            "unknown dispatch \"" + s.dispatch +
+                "\" (expected crr, jsq, or p2c)");
+  }
+
+  if (const Json* c = j.find("chaos")) {
+    require(s.substrate == "cluster",
+            "chaos schedules require the cluster substrate "
+            "(sim cells express budget steps via budget_steps)");
+    for (const Json& e : c->as_array()) {
+      s.chaos.push_back(parse_chaos_event(e));
+    }
+    require(
+        std::is_sorted(s.chaos.begin(), s.chaos.end(),
+                       [](const cluster::ChaosEvent& a,
+                          const cluster::ChaosEvent& b) { return a.t < b.t; }),
+        "chaos events must be sorted by at_ms");
+  }
+
+  if (const Json* v = j.find("vod")) {
+    s.vod_mean_chunks = v->number_or("mean_chunks", s.vod_mean_chunks);
+    s.vod_chunk_period_ms =
+        v->number_or("chunk_period_ms", s.vod_chunk_period_ms);
+    require(s.vod_mean_chunks > 0.0 && s.vod_chunk_period_ms > 0.0,
+            "vod session parameters must be positive");
+  }
+
+  s.compare_opt = j.bool_or("compare_opt", s.compare_opt);
+  require(!(s.compare_opt && s.substrate == "cluster" && !s.chaos.empty()),
+          "compare_opt is undefined for chaos cells (kills rewrite the "
+          "job set)");
+  return s;
+}
+
+ScenarioSpec parse_scenario_text(const std::string& text) {
+  return parse_scenario(Json::parse(text));
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("scenario spec: cannot read " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_text(buf.str());
+}
+
+}  // namespace qes::scenario

@@ -1,0 +1,82 @@
+// Declarative scenario cells (docs/SCENARIOS.md): one JSON spec names a
+// substrate (standalone sim, VOD sessions, or the lockstep cluster), an
+// arrival regime (via cli::WorkloadSourceSpec), the engine/cluster
+// configuration, and an optional chaos schedule (node kill / drain /
+// revive, mid-run budget steps). parse_scenario validates the spec and
+// run_scenario (runner.hpp) executes the cell with the core invariants
+// asserted inline.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cli/workload_source.hpp"
+#include "cluster/lockstep.hpp"
+#include "core/time.hpp"
+#include "scenario/json.hpp"
+#include "sim/engine.hpp"
+
+namespace qes::scenario {
+
+struct ScenarioSpec {
+  std::string name = "cell";
+  /// "sim" (standalone search engine), "vod" (streaming sessions on the
+  /// same engine), or "cluster" (multi-node lockstep replay).
+  std::string substrate = "sim";
+  /// Scheduling policy: "des" (C-DVFS), "sdvfs", or "nodvfs".
+  std::string policy = "des";
+
+  /// Arrival regime + base workload knobs (poisson / uniform / diurnal
+  /// / mmpp / flash / trace).
+  cli::WorkloadSourceSpec workload;
+
+  // Engine knobs (per node, for the cluster substrate).
+  int cores = 16;
+  Watts power_budget = 320.0;
+  Time quantum_ms = 500.0;
+  int counter_trigger = 8;
+  bool idle_trigger = true;
+  double quality_c = 0.003;
+  Speed max_core_speed = std::numeric_limits<double>::infinity();
+  /// Record executed schedules / replan instants (off by default: the
+  /// matrix cells only need the aggregate statistics).
+  bool record = false;
+
+  /// Mid-run power-budget steps, sorted ascending (sim / vod substrate;
+  /// the cluster substrate expresses budget steps as chaos events).
+  std::vector<EngineBudgetStep> budget_steps;
+
+  // Cluster knobs.
+  int nodes = 2;
+  /// 0 => nodes * power_budget.
+  Watts total_budget = 0.0;
+  Time broker_period_ms = 20.0;
+  std::string dispatch = "crr";
+  std::vector<cluster::ChaosEvent> chaos;
+
+  // VOD knobs (substrate "vod"): session arrivals reuse
+  // workload.arrival_rate (sessions/s), deadline, horizon, and seed.
+  double vod_mean_chunks = 30.0;
+  Time vod_chunk_period_ms = 500.0;
+
+  /// Also compute the QE-OPT offline bound at the aggregate speed the
+  /// budget supports and assert online quality <= it. O(n log n) in the
+  /// job count — enable on small cells, not on 10M-job runs.
+  bool compare_opt = false;
+};
+
+/// Builds a spec from parsed JSON. Throws std::invalid_argument on
+/// unknown substrates / policies / chaos ops / regimes and malformed
+/// schedules (workload parameter validation happens in cli::make_jobs
+/// when the cell runs).
+[[nodiscard]] ScenarioSpec parse_scenario(const Json& j);
+
+/// Parses the JSON text and builds the spec (std::runtime_error on a
+/// JSON syntax error, std::invalid_argument on a bad spec).
+[[nodiscard]] ScenarioSpec parse_scenario_text(const std::string& text);
+
+/// Reads the file and parses it; std::runtime_error when unreadable.
+[[nodiscard]] ScenarioSpec load_scenario_file(const std::string& path);
+
+}  // namespace qes::scenario

@@ -1,21 +1,22 @@
 #include "sched/online_qe.hpp"
 
-#include <vector>
+#include <algorithm>
 
 #include "core/assert.hpp"
-#include "sched/quality_opt.hpp"
-#include "sched/yds.hpp"
 
 namespace qes {
 
-OnlineQeResult online_qe(Time now, std::span<const ReadyJob> jobs,
-                         Speed max_speed) {
+void online_qe_into(Time now, std::span<const ReadyJob> jobs,
+                    Speed max_speed, OnlineQeScratch& scratch,
+                    OnlineQeResult& out) {
   QES_ASSERT_MSG(max_speed > 0.0, "Online-QE needs a positive max speed");
-  OnlineQeResult out;
+  out.schedule.clear();
+  out.planned.clear();
 
   // Build the adjusted job set J'_t: the running job's release is rewound
   // by processed/max_speed, every other job is released "now".
-  std::vector<Job> adjusted;
+  std::vector<Job>& adjusted = scratch.adjusted;
+  adjusted.clear();
   adjusted.reserve(jobs.size());
   int running_count = 0;
   Time min_deadline = kNoDeadline;
@@ -48,15 +49,19 @@ OnlineQeResult online_qe(Time now, std::span<const ReadyJob> jobs,
     }
     adjusted.push_back(j);
   }
-  if (adjusted.empty()) return out;
-  const AgreeableJobSet step1_set(std::move(adjusted));
+  if (adjusted.empty()) return;
+  scratch.step1_set.assign(adjusted);
+  const AgreeableJobSet& step1_set = scratch.step1_set;
 
   // Step 1: Quality-OPT at max speed fixes total volumes p_j.
-  const QualityOptResult q = quality_opt_schedule(step1_set, max_speed);
+  quality_opt_into(step1_set, max_speed, {}, scratch.qopt_scratch,
+                   scratch.qopt);
+  const QualityOptResult& q = scratch.qopt;
 
   // Step 2: rewrite demands to the *remaining* planned volume, re-release
   // everything at `now`, and let YDS pick the speeds from now onward.
-  std::vector<Job> step2;
+  std::vector<Job>& step2 = scratch.step2;
+  step2.clear();
   step2.reserve(step1_set.size());
   for (std::size_t k = 0; k < step1_set.size(); ++k) {
     Job j = step1_set[k];
@@ -71,16 +76,24 @@ OnlineQeResult online_qe(Time now, std::span<const ReadyJob> jobs,
     out.planned[j.id] = planned;
     step2.push_back(j);
   }
-  if (step2.empty()) return out;
-  const AgreeableJobSet step2_set(std::move(step2));
+  if (step2.empty()) return;
+  scratch.step2_set.assign(step2);
 
-  YdsResult y = yds_schedule_capped(step2_set, max_speed);
-  out.schedule = std::move(y.schedule);
+  yds_schedule_capped_into(scratch.step2_set, max_speed, scratch.yds_scratch,
+                           scratch.yds);
+  out.schedule = scratch.yds.schedule;
   // Planned volumes follow the (possibly hair's-breadth rescaled)
   // schedule so execution accounting matches the plan exactly.
   for (auto& [id, planned] : out.planned) {
     planned = std::min(planned, out.schedule.volume_of(id));
   }
+}
+
+OnlineQeResult online_qe(Time now, std::span<const ReadyJob> jobs,
+                         Speed max_speed) {
+  OnlineQeScratch scratch;
+  OnlineQeResult out;
+  online_qe_into(now, jobs, max_speed, scratch, out);
   return out;
 }
 

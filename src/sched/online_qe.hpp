@@ -10,11 +10,14 @@
 // between invocations (which DES exploits on multicore systems).
 #pragma once
 
-#include <map>
 #include <span>
+#include <vector>
 
+#include "core/flat_map.hpp"
 #include "core/job.hpp"
 #include "core/schedule.hpp"
+#include "sched/quality_opt.hpp"
+#include "sched/yds.hpp"
 
 namespace qes {
 
@@ -31,7 +34,20 @@ struct OnlineQeResult {
   /// Timetable from the invocation time onward (releases clamped to now).
   Schedule schedule;
   /// Planned *additional* volume per job (beyond `processed`).
-  std::map<JobId, Work> planned;
+  FlatVolumeMap planned;
+};
+
+/// Reusable buffers for the scratch variant (implementation detail;
+/// keep one alive across calls).
+struct OnlineQeScratch {
+  std::vector<Job> adjusted;
+  std::vector<Job> step2;
+  AgreeableJobSet step1_set;
+  AgreeableJobSet step2_set;
+  QualityOptScratch qopt_scratch;
+  QualityOptResult qopt;
+  YdsScratch yds_scratch;
+  YdsResult yds;
 };
 
 /// Re-plans the core at time `now` for the given ready jobs under maximum
@@ -43,5 +59,11 @@ struct OnlineQeResult {
 [[nodiscard]] OnlineQeResult online_qe(Time now,
                                        std::span<const ReadyJob> jobs,
                                        Speed max_speed);
+
+/// Identical arithmetic to online_qe, writing into `out` and drawing
+/// temporaries from `scratch` (zero-allocation steady state).
+void online_qe_into(Time now, std::span<const ReadyJob> jobs,
+                    Speed max_speed, OnlineQeScratch& scratch,
+                    OnlineQeResult& out);
 
 }  // namespace qes

@@ -10,14 +10,6 @@ namespace qes {
 
 namespace {
 
-struct Window {
-  Time r;
-  Time d;
-  Work w;     // full demand
-  Work base;  // volume already received before the window
-  bool active;
-};
-
 Time compress(Time x, Time z, Time z2) {
   if (x <= z) return x;
   if (x >= z2) return x - (z2 - z);
@@ -26,16 +18,18 @@ Time compress(Time x, Time z, Time z2) {
 
 }  // namespace
 
-QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
-                                      Speed speed,
-                                      std::span<const Work> baselines) {
+void quality_opt_into(const AgreeableJobSet& set, Speed speed,
+                      std::span<const Work> baselines,
+                      QualityOptScratch& scratch, QualityOptResult& out) {
+  using Window = QualityOptScratch::Window;
   QES_ASSERT_MSG(speed > 0.0, "Quality-OPT needs a positive core speed");
   QES_ASSERT(baselines.empty() || baselines.size() == set.size());
   const std::size_t n = set.size();
-  QualityOptResult out;
   out.volumes.assign(n, 0.0);
+  out.schedule.clear();
 
-  std::vector<Window> win(n);
+  std::vector<Window>& win = scratch.win;
+  win.resize(n);
   std::size_t remaining = 0;
   for (std::size_t k = 0; k < n; ++k) {
     const Job& j = set[k];
@@ -46,7 +40,8 @@ QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
   }
 
   while (remaining > 0) {
-    std::vector<std::size_t> act;
+    std::vector<std::size_t>& act = scratch.act;
+    act.clear();
     act.reserve(remaining);
     for (std::size_t k = 0; k < n; ++k) {
       if (win[k].active) act.push_back(k);
@@ -60,7 +55,8 @@ QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
     double best_level = std::numeric_limits<double>::infinity();
     Time best_z = 0.0, best_z2 = 0.0;
     bool found = false;
-    std::vector<Work> caps, bases;
+    std::vector<Work>& caps = scratch.caps;
+    std::vector<Work>& bases = scratch.bases;
     for (std::size_t a = 0; a < act.size(); ++a) {
       // Non-first indices of a tied release start dominated intervals
       // (their level only over-estimates the canonical pair's); skip.
@@ -75,9 +71,10 @@ QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
         const Time z2 = win[act[b]].d;
         QES_ASSERT(z2 > z);
         const Work capacity = speed * (z2 - z);
-        const WaterfillResult wf = waterfill_volumes(caps, bases, capacity);
-        if (wf.level < best_level - 1e-9 || !found) {
-          best_level = wf.level;
+        waterfill_volumes_into(caps, bases, capacity, scratch.wf_scratch,
+                               scratch.wf);
+        if (scratch.wf.level < best_level - 1e-9 || !found) {
+          best_level = scratch.wf.level;
           best_z = z;
           best_z2 = z2;
           found = true;
@@ -100,7 +97,8 @@ QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
     // Re-evaluate the winning interval over its full contained set and
     // grant the volumes: satisfied jobs get their remaining demand,
     // deprived jobs are levelled at the d-mean.
-    std::vector<std::size_t> contained;
+    std::vector<std::size_t>& contained = scratch.contained;
+    contained.clear();
     caps.clear();
     bases.clear();
     for (std::size_t k : act) {
@@ -111,11 +109,11 @@ QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
       }
     }
     QES_ASSERT(!contained.empty());
-    const WaterfillResult wf =
-        waterfill_volumes(caps, bases, speed * (best_z2 - best_z));
+    waterfill_volumes_into(caps, bases, speed * (best_z2 - best_z),
+                           scratch.wf_scratch, scratch.wf);
     for (std::size_t c = 0; c < contained.size(); ++c) {
       const std::size_t k = contained[c];
-      out.volumes[k] = wf.alloc[c];
+      out.volumes[k] = scratch.wf.alloc[c];
       win[k].active = false;
       --remaining;
     }
@@ -139,6 +137,14 @@ QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
     out.schedule.push({start, finish, j.id, speed});
     t = finish;
   }
+}
+
+QualityOptResult quality_opt_schedule(const AgreeableJobSet& set,
+                                      Speed speed,
+                                      std::span<const Work> baselines) {
+  QualityOptScratch scratch;
+  QualityOptResult out;
+  quality_opt_into(set, speed, baselines, scratch, out);
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "alloc/waterfill.hpp"
 #include "core/job.hpp"
 #include "core/quality.hpp"
 #include "core/schedule.hpp"
@@ -42,5 +43,30 @@ struct QualityOptResult {
 /// Sum of f(volume) over jobs; `volumes` aligned with the sorted set.
 [[nodiscard]] double total_quality(std::span<const Work> volumes,
                                    const QualityFunction& f);
+
+/// Reusable buffers for the scratch variant (implementation detail;
+/// keep one alive across calls).
+struct QualityOptScratch {
+  struct Window {
+    Time r;
+    Time d;
+    Work w;     // full demand
+    Work base;  // volume already received before the window
+    bool active;
+  };
+  std::vector<Window> win;
+  std::vector<std::size_t> act;
+  std::vector<Work> caps;
+  std::vector<Work> bases;
+  std::vector<std::size_t> contained;
+  WaterfillScratch wf_scratch;
+  WaterfillResult wf;
+};
+
+/// Identical arithmetic to quality_opt_schedule, writing into `out` and
+/// drawing temporaries from `scratch` (zero-allocation steady state).
+void quality_opt_into(const AgreeableJobSet& set, Speed speed,
+                      std::span<const Work> baselines,
+                      QualityOptScratch& scratch, QualityOptResult& out);
 
 }  // namespace qes

@@ -9,13 +9,6 @@ namespace qes {
 
 namespace {
 
-struct Window {
-  Time r;
-  Time d;
-  Work w;
-  bool active;
-};
-
 // Map a timestamp through the removal of interval [z, z'] (timeline
 // compression, §III-A).
 Time compress(Time x, Time z, Time z2) {
@@ -26,12 +19,16 @@ Time compress(Time x, Time z, Time z2) {
 
 }  // namespace
 
-YdsResult yds_schedule(const AgreeableJobSet& set) {
+void yds_schedule_into(const AgreeableJobSet& set, YdsScratch& scratch,
+                       YdsResult& out) {
+  using Window = YdsScratch::Window;
   const std::size_t n = set.size();
-  YdsResult out;
   out.speeds.assign(n, 0.0);
+  out.schedule.clear();
+  out.critical_speed = 0.0;
 
-  std::vector<Window> win(n);
+  std::vector<Window>& win = scratch.win;
+  win.resize(n);
   std::size_t remaining = 0;
   for (std::size_t k = 0; k < n; ++k) {
     const Job& j = set[k];
@@ -43,12 +40,14 @@ YdsResult yds_schedule(const AgreeableJobSet& set) {
     // Find the critical interval among candidate pairs (i, j) of active
     // jobs. Containment is contiguous in sorted order, so a prefix-sum
     // over active demands gives O(1) interval weights.
-    std::vector<std::size_t> act;
+    std::vector<std::size_t>& act = scratch.act;
+    act.clear();
     act.reserve(remaining);
     for (std::size_t k = 0; k < n; ++k) {
       if (win[k].active) act.push_back(k);
     }
-    std::vector<Work> prefix(act.size() + 1, 0.0);
+    std::vector<Work>& prefix = scratch.prefix;
+    prefix.assign(act.size() + 1, 0.0);
     for (std::size_t a = 0; a < act.size(); ++a) {
       prefix[a + 1] = prefix[a] + win[act[a]].w;
     }
@@ -107,25 +106,40 @@ YdsResult yds_schedule(const AgreeableJobSet& set) {
     out.schedule.push({start, finish, j.id, s});
     t = finish;
   }
-  return out;
 }
 
-YdsResult yds_schedule_capped(const AgreeableJobSet& set, Speed max_speed,
+void yds_schedule_capped_into(const AgreeableJobSet& set, Speed max_speed,
+                              YdsScratch& scratch, YdsResult& out,
                               double max_rel_excess) {
   QES_ASSERT(max_speed > 0.0);
-  YdsResult r = yds_schedule(set);
-  if (r.critical_speed <= max_speed) return r;
-  const double excess = r.critical_speed / max_speed - 1.0;
+  yds_schedule_into(set, scratch, out);
+  if (out.critical_speed <= max_speed) return;
+  const double excess = out.critical_speed / max_speed - 1.0;
   QES_ASSERT_MSG(excess <= max_rel_excess,
                  "YDS critical speed exceeds the cap by more than "
                  "floating-point drift can explain");
   // Rescale demands so the critical speed lands just under the cap.
   const double scale = (1.0 - 1e-12) / (1.0 + excess);
-  std::vector<Job> scaled(set.jobs().begin(), set.jobs().end());
-  for (Job& j : scaled) j.demand *= scale;
-  r = yds_schedule(AgreeableJobSet(std::move(scaled)));
-  QES_ASSERT(r.critical_speed <= max_speed);
-  return r;
+  scratch.scaled.assign(set.jobs().begin(), set.jobs().end());
+  for (Job& j : scratch.scaled) j.demand *= scale;
+  scratch.scaled_set.assign(scratch.scaled);
+  yds_schedule_into(scratch.scaled_set, scratch, out);
+  QES_ASSERT(out.critical_speed <= max_speed);
+}
+
+YdsResult yds_schedule(const AgreeableJobSet& set) {
+  YdsScratch scratch;
+  YdsResult out;
+  yds_schedule_into(set, scratch, out);
+  return out;
+}
+
+YdsResult yds_schedule_capped(const AgreeableJobSet& set, Speed max_speed,
+                              double max_rel_excess) {
+  YdsScratch scratch;
+  YdsResult out;
+  yds_schedule_capped_into(set, max_speed, scratch, out, max_rel_excess);
+  return out;
 }
 
 Joules yds_energy(const AgreeableJobSet& set, const YdsResult& result,

@@ -43,6 +43,32 @@ struct YdsResult {
                                             Speed max_speed,
                                             double max_rel_excess = 1e-4);
 
+/// Reusable buffers for the scratch variants (contents are an
+/// implementation detail; keep one alive across calls).
+struct YdsScratch {
+  struct Window {
+    Time r;
+    Time d;
+    Work w;
+    bool active;
+  };
+  std::vector<Window> win;
+  std::vector<std::size_t> act;
+  std::vector<Work> prefix;
+  std::vector<Job> scaled;
+  AgreeableJobSet scaled_set;
+};
+
+/// Identical arithmetic to yds_schedule, writing into `out` and drawing
+/// temporaries from `scratch` (zero-allocation steady state).
+void yds_schedule_into(const AgreeableJobSet& set, YdsScratch& scratch,
+                       YdsResult& out);
+
+/// Scratch variant of yds_schedule_capped.
+void yds_schedule_capped_into(const AgreeableJobSet& set, Speed max_speed,
+                              YdsScratch& scratch, YdsResult& out,
+                              double max_rel_excess = 1e-4);
+
 /// Energy of the YDS allocation under `pm` — depends only on per-job
 /// speeds and demands, not on segment placement:
 ///   E = sum_j (w_j / s_j) * a * s_j^beta / 1000.

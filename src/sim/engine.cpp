@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "obs/run_accumulator.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +19,14 @@ Engine::Engine(EngineConfig config, std::vector<Job> jobs,
                  "per_core_max_speed must have one entry per core");
   for (Speed cap : cfg_.per_core_max_speed) QES_ASSERT(cap > 0.0);
   QES_ASSERT(policy_ != nullptr);
+  for (std::size_t k = 0; k < cfg_.budget_steps.size(); ++k) {
+    QES_ASSERT_MSG(cfg_.budget_steps[k].budget > 0.0,
+                   "budget steps must keep H positive");
+    QES_ASSERT_MSG(cfg_.budget_steps[k].at >= 0.0 &&
+                       (k == 0 || cfg_.budget_steps[k].at >=
+                                      cfg_.budget_steps[k - 1].at),
+                   "budget steps must be sorted by time");
+  }
   sort_by_release(jobs);
   QES_ASSERT_MSG(deadlines_agreeable(jobs),
                  "engine requires agreeable deadlines");
@@ -29,6 +38,8 @@ Engine::Engine(EngineConfig config, std::vector<Job> jobs,
     jobs_.push_back(JobState{.job = jobs[k]});
   }
   cores_.resize(static_cast<std::size_t>(cfg_.cores));
+  live_.reserve(cores_.size());
+  dirty_cores_.reserve(cores_.size());
 }
 
 JobState& Engine::state(JobId id) {
@@ -41,7 +52,7 @@ const JobState& Engine::job(JobId id) const {
   return jobs_[id - 1];
 }
 
-const std::deque<JobId>& Engine::assigned(int core) const {
+std::span<const JobId> Engine::assigned(int core) const {
   QES_ASSERT(core >= 0 && core < cfg_.cores);
   return cores_[static_cast<std::size_t>(core)].queue;
 }
@@ -52,13 +63,28 @@ bool Engine::core_idle(int core) const {
   return c.next_seg >= c.plan.size();
 }
 
+void Engine::mark_dirty(int core) {
+  CoreRuntime& c = cores_[static_cast<std::size_t>(core)];
+  if (!c.dirty) {
+    c.dirty = true;
+    dirty_cores_.push_back(core);
+  }
+}
+
+void Engine::enter_live(int core) {
+  CoreRuntime& c = cores_[static_cast<std::size_t>(core)];
+  if (c.in_live) return;
+  c.in_live = true;
+  live_.insert(std::lower_bound(live_.begin(), live_.end(), core), core);
+}
+
 void Engine::assign_to_core(JobId id, int core) {
   QES_ASSERT(core >= 0 && core < cfg_.cores);
   JobState& st = state(id);
   QES_ASSERT_MSG(st.phase == JobState::Phase::Waiting,
                  "only waiting jobs can be assigned");
-  auto it = std::find(waiting_.begin(), waiting_.end(), id);
-  QES_ASSERT(it != waiting_.end());
+  auto it = std::lower_bound(waiting_.begin(), waiting_.end(), id);
+  QES_ASSERT(it != waiting_.end() && *it == id);
   waiting_.erase(it);
   st.phase = JobState::Phase::Assigned;
   st.core = core;
@@ -82,12 +108,15 @@ void Engine::unassign_from_core(JobId id) {
                  "only assigned jobs can be unassigned");
   QES_ASSERT_MSG(st.processed <= kTimeEps,
                  "started jobs never migrate (non-migratory model)");
-  CoreRuntime& c = cores_[static_cast<std::size_t>(st.core)];
-  auto it = std::find(c.queue.begin(), c.queue.end(), id);
-  QES_ASSERT(it != c.queue.end());
+  const int core = st.core;
+  CoreRuntime& c = cores_[static_cast<std::size_t>(core)];
+  auto it = std::lower_bound(c.queue.begin(), c.queue.end(), id);
+  QES_ASSERT(it != c.queue.end() && *it == id);
   c.queue.erase(it);
-  c.plan = Schedule{};
+  c.plan.clear();
   c.next_seg = 0;
+  c.power_seg = SIZE_MAX;
+  mark_dirty(core);
   st.phase = JobState::Phase::Waiting;
   st.core = -1;
   // Waiting stays in arrival (== id) order.
@@ -95,7 +124,7 @@ void Engine::unassign_from_core(JobId id) {
   waiting_.insert(pos, id);
 }
 
-void Engine::set_core_plan(int core, Schedule plan) {
+void Engine::set_core_plan(int core, const Schedule& plan) {
   QES_ASSERT(core >= 0 && core < cfg_.cores);
   CoreRuntime& c = cores_[static_cast<std::size_t>(core)];
   plan.check_well_formed();
@@ -110,26 +139,30 @@ void Engine::set_core_plan(int core, Schedule plan) {
     QES_ASSERT_MSG(s.speed <= cfg_.core_speed_cap(core) + 1e-6,
                    "plan speed exceeds the core's hardware cap");
   }
-  c.plan = std::move(plan);
+  c.plan = plan;  // copy-assign: the slot's capacity is reused
   c.next_seg = 0;
+  c.power_seg = SIZE_MAX;
+  mark_dirty(core);
+  if (!c.plan.empty()) enter_live(core);
 }
 
 void Engine::set_core_idle_power(int core, Watts watts) {
   QES_ASSERT(core >= 0 && core < cfg_.cores);
   QES_ASSERT(watts >= 0.0);
   cores_[static_cast<std::size_t>(core)].idle_power = watts;
+  if (watts > 0.0) enter_live(core);
 }
 
 void Engine::finalize(JobId id, bool force_zero_quality) {
   JobState& st = state(id);
   QES_ASSERT(st.phase != JobState::Phase::Finalized);
   if (st.phase == JobState::Phase::Waiting) {
-    auto it = std::find(waiting_.begin(), waiting_.end(), id);
-    if (it != waiting_.end()) waiting_.erase(it);
+    auto it = std::lower_bound(waiting_.begin(), waiting_.end(), id);
+    if (it != waiting_.end() && *it == id) waiting_.erase(it);
   } else {
     auto& q = cores_[static_cast<std::size_t>(st.core)].queue;
-    auto it = std::find(q.begin(), q.end(), id);
-    QES_ASSERT(it != q.end());
+    auto it = std::lower_bound(q.begin(), q.end(), id);
+    QES_ASSERT(it != q.end() && *it == id);
     q.erase(it);
   }
   st.processed = std::min(st.processed, st.job.demand);
@@ -173,13 +206,51 @@ void Engine::expire_due_jobs() {
   }
 }
 
+void Engine::refresh_events() {
+  if (next_arrival_ < jobs_.size() && pushed_arrival_ != next_arrival_) {
+    pushed_arrival_ = next_arrival_;
+    events_.push(jobs_[next_arrival_].job.release,
+                 Ev{Ev::Kind::Arrival, 0, next_arrival_});
+  }
+  if (cfg_.quantum_ms > 0.0 && pushed_quantum_ != next_quantum_) {
+    pushed_quantum_ = next_quantum_;
+    events_.push(next_quantum_, Ev{Ev::Kind::Quantum, 0, 0});
+  }
+  if (first_live_ < next_arrival_ && pushed_deadline_ != first_live_) {
+    pushed_deadline_ = first_live_;
+    events_.push(jobs_[first_live_].job.deadline,
+                 Ev{Ev::Kind::Deadline, 0, first_live_});
+  }
+  if (next_budget_step_ < cfg_.budget_steps.size() &&
+      pushed_budget_ != next_budget_step_) {
+    pushed_budget_ = next_budget_step_;
+    events_.push(cfg_.budget_steps[next_budget_step_].at,
+                 Ev{Ev::Kind::BudgetStep, 0, next_budget_step_});
+  }
+  for (int i : dirty_cores_) {
+    CoreRuntime& c = cores_[static_cast<std::size_t>(i)];
+    c.dirty = false;
+    ++c.wake_gen;  // orphan any queued wake for the stale candidate
+    if (c.next_seg < c.plan.size()) {
+      events_.push(
+          core_wake_candidate(c),
+          Ev{Ev::Kind::CoreWake, static_cast<std::uint32_t>(i), c.wake_gen});
+    }
+  }
+  dirty_cores_.clear();
+}
+
 void Engine::advance_to(Time target) {
   QES_ASSERT(target >= now_ - kTimeEps);
   while (true) {
     // Sub-step end: the earliest segment boundary across cores, capped at
-    // the target. Power is constant within the sub-step.
+    // the target. Power is constant within the sub-step. Cores outside
+    // live_ have no pending segments and zero idle power, so skipping
+    // them leaves both the boundary scan and the power sum (an exact
+    // +0.0 per skipped core) unchanged.
     Time step_end = target;
-    for (const CoreRuntime& c : cores_) {
+    for (int i : live_) {
+      const CoreRuntime& c = cores_[static_cast<std::size_t>(i)];
       if (c.next_seg >= c.plan.size()) continue;
       const Segment& s = c.plan[c.next_seg];
       step_end = std::min(step_end, s.t0 > now_ + kTimeEps ? s.t0 : s.t1);
@@ -188,13 +259,18 @@ void Engine::advance_to(Time target) {
     if (step_end > now_ + kTimeEps) {
       const Time dt = step_end - now_;
       Watts total_power = 0.0;
-      for (std::size_t i = 0; i < cores_.size(); ++i) {
+      for (int idx : live_) {
+        const std::size_t i = static_cast<std::size_t>(idx);
         CoreRuntime& c = cores_[i];
         const bool active = c.next_seg < c.plan.size() &&
                             c.plan[c.next_seg].t0 <= now_ + kTimeEps;
         if (active) {
           const Segment& s = c.plan[c.next_seg];
-          total_power += cfg_.power_model.dynamic_power(s.speed);
+          if (c.power_seg != c.next_seg) {
+            c.power_seg = c.next_seg;
+            c.power_w = cfg_.power_model.dynamic_power(s.speed);
+          }
+          total_power += c.power_w;
           state(s.job).processed += s.speed * dt;
           if (cfg_.record_execution) {
             result_.executed[i].push({now_, step_end, s.job, s.speed});
@@ -203,7 +279,7 @@ void Engine::advance_to(Time target) {
             cfg_.trace->push({.kind = obs::TraceEvent::Kind::Exec,
                               .t = now_,
                               .job = s.job,
-                              .core = static_cast<int>(i),
+                              .core = idx,
                               .t0 = now_,
                               .t1 = step_end,
                               .speed = s.speed});
@@ -220,12 +296,19 @@ void Engine::advance_to(Time target) {
       now_ = step_end;
     }
 
-    // Process segment completions at now_.
-    for (CoreRuntime& c : cores_) {
+    // Process segment completions at now_, compacting spent cores out of
+    // the live list in place (ascending order — i.e. the legacy power
+    // summation order — is preserved).
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < live_.size(); ++r) {
+      const int idx = live_[r];
+      CoreRuntime& c = cores_[static_cast<std::size_t>(idx)];
+      bool moved = false;
       while (c.next_seg < c.plan.size() &&
              c.plan[c.next_seg].t1 <= now_ + kTimeEps) {
         const Segment done = c.plan[c.next_seg];
         ++c.next_seg;
+        moved = true;
         JobState& st = state(done.job);
         if (st.phase == JobState::Phase::Finalized) continue;
         const bool complete =
@@ -246,7 +329,14 @@ void Engine::advance_to(Time target) {
           finalize(done.job);
         }
       }
+      if (moved) mark_dirty(idx);
+      if (c.next_seg < c.plan.size() || c.idle_power > 0.0) {
+        live_[w++] = idx;
+      } else {
+        c.in_live = false;
+      }
     }
+    live_.resize(w);
 
     if (now_ >= target - kTimeEps) break;
   }
@@ -265,23 +355,55 @@ RunResult Engine::run() {
                       : std::numeric_limits<double>::infinity();
   const Time final_deadline = jobs_.back().job.deadline;
 
+  refresh_events();
   while (!all_finalized()) {
-    // Next event: arrival, quantum firing, earliest live deadline, or the
-    // next segment boundary on any core.
-    Time t = std::numeric_limits<double>::infinity();
-    if (next_arrival_ < n) t = std::min(t, jobs_[next_arrival_].job.release);
-    if (cfg_.quantum_ms > 0.0) t = std::min(t, next_quantum_);
-    if (first_live_ < n && first_live_ < next_arrival_) {
-      t = std::min(t, jobs_[first_live_].job.deadline);
-    }
-    for (const CoreRuntime& c : cores_) {
-      if (c.next_seg >= c.plan.size()) continue;
-      const Segment& s = c.plan[c.next_seg];
-      t = std::min(t, s.t0 > now_ + kTimeEps ? s.t0 : s.t1);
-    }
-    QES_ASSERT_MSG(std::isfinite(t), "event loop stalled with live jobs");
+    QES_ASSERT_MSG(!events_.empty(), "event loop stalled with live jobs");
+    const auto item = events_.pop();
+    const Ev ev = item.value;
+    ++events_processed_;
 
-    advance_to(std::max(t, now_));
+    // Lazy invalidation: run an iteration only if the entry still names
+    // its source's CURRENT candidate time — then and only then would the
+    // legacy scan-all-sources loop have stopped here, so energy
+    // integration splits at exactly the same instants.
+    bool valid = false;
+    switch (ev.kind) {
+      case Ev::Kind::Arrival:
+        valid = ev.idx == next_arrival_;
+        break;
+      case Ev::Kind::Quantum:
+        valid = cfg_.quantum_ms > 0.0 && item.t == next_quantum_;
+        break;
+      case Ev::Kind::Deadline:
+        // Deliberately no finalized check: the legacy loop also stops at
+        // the stale deadline of a policy-discarded job still at
+        // first_live_ (expiry advances past it only afterwards).
+        valid = ev.idx == first_live_ && first_live_ < next_arrival_;
+        break;
+      case Ev::Kind::BudgetStep:
+        valid = ev.idx == next_budget_step_;
+        break;
+      case Ev::Kind::CoreWake: {
+        CoreRuntime& c = cores_[static_cast<std::size_t>(ev.core)];
+        if (ev.idx != c.wake_gen) break;         // superseded by a re-arm
+        if (c.next_seg >= c.plan.size()) break;  // plan exhausted
+        const Time cand = core_wake_candidate(c);
+        if (cand != item.t) {
+          // The boundary slid from segment start to segment end (now_
+          // crossed t0 without touching this core): re-arm at the
+          // current candidate without running an iteration.
+          ++c.wake_gen;
+          events_.push(cand, Ev{Ev::Kind::CoreWake, ev.core, c.wake_gen});
+          break;
+        }
+        valid = true;
+        mark_dirty(static_cast<int>(ev.core));  // re-arm after this body
+        break;
+      }
+    }
+    if (!valid) continue;
+
+    advance_to(std::max(item.t, now_));
 
     // Arrivals at the current time.
     while (next_arrival_ < n &&
@@ -297,8 +419,18 @@ RunResult Engine::run() {
 
     expire_due_jobs();
 
-    // Grouped-scheduling triggers (§IV-E).
     bool replan = false;
+
+    // Scheduled budget changes take effect before the triggers so the
+    // forced replan plans against the new H.
+    while (next_budget_step_ < cfg_.budget_steps.size() &&
+           cfg_.budget_steps[next_budget_step_].at <= now_ + kTimeEps) {
+      cfg_.power_budget = cfg_.budget_steps[next_budget_step_].budget;
+      ++next_budget_step_;
+      replan = true;
+    }
+
+    // Grouped-scheduling triggers (§IV-E).
     if (cfg_.quantum_ms > 0.0 && now_ >= next_quantum_ - kTimeEps) {
       while (next_quantum_ <= now_ + kTimeEps) next_quantum_ += cfg_.quantum_ms;
       replan = true;
@@ -317,7 +449,8 @@ RunResult Engine::run() {
     }
 
     if (replan) {
-      result_.replan_times.push_back(now_);
+      ++replan_count_;
+      if (cfg_.record_replan_times) result_.replan_times.push_back(now_);
       if (cfg_.trace != nullptr) {
         cfg_.trace->push({.kind = obs::TraceEvent::Kind::Replan,
                           .t = now_,
@@ -325,6 +458,8 @@ RunResult Engine::run() {
       }
       policy_->replan(*this);
     }
+
+    refresh_events();
   }
 
   // Keep integrating idle power to the last deadline: the paper's energy
@@ -344,8 +479,8 @@ RunResult Engine::run() {
   result_.stats = acc.finish(
       dynamic_energy_,
       cfg_.cores * cfg_.power_model.b * final_deadline / 1000.0,
-      peak_power_, final_deadline, result_.replan_times.size());
-  result_.jobs = jobs_;
+      peak_power_, final_deadline, replan_count_);
+  result_.jobs = std::move(jobs_);
   return std::move(result_);
 }
 

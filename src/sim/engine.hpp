@@ -10,6 +10,18 @@
 // and energy exactly (power is constant between consecutive events) and
 // asserting the instantaneous power cap.
 //
+// The pending-event set is a bucketed calendar queue (sim/event_queue.hpp)
+// holding one entry per event SOURCE — the next arrival, the next quantum
+// firing, the earliest live deadline, the next budget step, and one wake
+// per core with a pending segment boundary. Sources are monotone, so a
+// small cache of what was last pushed keeps the queue population bounded
+// by O(cores); entries invalidated by state changes (a replan replacing a
+// plan, a deadline expiring early) are detected lazily at pop time and
+// discarded without running an iteration. Together with capacity-reusing
+// job/plan containers this makes the steady-state event loop allocation
+// free (gated by bench/sim_event_core); the result is bitwise identical
+// to the legacy scan-all-sources loop (tests/sim_engine_golden_test).
+//
 // Job lifecycle: Waiting (arrived, in the global queue) -> Assigned (on a
 // core, never migrates) -> Finalized. A job finalizes when it completes,
 // when its deadline passes, when the policy discards it, or — under the
@@ -19,7 +31,7 @@
 // alive for re-planning instead (the ablation model).
 #pragma once
 
-#include <deque>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <span>
@@ -31,6 +43,7 @@
 #include "core/power.hpp"
 #include "core/quality.hpp"
 #include "core/schedule.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 
 namespace qes::obs {
@@ -39,6 +52,15 @@ class TraceRing;
 }  // namespace qes::obs
 
 namespace qes {
+
+/// A scheduled change of the power budget H (chaos / brownout
+/// scenarios). The engine applies the step when simulated time reaches
+/// `at` and fires a replan so the policy can re-fit its plans to the new
+/// budget.
+struct EngineBudgetStep {
+  Time at = 0.0;
+  Watts budget = 0.0;
+};
 
 struct EngineConfig {
   int cores = 16;
@@ -72,6 +94,14 @@ struct EngineConfig {
   /// Record the executed per-core schedules in the RunResult (needed by
   /// the validation replay; costs memory on long runs).
   bool record_execution = true;
+  /// Record each replan instant in RunResult::replan_times (needed by
+  /// the validation replay; costs memory on long runs — the replans
+  /// COUNT in RunStats is kept either way).
+  bool record_replan_times = true;
+  /// Scheduled power-budget changes, sorted ascending by `at`. Empty
+  /// (the default) keeps H constant and leaves the run bit-for-bit
+  /// unchanged. Steps due after the last job finalizes never apply.
+  std::vector<EngineBudgetStep> budget_steps;
   /// Optional observability hooks (not owned). When set, end-of-run
   /// aggregates are mirrored into `registry` under the "qes_sim" prefix
   /// and lifecycle events are pushed into `trace` (see src/obs/).
@@ -104,7 +134,8 @@ struct RunResult {
   RunStats stats;
   /// Actually executed segments per core (empty if !record_execution).
   std::vector<Schedule> executed;
-  /// Times at which the policy was invoked.
+  /// Times at which the policy was invoked (empty if
+  /// !record_replan_times).
   std::vector<Time> replan_times;
   /// Final per-job states, in job-id order.
   std::vector<JobState> jobs;
@@ -127,11 +158,17 @@ class Engine {
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
   [[nodiscard]] int cores() const { return cfg_.cores; }
 
+  /// Calendar-queue entries popped so far (valid + lazily discarded);
+  /// the event-rate denominator for throughput reporting.
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+
   /// Waiting (arrived, unassigned, unexpired) jobs in arrival order.
   [[nodiscard]] std::span<const JobId> waiting() const { return waiting_; }
 
   /// Live jobs assigned to `core`, in arrival (== deadline) order.
-  [[nodiscard]] const std::deque<JobId>& assigned(int core) const;
+  [[nodiscard]] std::span<const JobId> assigned(int core) const;
 
   /// Read one job's state.
   [[nodiscard]] const JobState& job(JobId id) const;
@@ -154,8 +191,9 @@ class Engine {
 
   /// Replace the core's plan from now() onward. Segments must start at
   /// or after now(), reference live jobs assigned to this core, and
-  /// respect their windows.
-  void set_core_plan(int core, Schedule plan);
+  /// respect their windows. The plan is copied into a capacity-reusing
+  /// slot, so callers may keep (and refill) their own Schedule buffer.
+  void set_core_plan(int core, const Schedule& plan);
 
   /// Dynamic power the core burns when no segment is active (until the
   /// next replan that changes it).
@@ -166,13 +204,49 @@ class Engine {
     Schedule plan;
     std::size_t next_seg = 0;
     Watts idle_power = 0.0;
-    std::deque<JobId> queue;  // live assigned jobs, arrival order
+    std::vector<JobId> queue;  // live assigned jobs, arrival (== id) order
+    std::uint64_t wake_gen = 0;  // bumping it invalidates queued wakes
+    bool dirty = false;          // wake candidate must be re-armed
+    bool in_live = false;        // member of live_
+    // dynamic_power(speed) of segment power_seg, cached so integration
+    // sub-steps do not re-evaluate pow() for an unchanged segment (the
+    // cached double is the exact same value, so sums stay bitwise
+    // identical).
+    std::size_t power_seg = SIZE_MAX;
+    Watts power_w = 0.0;
+  };
+
+  /// One calendar-queue entry. Validity is re-checked at pop against the
+  /// current state; stale entries are discarded without running an event
+  /// iteration.
+  struct Ev {
+    enum class Kind : std::uint8_t {
+      Arrival,     // idx = arrival index; valid while idx == next_arrival_
+      Quantum,     // valid while its time still equals next_quantum_
+      Deadline,    // idx = job index; valid while idx == first_live_
+      CoreWake,    // core's next segment boundary; idx = wake generation
+      BudgetStep,  // idx = step index; valid while idx == next_budget_step_
+    };
+    Kind kind = Kind::Arrival;
+    std::uint32_t core = 0;
+    std::uint64_t idx = 0;
   };
 
   JobState& state(JobId id);
   void advance_to(Time t);
   void finalize(JobId id, bool force_zero_quality = false);
   void expire_due_jobs();
+  /// Re-arms queue entries for sources whose candidate time changed
+  /// since the last call (push caches keep one entry per source).
+  void refresh_events();
+  void mark_dirty(int core);
+  void enter_live(int core);
+  /// The legacy loop's per-core candidate: the pending segment's start
+  /// if still ahead, else its end. Requires a pending segment.
+  [[nodiscard]] Time core_wake_candidate(const CoreRuntime& c) const {
+    const Segment& s = c.plan[c.next_seg];
+    return s.t0 > now_ + kTimeEps ? s.t0 : s.t1;
+  }
   [[nodiscard]] bool all_finalized() const {
     return finalized_count_ == jobs_.size();
   }
@@ -184,11 +258,25 @@ class Engine {
   std::vector<JobId> waiting_;
   std::size_t next_arrival_ = 0;   // index into jobs_ (arrival order)
   std::size_t first_live_ = 0;     // earliest possibly-unfinalized job
+  std::size_t next_budget_step_ = 0;
   std::size_t finalized_count_ = 0;
+  std::size_t replan_count_ = 0;
+  std::uint64_t events_processed_ = 0;
   Time now_ = 0.0;
   Time next_quantum_ = 0.0;
   Joules dynamic_energy_ = 0.0;
   Watts peak_power_ = 0.0;
+  sim::CalendarQueue<Ev> events_{8.0, 256};
+  /// Cores with pending segments or positive idle power, ascending, so
+  /// power summation keeps the legacy all-cores index order (skipped
+  /// cores contribute an exact +0.0).
+  std::vector<int> live_;
+  std::vector<int> dirty_cores_;
+  // Last pushed value per monotone event source (one entry outstanding).
+  std::size_t pushed_arrival_ = SIZE_MAX;
+  std::size_t pushed_deadline_ = SIZE_MAX;
+  std::size_t pushed_budget_ = SIZE_MAX;
+  Time pushed_quantum_ = -1.0;
   RunResult result_;
 };
 

@@ -1,0 +1,152 @@
+// CalendarQueue: a bucketed calendar queue (Brown '88 style) for the
+// discrete-event engine's pending-event set.
+//
+// Entries are (time, seq, payload) with seq a monotonically increasing
+// push counter; pop() always returns the minimum by (time, seq), i.e.
+// FIFO among equal timestamps — the total order a deterministic
+// simulator needs. Times map to fixed-width buckets by floor(t / width)
+// and collide modulo the (power-of-two) bucket count; pop scans only the
+// current bucket for entries belonging to the current "lap", advancing
+// bucket by bucket and jumping straight to the earliest populated bucket
+// when a sparse stretch would otherwise cost a full lap of empty hops.
+//
+// Pushing an entry earlier than the current bucket rewinds the cursor to
+// that entry's bucket (O(1)); the engine only does this within
+// floating-point fuzz of `now`, but correctness does not depend on that.
+//
+// Buckets are plain vectors that keep their capacity, so a simulation in
+// steady state (bounded pending-event population) pushes and pops with
+// zero heap allocations; the table only reallocates while growing toward
+// its high-water mark. sim_event_queue_test property-checks the ordering
+// against std::priority_queue.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace qes::sim {
+
+template <typename T>
+class CalendarQueue {
+ public:
+  struct Item {
+    double t = 0.0;
+    std::uint64_t seq = 0;
+    T value{};
+  };
+
+  /// `bucket_width` is the time span one bucket covers; `bucket_count`
+  /// is rounded up to a power of two. The defaults suit millisecond
+  /// timestamps with sub-second event spacing; correctness holds for any
+  /// positive width.
+  explicit CalendarQueue(double bucket_width = 8.0,
+                         std::size_t bucket_count = 256)
+      : width_(bucket_width) {
+    QES_ASSERT(bucket_width > 0.0);
+    std::size_t n = 1;
+    while (n < bucket_count) n <<= 1;
+    buckets_.resize(n);
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Inserts `value` at time `t` (t >= 0) and returns its sequence
+  /// number, usable with erase().
+  std::uint64_t push(double t, const T& value) {
+    QES_ASSERT(t >= 0.0);
+    const std::uint64_t seq = next_seq_++;
+    const std::uint64_t b = abs_bucket(t);
+    if (size_ == 0 || b < cur_abs_) cur_abs_ = b;  // (re)anchor the cursor
+    bucket_of(b).push_back(Item{t, seq, value});
+    ++size_;
+    if (size_ > buckets_.size() * 4) grow();
+    return seq;
+  }
+
+  /// Removes and returns the earliest entry by (t, seq).
+  Item pop() {
+    QES_ASSERT_MSG(size_ > 0, "pop on an empty CalendarQueue");
+    for (std::size_t hops = 0;; ++hops) {
+      std::vector<Item>& bucket = bucket_of(cur_abs_);
+      std::size_t best = bucket.size();
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const Item& e = bucket[i];
+        if (abs_bucket(e.t) != cur_abs_) continue;  // a future lap
+        if (best == bucket.size() || e.t < bucket[best].t ||
+            (e.t == bucket[best].t && e.seq < bucket[best].seq)) {
+          best = i;
+        }
+      }
+      if (best != bucket.size()) {
+        const Item out = bucket[best];
+        bucket[best] = bucket.back();  // buckets are unordered
+        bucket.pop_back();
+        --size_;
+        return out;
+      }
+      if (hops == buckets_.size()) {
+        cur_abs_ = min_abs_bucket();  // sparse stretch: jump, don't lap
+      } else {
+        ++cur_abs_;
+      }
+    }
+  }
+
+  /// Removes the entry with the given time and sequence number (as
+  /// returned by push). Returns false if it is no longer queued.
+  bool erase(double t, std::uint64_t seq) {
+    std::vector<Item>& bucket = bucket_of(abs_bucket(t));
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].seq != seq) continue;
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      --size_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t abs_bucket(double t) const {
+    return static_cast<std::uint64_t>(t / width_);
+  }
+  [[nodiscard]] std::vector<Item>& bucket_of(std::uint64_t abs) {
+    return buckets_[abs & (buckets_.size() - 1)];
+  }
+
+  [[nodiscard]] std::uint64_t min_abs_bucket() const {
+    std::uint64_t best = 0;
+    bool found = false;
+    for (const std::vector<Item>& bucket : buckets_) {
+      for (const Item& e : bucket) {
+        const std::uint64_t b = abs_bucket(e.t);
+        if (!found || b < best) {
+          best = b;
+          found = true;
+        }
+      }
+    }
+    QES_ASSERT(found);
+    return best;
+  }
+
+  void grow() {
+    std::vector<std::vector<Item>> old = std::move(buckets_);
+    buckets_.assign(old.size() * 2, {});
+    for (std::vector<Item>& bucket : old) {
+      for (const Item& e : bucket) bucket_of(abs_bucket(e.t)).push_back(e);
+    }
+  }
+
+  double width_;
+  std::vector<std::vector<Item>> buckets_;
+  std::uint64_t cur_abs_ = 0;   // bucket the cursor is scanning
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace qes::sim

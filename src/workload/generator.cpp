@@ -65,6 +65,75 @@ std::vector<Job> generate_diurnal_jobs(const DiurnalConfig& cfg) {
   return jobs;
 }
 
+std::vector<Job> generate_mmpp_jobs(const MmppConfig& cfg) {
+  QES_ASSERT(cfg.rate_lo > 0.0 && cfg.rate_hi > 0.0);
+  QES_ASSERT(cfg.dwell_lo_ms > 0.0 && cfg.dwell_hi_ms > 0.0);
+  QES_ASSERT(cfg.horizon_ms > 0.0 && cfg.deadline_ms > 0.0);
+  Xoshiro256 rng(cfg.seed);
+  const BoundedPareto demands(cfg.pareto_alpha, cfg.demand_min,
+                              cfg.demand_max);
+  std::vector<Job> jobs;
+  bool high = false;
+  Time t = 0.0;
+  JobId next_id = 1;
+  for (;;) {
+    // Competing exponentials in the current state: the next event is an
+    // arrival (rate r) or a state switch (rate 1/dwell), whichever
+    // fires first — an exact MMPP sample path.
+    const double arrival_per_ms =
+        (high ? cfg.rate_hi : cfg.rate_lo) / 1000.0;
+    const double switch_per_ms =
+        1.0 / (high ? cfg.dwell_hi_ms : cfg.dwell_lo_ms);
+    t += rng.exponential(arrival_per_ms + switch_per_ms);
+    if (t >= cfg.horizon_ms) break;
+    if (!rng.bernoulli(arrival_per_ms / (arrival_per_ms + switch_per_ms))) {
+      high = !high;
+      continue;
+    }
+    Job j;
+    j.id = next_id++;
+    j.release = t;
+    j.deadline = t + cfg.deadline_ms;
+    j.demand = demands.sample(rng);
+    j.partial_ok = rng.bernoulli(cfg.partial_fraction);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+double flash_rate(const FlashConfig& cfg, Time t) {
+  const bool in_spike =
+      t >= cfg.spike_at_ms && t < cfg.spike_at_ms + cfg.spike_len_ms;
+  return cfg.base_rate * (in_spike ? cfg.spike_factor : 1.0);
+}
+
+std::vector<Job> generate_flash_jobs(const FlashConfig& cfg) {
+  QES_ASSERT(cfg.base_rate > 0.0 && cfg.spike_factor >= 1.0);
+  QES_ASSERT(cfg.spike_at_ms >= 0.0 && cfg.spike_len_ms >= 0.0);
+  QES_ASSERT(cfg.horizon_ms > 0.0 && cfg.deadline_ms > 0.0);
+  Xoshiro256 rng(cfg.seed);
+  const BoundedPareto demands(cfg.pareto_alpha, cfg.demand_min,
+                              cfg.demand_max);
+  const double max_rate = cfg.base_rate * cfg.spike_factor;
+  std::vector<Job> jobs;
+  Time t = 0.0;
+  JobId next_id = 1;
+  for (;;) {
+    // Thinning: candidates at the spike rate, accepted with rate(t)/max.
+    t += rng.exponential(max_rate / 1000.0);
+    if (t >= cfg.horizon_ms) break;
+    if (!rng.bernoulli(flash_rate(cfg, t) / max_rate)) continue;
+    Job j;
+    j.id = next_id++;
+    j.release = t;
+    j.deadline = t + cfg.deadline_ms;
+    j.demand = demands.sample(rng);
+    j.partial_ok = rng.bernoulli(cfg.partial_fraction);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
 double offered_load(std::span<const Job> jobs, Time horizon_ms, int cores,
                     Speed per_core_speed) {
   QES_ASSERT(cores > 0 && per_core_speed > 0.0 && horizon_ms > 0.0);

@@ -67,4 +67,47 @@ struct DiurnalConfig {
 /// The instantaneous arrival rate of the diurnal model at time t.
 [[nodiscard]] double diurnal_rate(const DiurnalConfig& cfg, Time t);
 
+/// 2-state Markov-modulated Poisson process (MMPP-2): the arrival rate
+/// alternates between a low and a high state, each held for an
+/// exponentially distributed dwell time. Simulated exactly by competing
+/// exponentials (arrival vs. state switch), starting in the low state.
+struct MmppConfig {
+  double rate_lo = 80.0;        ///< requests per second, low state
+  double rate_hi = 320.0;       ///< requests per second, high state
+  Time dwell_lo_ms = 20'000.0;  ///< mean low-state dwell
+  Time dwell_hi_ms = 5'000.0;   ///< mean high-state dwell
+  Time horizon_ms = 120'000.0;
+  Time deadline_ms = 150.0;
+  double partial_fraction = 1.0;
+  double pareto_alpha = 3.0;
+  Work demand_min = 130.0;
+  Work demand_max = 1000.0;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] std::vector<Job> generate_mmpp_jobs(const MmppConfig& cfg);
+
+/// Flash crowd: Poisson at base_rate, multiplied by spike_factor inside
+/// the window [spike_at_ms, spike_at_ms + spike_len_ms). Sampled by
+/// thinning against the spike rate, so the process is an exact
+/// piecewise-homogeneous Poisson process.
+struct FlashConfig {
+  double base_rate = 120.0;    ///< requests per second outside the spike
+  double spike_factor = 4.0;   ///< >= 1: rate multiplier inside the spike
+  Time spike_at_ms = 30'000.0;
+  Time spike_len_ms = 10'000.0;
+  Time horizon_ms = 120'000.0;
+  Time deadline_ms = 150.0;
+  double partial_fraction = 1.0;
+  double pareto_alpha = 3.0;
+  Work demand_min = 130.0;
+  Work demand_max = 1000.0;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] std::vector<Job> generate_flash_jobs(const FlashConfig& cfg);
+
+/// The instantaneous arrival rate of the flash-crowd model at time t.
+[[nodiscard]] double flash_rate(const FlashConfig& cfg, Time t);
+
 }  // namespace qes

@@ -1,0 +1,153 @@
+// Scenario spec plane: the JSON parser's grammar and error surface, the
+// spec validation rules, and a parse pass over every shipped
+// scenarios/*.json (a spec that rots in the repo fails here, not in a
+// nightly).
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "scenario/json.hpp"
+
+namespace qes::scenario {
+namespace {
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const Json j = Json::parse(
+      R"({"a": 1.5, "b": "x\ny", "c": [1, 2, 3], "d": {"e": true}, "f": null})");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_DOUBLE_EQ(j.find("a")->as_number(), 1.5);
+  EXPECT_EQ(j.find("b")->as_string(), "x\ny");
+  ASSERT_EQ(j.find("c")->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(j.find("c")->as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(j.find("d")->find("e")->as_bool());
+  EXPECT_TRUE(j.find("f")->is_null());
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, ParsesNegativeAndExponentNumbers) {
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e3").as_number(), -2500.0);
+  EXPECT_DOUBLE_EQ(Json::parse("21600000").as_number(), 21'600'000.0);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse(R"({"a": })"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse(R"({"a": 1,})"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1 2]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse(R"("open)"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{} extra"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("tru"), std::runtime_error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse(R"({"a": 1})");
+  EXPECT_THROW((void)j.find("a")->as_string(), std::runtime_error);
+  EXPECT_THROW((void)j.as_array(), std::runtime_error);
+  EXPECT_THROW((void)j.string_or("a", "x"), std::runtime_error);
+  EXPECT_DOUBLE_EQ(j.number_or("absent", 7.0), 7.0);
+}
+
+TEST(ScenarioSpec, DefaultsFillUnspecifiedFields) {
+  const ScenarioSpec s = parse_scenario_text(R"({"name": "x"})");
+  EXPECT_EQ(s.name, "x");
+  EXPECT_EQ(s.substrate, "sim");
+  EXPECT_EQ(s.policy, "des");
+  EXPECT_EQ(s.workload.regime, "poisson");
+  EXPECT_EQ(s.cores, 16);
+  EXPECT_FALSE(s.compare_opt);
+}
+
+TEST(ScenarioSpec, ParsesFullClusterChaosCell) {
+  const ScenarioSpec s = parse_scenario_text(R"({
+    "name": "chaos", "substrate": "cluster", "policy": "sdvfs",
+    "workload": {"regime": "mmpp", "rate": 100, "rate_hi": 400,
+                 "horizon_ms": 5000, "seed": 3},
+    "engine": {"cores": 4, "power_budget": 80},
+    "cluster": {"nodes": 3, "dispatch": "p2c"},
+    "chaos": [{"at_ms": 500, "op": "drain", "node": 1},
+              {"at_ms": 900, "op": "budget", "budget": 120},
+              {"at_ms": 1200, "op": "revive", "node": 1},
+              {"at_ms": 1500, "op": "kill", "node": 0}]})");
+  EXPECT_EQ(s.substrate, "cluster");
+  EXPECT_EQ(s.policy, "sdvfs");
+  EXPECT_EQ(s.workload.regime, "mmpp");
+  EXPECT_DOUBLE_EQ(s.workload.mmpp_rate_hi, 400.0);
+  EXPECT_EQ(s.nodes, 3);
+  EXPECT_EQ(s.dispatch, "p2c");
+  ASSERT_EQ(s.chaos.size(), 4u);
+  EXPECT_EQ(s.chaos[0].kind, cluster::ChaosEvent::Kind::Drain);
+  EXPECT_EQ(s.chaos[1].kind, cluster::ChaosEvent::Kind::BudgetStep);
+  EXPECT_DOUBLE_EQ(s.chaos[1].budget, 120.0);
+  EXPECT_EQ(s.chaos[2].kind, cluster::ChaosEvent::Kind::Revive);
+  EXPECT_EQ(s.chaos[3].kind, cluster::ChaosEvent::Kind::Kill);
+  EXPECT_EQ(s.chaos[3].node, 0);
+}
+
+TEST(ScenarioSpec, RejectsUnknownEnumerations) {
+  EXPECT_THROW((void)parse_scenario_text(R"({"substrate": "gpu"})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_text(R"({"policy": "greedy"})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_scenario_text(R"({"workload": {"regime": "sawtooth"}})"),
+      std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_text(
+                   R"({"cluster": {"dispatch": "random"}})"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_text(R"({"substrate": "cluster",
+      "chaos": [{"at_ms": 1, "op": "explode", "node": 0}]})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioSpec, RejectsMalformedSchedules) {
+  // Budget steps out of order.
+  EXPECT_THROW((void)parse_scenario_text(R"({"budget_steps": [
+      {"at_ms": 500, "budget": 100}, {"at_ms": 100, "budget": 80}]})"),
+               std::invalid_argument);
+  // Non-positive stepped budget.
+  EXPECT_THROW((void)parse_scenario_text(
+                   R"({"budget_steps": [{"at_ms": 10, "budget": 0}]})"),
+               std::invalid_argument);
+  // Chaos on a non-cluster substrate.
+  EXPECT_THROW((void)parse_scenario_text(R"({"substrate": "sim",
+      "chaos": [{"at_ms": 1, "op": "kill", "node": 0}]})"),
+               std::invalid_argument);
+  // Chaos event without a node.
+  EXPECT_THROW((void)parse_scenario_text(R"({"substrate": "cluster",
+      "chaos": [{"at_ms": 1, "op": "kill"}]})"),
+               std::invalid_argument);
+  // Engine sanity.
+  EXPECT_THROW((void)parse_scenario_text(R"({"engine": {"cores": 0}})"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_scenario_text(R"({"engine": {"power_budget": -5}})"),
+      std::invalid_argument);
+}
+
+TEST(ScenarioSpec, MissingFileIsARuntimeError) {
+  EXPECT_THROW((void)load_scenario_file("/nonexistent/cell.json"),
+               std::runtime_error);
+}
+
+// Every spec shipped under scenarios/ must parse and validate — the
+// matrix must never rot. QES_SCENARIO_DIR is injected by CMake.
+TEST(ScenarioSpec, ShippedScenarioMatrixParses) {
+  namespace fs = std::filesystem;
+  std::size_t seen = 0;
+  for (const fs::directory_entry& e :
+       fs::directory_iterator(QES_SCENARIO_DIR)) {
+    if (e.path().extension() != ".json") continue;
+    SCOPED_TRACE(e.path().string());
+    const ScenarioSpec s = load_scenario_file(e.path().string());
+    EXPECT_FALSE(s.name.empty());
+    ++seen;
+  }
+  EXPECT_GE(seen, 7u);
+}
+
+}  // namespace
+}  // namespace qes::scenario

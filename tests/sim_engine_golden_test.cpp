@@ -1,0 +1,217 @@
+// Engine-level golden test: RunStats must stay BITWISE identical across
+// engine-internal refactors (the calendar-queue event core, scratch
+// pooling in the replan path, ...). The golden file pins every RunStats
+// field of a spread of seed configurations — the fig08-style paper
+// setup plus the variant paths (overload, resume, counter-only
+// triggers, S-/No-DVFS, discrete levels, big.LITTLE, weighted, eager,
+// baselines) — as exact IEEE-754 bit patterns.
+//
+// Regenerating (ONLY legitimate after an intentional semantic change):
+//   $ QES_GOLDEN_DUMP=1 build/tests/sim_engine_golden_test  (redirect
+//     stdout to tests/golden/engine_runstats.txt)
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "multicore/baseline_scheduler.hpp"
+#include "multicore/des_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace qes;
+
+struct GoldenCase {
+  std::string name;
+  RunStats stats;
+};
+
+RunStats run_case(EngineConfig cfg, const WorkloadConfig& wl,
+                  std::unique_ptr<SchedulingPolicy> policy) {
+  cfg.record_execution = false;
+  Engine engine(cfg, generate_websearch_jobs(wl), std::move(policy));
+  return engine.run().stats;
+}
+
+WorkloadConfig wl(double rate, double seconds, std::uint64_t seed) {
+  WorkloadConfig w;
+  w.arrival_rate = rate;
+  w.horizon_ms = seconds * 1000.0;
+  w.seed = seed;
+  return w;
+}
+
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> out;
+  const auto add = [&out](std::string name, RunStats s) {
+    out.push_back({std::move(name), s});
+  };
+
+  // The paper's §V-B setup (fig08 point: 16 cores, H = 320 W).
+  add("paper_h320_r150", run_case(EngineConfig{}, wl(150.0, 20.0, 1),
+                                  make_des_policy()));
+  {
+    // Overload + tight budget: shedding, rigid-discard loop untouched.
+    EngineConfig cfg;
+    cfg.power_budget = 80.0;
+    WorkloadConfig w = wl(260.0, 15.0, 2);
+    w.partial_fraction = 0.7;  // mixes rigid jobs into the §V-D loop
+    add("overload_h80_r260_rigid30", run_case(cfg, w, make_des_policy()));
+  }
+  {
+    // Resume ablation: baseline-aware Quality-OPT + YDS planning path.
+    EngineConfig cfg;
+    cfg.resume_passed_jobs = true;
+    add("resume_r180", run_case(cfg, wl(180.0, 15.0, 3), make_des_policy()));
+  }
+  {
+    // Counter-only triggers (the 10M-cell coalesced configuration).
+    EngineConfig cfg;
+    cfg.idle_trigger = false;
+    cfg.counter_trigger = 8;
+    cfg.quantum_ms = 100.0;
+    add("counter_only_r150", run_case(cfg, wl(150.0, 20.0, 4),
+                                      make_des_policy()));
+  }
+  {
+    DesOptions d;
+    d.arch = Architecture::SDVFS;
+    add("sdvfs_r150", run_case(EngineConfig{}, wl(150.0, 15.0, 5),
+                               make_des_policy(d)));
+  }
+  {
+    DesOptions d;
+    d.arch = Architecture::NoDVFS;
+    add("nodvfs_r120", run_case(EngineConfig{}, wl(120.0, 15.0, 6),
+                                make_des_policy(d)));
+  }
+  {
+    // Discrete speed levels (§V-F rectification + quantization).
+    EngineConfig cfg;
+    cfg.max_core_speed = DiscreteSpeedSet::opteron2380().max_speed();
+    DesOptions d;
+    d.speed_levels = DiscreteSpeedSet::opteron2380();
+    add("discrete_r150", run_case(cfg, wl(150.0, 15.0, 7),
+                                  make_des_policy(d)));
+  }
+  {
+    // big.LITTLE caps + capacity-aware distribution.
+    EngineConfig cfg;
+    cfg.per_core_max_speed.assign(16, 3.0);
+    for (int i = 0; i < 8; ++i) cfg.per_core_max_speed[i] = 1.2;
+    DesOptions d;
+    d.capacity_aware_distribution = true;
+    add("biglittle_r150", run_case(cfg, wl(150.0, 15.0, 8),
+                                   make_des_policy(d)));
+  }
+  {
+    // Service classes: weighted volume allocation.
+    WorkloadConfig w = wl(150.0, 15.0, 9);
+    w.premium_fraction = 0.2;
+    DesOptions d;
+    d.weighted = true;
+    add("weighted_r150", run_case(EngineConfig{}, w, make_des_policy(d)));
+  }
+  {
+    DesOptions d;
+    d.eager_execution = true;
+    add("eager_r180", run_case(EngineConfig{}, wl(180.0, 15.0, 10),
+                               make_des_policy(d)));
+  }
+  {
+    // Ablations of the distribution + power-split components.
+    DesOptions d;
+    d.plain_round_robin = true;
+    d.static_power = true;
+    add("plainrr_static_r200", run_case(EngineConfig{}, wl(200.0, 15.0, 11),
+                                        make_des_policy(d)));
+  }
+  {
+    // FCFS baseline with WF power (idle-trigger-driven engine path).
+    BaselineOptions b;
+    b.power = PowerDistribution::WaterFilling;
+    add("fcfs_wf_r150",
+        run_case(baseline_engine_config(EngineConfig{}), wl(150.0, 15.0, 12),
+                 make_baseline_policy(b)));
+  }
+  return out;
+}
+
+// Every RunStats field as a named double (integers convert exactly).
+std::vector<std::pair<std::string, double>> fields(const RunStats& s) {
+  return {
+      {"total_quality", s.total_quality},
+      {"max_quality", s.max_quality},
+      {"normalized_quality", s.normalized_quality},
+      {"dynamic_energy", s.dynamic_energy},
+      {"static_energy", s.static_energy},
+      {"peak_power", s.peak_power},
+      {"end_time", s.end_time},
+      {"jobs_total", static_cast<double>(s.jobs_total)},
+      {"jobs_satisfied", static_cast<double>(s.jobs_satisfied)},
+      {"jobs_partial", static_cast<double>(s.jobs_partial)},
+      {"jobs_zero", static_cast<double>(s.jobs_zero)},
+      {"jobs_discarded_rigid", static_cast<double>(s.jobs_discarded_rigid)},
+      {"mean_latency", s.mean_latency},
+      {"p50_latency", s.p50_latency},
+      {"p95_latency", s.p95_latency},
+      {"p99_latency", s.p99_latency},
+      {"replans", static_cast<double>(s.replans)},
+  };
+}
+
+std::string hex_bits(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+TEST(SimEngineGolden, RunStatsBitwiseStable) {
+  const std::vector<GoldenCase> cases = golden_cases();
+
+  if (std::getenv("QES_GOLDEN_DUMP") != nullptr) {
+    for (const GoldenCase& c : cases) {
+      for (const auto& [field, value] : fields(c.stats)) {
+        std::printf("%s %s %s %.17g\n", c.name.c_str(), field.c_str(),
+                    hex_bits(value).c_str(), value);
+      }
+    }
+    GTEST_SKIP() << "dump mode: golden table printed to stdout";
+  }
+
+  std::ifstream in(QES_GOLDEN_FILE);
+  ASSERT_TRUE(in.good()) << "golden file missing: " << QES_GOLDEN_FILE;
+  std::map<std::string, std::string> golden;  // "case field" -> hex
+  std::string case_name, field, hex, decimal;
+  while (in >> case_name >> field >> hex >> decimal) {
+    golden[case_name + " " + field] = hex;
+  }
+  ASSERT_FALSE(golden.empty());
+
+  std::size_t checked = 0;
+  for (const GoldenCase& c : cases) {
+    for (const auto& [f, value] : fields(c.stats)) {
+      const auto it = golden.find(c.name + " " + f);
+      ASSERT_NE(it, golden.end())
+          << "golden file lacks " << c.name << " " << f
+          << " (regenerate with QES_GOLDEN_DUMP=1)";
+      EXPECT_EQ(it->second, hex_bits(value))
+          << c.name << "." << f << " drifted: golden " << it->second
+          << ", got " << hex_bits(value) << " (" << value << ")";
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, cases.size() * fields(cases[0].stats).size());
+}
+
+}  // namespace

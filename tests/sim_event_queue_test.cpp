@@ -1,0 +1,160 @@
+// CalendarQueue property tests: pop order must match a reference
+// std::priority_queue over randomized interleavings of push / pop /
+// erase, including heavy timestamp ties (broken by sequence number),
+// cursor rewinds (pushes earlier than the last pop), and bucket growth.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "core/prng.hpp"
+
+namespace qes::sim {
+namespace {
+
+struct RefItem {
+  double t;
+  std::uint64_t seq;
+  int value;
+  // Reversed: priority_queue is a max-heap, we want min-(t, seq).
+  bool operator<(const RefItem& o) const {
+    if (t != o.t) return t > o.t;
+    return seq > o.seq;
+  }
+};
+
+// Reference model: a priority queue plus an erased-seq set (lazy
+// deletion on pop, exactly what the calendar queue's erase must mimic
+// eagerly).
+class RefQueue {
+ public:
+  void push(double t, std::uint64_t seq, int value) {
+    heap_.push(RefItem{t, seq, value});
+    live_.insert(seq);
+  }
+  bool erase(std::uint64_t seq) { return live_.erase(seq) > 0; }
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  RefItem pop() {
+    for (;;) {
+      RefItem top = heap_.top();
+      heap_.pop();
+      if (live_.erase(top.seq) > 0) return top;
+    }
+  }
+
+ private:
+  std::priority_queue<RefItem> heap_;
+  std::set<std::uint64_t> live_;
+};
+
+TEST(CalendarQueue, FifoAmongEqualTimestamps) {
+  CalendarQueue<int> q(1.0, 4);
+  for (int k = 0; k < 100; ++k) q.push(5.0, k);
+  for (int k = 0; k < 100; ++k) {
+    const auto item = q.pop();
+    EXPECT_EQ(item.value, k);
+    EXPECT_DOUBLE_EQ(item.t, 5.0);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, RewindOnEarlierPush) {
+  CalendarQueue<int> q(1.0, 8);
+  q.push(100.0, 1);
+  EXPECT_EQ(q.pop().value, 1);  // cursor now far ahead
+  q.push(2.0, 2);               // rewinds to the early bucket
+  q.push(50.0, 3);
+  EXPECT_EQ(q.pop().value, 2);
+  EXPECT_EQ(q.pop().value, 3);
+}
+
+TEST(CalendarQueue, EraseBySeq) {
+  CalendarQueue<int> q(4.0, 8);
+  const std::uint64_t s1 = q.push(10.0, 1);
+  const std::uint64_t s2 = q.push(11.0, 2);
+  q.push(12.0, 3);
+  EXPECT_TRUE(q.erase(11.0, s2));
+  EXPECT_FALSE(q.erase(11.0, s2));  // already gone
+  EXPECT_FALSE(q.erase(10.0, 999));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().seq, s1);
+  EXPECT_EQ(q.pop().value, 3);
+}
+
+// The main property: random interleavings agree with the reference
+// model exactly — same (t, seq, value) at every pop.
+TEST(CalendarQueue, RandomInterleavingsMatchPriorityQueue) {
+  Xoshiro256 rng(20260809);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Vary bucket geometry so growth and collisions both get exercised.
+    const double width = trial % 2 == 0 ? 1.0 : 7.5;
+    const std::size_t buckets = trial % 3 == 0 ? 2 : 16;
+    CalendarQueue<int> q(width, buckets);
+    RefQueue ref;
+    std::vector<std::pair<double, std::uint64_t>> live;  // for erase picks
+    double clock = 0.0;
+    int next_value = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+      const double dice = rng.next_double();
+      if (dice < 0.5 || ref.empty()) {
+        // Push at/after the current virtual clock; coarse quantization
+        // forces frequent exact ties.
+        const double t =
+            clock + std::floor(rng.next_double() * 16.0) * (width / 2.0);
+        const int v = next_value++;
+        const std::uint64_t seq = q.push(t, v);
+        ref.push(t, seq, v);
+        live.emplace_back(t, seq);
+      } else if (dice < 0.85) {
+        const auto got = q.pop();
+        const RefItem want = ref.pop();
+        ASSERT_EQ(got.t, want.t);
+        ASSERT_EQ(got.seq, want.seq);
+        ASSERT_EQ(got.value, want.value);
+        ASSERT_GE(got.t, clock);  // pops are monotone given monotone pushes
+        clock = got.t;
+        std::erase(live, std::make_pair(got.t, got.seq));
+      } else if (!live.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.next_double() * static_cast<double>(live.size()));
+        const auto [t, seq] = live[pick];
+        ASSERT_TRUE(q.erase(t, seq));
+        ASSERT_TRUE(ref.erase(seq));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+      ASSERT_EQ(q.size(), ref.size());
+      ASSERT_EQ(q.empty(), ref.empty());
+    }
+
+    // Drain: full agreement to the end.
+    while (!ref.empty()) {
+      const auto got = q.pop();
+      const RefItem want = ref.pop();
+      ASSERT_EQ(got.t, want.t);
+      ASSERT_EQ(got.seq, want.seq);
+      ASSERT_EQ(got.value, want.value);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// Sparse far-future jumps: after draining the near bucket, the cursor
+// must find an entry many laps ahead (exercises min_abs_bucket).
+TEST(CalendarQueue, SparseFarFutureJump) {
+  CalendarQueue<int> q(1.0, 4);
+  q.push(0.5, 1);
+  q.push(1e6, 2);
+  q.push(3e6, 3);
+  EXPECT_EQ(q.pop().value, 1);
+  EXPECT_EQ(q.pop().value, 2);
+  EXPECT_EQ(q.pop().value, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace qes::sim

@@ -2,10 +2,15 @@
 // uphold the global invariants on arbitrary (valid) configurations.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <stdexcept>
+
 #include "core/prng.hpp"
 #include "multicore/baseline_scheduler.hpp"
 #include "multicore/des_scheduler.hpp"
 #include "obs/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
 #include "sim/experiment.hpp"
 
 namespace qes {
@@ -144,6 +149,35 @@ TEST_P(EngineFuzzTest, DeterministicAcrossRepeatedRuns) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
                          ::testing::Values(1001u, 1002u, 1003u, 1004u,
                                            1005u, 1006u));
+
+// Seed-corpus replay: every spec under tests/corpus/ runs through the
+// scenario runner (the same path `qes_scenarios --replay <spec>`
+// takes), so a corpus member that once crashed the engine or tripped an
+// invariant stays pinned forever. Specs that fail validation are
+// expected corpus members too — the parser rejecting them cleanly IS
+// the covered behavior.
+TEST(CorpusReplay, EveryCorpusSpecRunsOrRejectsCleanly) {
+  namespace fs = std::filesystem;
+  std::size_t ran = 0;
+  std::size_t rejected = 0;
+  for (const fs::directory_entry& e :
+       fs::directory_iterator(QES_CORPUS_DIR)) {
+    if (e.path().extension() != ".json") continue;
+    SCOPED_TRACE(e.path().string());
+    try {
+      const scenario::ScenarioSpec spec =
+          scenario::load_scenario_file(e.path().string());
+      const scenario::ScenarioOutcome out = scenario::run_scenario(spec);
+      EXPECT_GT(out.jobs, 0u);
+      EXPECT_GT(out.norm_quality, 0.0);
+      ++ran;
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // malformed-by-design corpus member
+    }
+  }
+  EXPECT_GE(ran, 4u);
+  EXPECT_GE(rejected, 1u);
+}
 
 }  // namespace
 }  // namespace qes

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cli/options.hpp"
+#include "cli/workload_source.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/lockstep.hpp"
 #include "obs/span.hpp"
@@ -59,10 +60,15 @@ Watts total_budget(const cli::Options& opt) {
 }
 
 std::vector<Job> make_jobs(const cli::Options& opt) {
-  if (opt.trace_in) return load_job_trace(*opt.trace_in);
-  WorkloadConfig wl = opt.workload;
-  wl.horizon_ms = opt.duration_s * 1000.0;
-  return generate_websearch_jobs(wl);
+  cli::WorkloadSourceSpec spec;
+  if (opt.trace_in) {
+    spec.regime = "trace";
+    spec.trace_path = *opt.trace_in;
+  } else {
+    spec.workload = opt.workload;
+    spec.workload.horizon_ms = opt.duration_s * 1000.0;
+  }
+  return cli::make_jobs(spec);
 }
 
 int run_compare(const cli::Options& opt) {

@@ -1,0 +1,105 @@
+// qes_scenarios: declarative scenario runner (docs/SCENARIOS.md).
+//
+//   $ qes_scenarios --spec scenarios/diurnal_small.json
+//   $ qes_scenarios --spec a.json --spec b.json        # several cells
+//   $ qes_scenarios --replay tests/corpus/mmpp_tiny.json
+//   $ qes_scenarios --print-spec scenarios/chaos_kill_revive.json
+//
+// Each --spec runs one cell — workload regime x substrate x chaos
+// schedule — with the core invariants asserted inline (power cap, exact
+// job conservation, Online-QE <= QE-OPT where enabled) and prints one
+// comparable JSON row prefixed by RESULT_JSON, which
+// scripts/record_bench.sh distills into BENCH_<tag>.json.
+//
+// --replay is the fuzz-reproduction entry point: identical to --spec
+// (it exists so a corpus file name in a failure report can be rerun
+// verbatim), but any invalid-spec error exits 0 after reporting — a
+// corpus member that fails validation is a parser finding, not a crash.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(qes_scenarios: run declarative scenario cells
+
+  --spec <file.json>        run one cell (repeatable; see docs/SCENARIOS.md)
+  --replay <file.json>      rerun a fuzz-corpus spec (validation errors
+                            report and exit 0; crashes still crash)
+  --print-spec <file.json>  parse + validate only, echo the resolved cell
+  --help                    this text
+)";
+
+int print_spec(const std::string& path) {
+  const qes::scenario::ScenarioSpec s =
+      qes::scenario::load_scenario_file(path);
+  std::printf(
+      "spec {\"name\": \"%s\", \"substrate\": \"%s\", \"regime\": \"%s\", "
+      "\"policy\": \"%s\", \"cores\": %d, \"power_budget\": %.1f, "
+      "\"nodes\": %d, \"budget_steps\": %zu, \"chaos\": %zu, "
+      "\"compare_opt\": %s}\n",
+      s.name.c_str(), s.substrate.c_str(), s.workload.regime.c_str(),
+      s.policy.c_str(), s.cores, s.power_budget, s.nodes,
+      s.budget_steps.size(), s.chaos.size(),
+      s.compare_opt ? "true" : "false");
+  return 0;
+}
+
+int run_spec(const std::string& path, bool replay) {
+  qes::scenario::ScenarioSpec spec;
+  try {
+    spec = qes::scenario::load_scenario_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qes_scenarios: %s: %s\n", path.c_str(), e.what());
+    // A corpus spec rejected by validation is the expected outcome of a
+    // fuzz round — only crashes count as findings under --replay.
+    return replay ? 0 : 2;
+  }
+  const qes::scenario::ScenarioOutcome out =
+      qes::scenario::run_scenario(spec);
+  std::printf("RESULT_JSON %s\n", out.json_row().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> actions;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--spec" || arg == "--replay" || arg == "--print-spec") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "qes_scenarios: %s needs a file\n", arg.c_str());
+        return 2;
+      }
+      actions.emplace_back(arg, argv[++i]);
+      continue;
+    }
+    std::fprintf(stderr, "qes_scenarios: unknown flag %s\n%s", arg.c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (actions.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  for (const auto& [verb, path] : actions) {
+    try {
+      const int rc = verb == "--print-spec" ? print_spec(path)
+                                            : run_spec(path, verb == "--replay");
+      if (rc != 0) return rc;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "qes_scenarios: %s: %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "cli/options.hpp"
+#include "cli/workload_source.hpp"
 #include "report/table.hpp"
 #include "sim/experiment.hpp"
 #include "workload/trace_io.hpp"
@@ -31,14 +32,16 @@ void print_json_stats(double rate, const RunStats& s, bool last) {
 
 RunStats run_spec(const cli::Options& opt, const EngineConfig& cfg,
                   double rate) {
-  WorkloadConfig wl = opt.workload;
-  wl.arrival_rate = rate;
   if (opt.trace_in) {
-    // Trace replay: one run, fixed jobs.
-    Engine engine(cfg, load_job_trace(*opt.trace_in),
-                  cli::make_policy(opt));
+    // Trace replay: one run, fixed jobs, via the shared workload source.
+    cli::WorkloadSourceSpec spec;
+    spec.regime = "trace";
+    spec.trace_path = *opt.trace_in;
+    Engine engine(cfg, cli::make_jobs(spec), cli::make_policy(opt));
     return engine.run().stats;
   }
+  WorkloadConfig wl = opt.workload;
+  wl.arrival_rate = rate;
   return run_averaged(cfg, wl, [&opt] { return cli::make_policy(opt); },
                       opt.seeds, wl.seed);
 }
